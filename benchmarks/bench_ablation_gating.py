@@ -1,0 +1,84 @@
+"""ABL2 — clock-gating ablation.
+
+§III-D.4: 'Units that do not have to update their internal state are
+clock-gated to reduce power consumption.'  The power model's gating
+residual expresses how much of the cluster switching power a gated
+cluster still burns; setting it to 1.0 emulates a design without clock
+gating.  The saving depends on utilisation, i.e. on how localised the
+events' receptive fields are.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.energy import PowerModel
+from repro.events import EventStream
+from repro.hw import SNE, LayerGeometry, LayerKind, LayerProgram, SNEConfig
+
+
+def localized_workload(seed=0):
+    """Events confined to one corner: most clusters stay gated."""
+    rng = np.random.default_rng(seed)
+    g = LayerGeometry(LayerKind.CONV, 2, 32, 32, 2, 32, 32, kernel=3, padding=1)
+    program = LayerProgram(g, rng.integers(-2, 3, (2, 2, 3, 3)), threshold=40, leak=1)
+    dense = np.zeros((20, 2, 32, 32), dtype=np.uint8)
+    corner = (rng.random((20, 2, 6, 6)) < 0.25).astype(np.uint8)
+    dense[:, :, :6, :6] = corner
+    return program, EventStream.from_dense(dense)
+
+
+def test_gating_power_saving(benchmark, report):
+    config = SNEConfig(n_slices=2)
+    program, stream = localized_workload()
+
+    def run():
+        _, stats = SNE(config).run_layer(program, stream)
+        return stats
+
+    stats = benchmark(run)
+    util = stats.utilization()
+    assert util < 0.25  # the workload is localised by construction
+
+    gated = PowerModel()
+    ungated = PowerModel()
+    ungated.gating_residual = 1.0  # no clock gating: full switching always
+
+    p_gated = gated.total_mw(config.n_slices, util)
+    p_ungated = ungated.total_mw(config.n_slices, util)
+    saving = 1.0 - p_gated / p_ungated
+
+    report.add(
+        render_table(
+            ["design", "utilization", "power [mW]"],
+            [
+                ["with clock gating (residual 0.2)", round(util, 4), p_gated],
+                ["without clock gating", round(util, 4), p_ungated],
+                ["saving", "", f"{saving * 100:.1f}%"],
+            ],
+            title="ABL2 — clock gating on a spatially localised workload",
+        )
+    )
+    assert p_gated < p_ungated
+    assert saving > 0.3  # most clusters idle => gating is a large win
+
+
+def test_gating_saving_vanishes_at_full_utilization(benchmark, report):
+    """At the paper's worst-case benchmark (everything updating) gating
+    cannot help — the two designs must converge."""
+    gated = PowerModel()
+    ungated = PowerModel()
+    ungated.gating_residual = 1.0
+
+    def evaluate():
+        return gated.total_mw(8, 1.0), ungated.total_mw(8, 1.0)
+
+    p_gated, p_ungated = benchmark(evaluate)
+    report.add(
+        render_table(
+            ["design", "power @ utilization 1.0 [mW]"],
+            [["with clock gating", p_gated], ["without clock gating", p_ungated]],
+            title="ABL2 — no gating benefit at full utilization",
+        )
+    )
+    assert p_gated == pytest.approx(p_ungated)

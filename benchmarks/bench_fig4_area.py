@@ -1,0 +1,59 @@
+"""Fig. 4 — area breakdown (kGE) for 1/2/4/8 slices.
+
+Regenerates the figure's data: per-component kGE, totals, the constant
+DMA cost and its shrinking share, and the Table II per-neuron area.
+The benchmarked kernel is the model evaluation across the full sweep.
+"""
+
+import pytest
+
+from repro.analysis import ComparisonRow, render_comparison, render_table
+from repro.energy import COMPONENTS, FIG4_ANCHORS, FIG4_SLICES, AreaModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+def test_fig4_area_breakdown(benchmark, model, report):
+    breakdowns = benchmark(
+        lambda: {n: model.breakdown_kge(n) for n in FIG4_SLICES}
+    )
+
+    rows = []
+    for component in COMPONENTS:
+        rows.append([component] + [breakdowns[n][component] for n in FIG4_SLICES])
+    rows.append(["TOTAL"] + [sum(breakdowns[n].values()) for n in FIG4_SLICES])
+    report.add(
+        render_table(
+            ["component [kGE]"] + [f"{n} slices" for n in FIG4_SLICES],
+            rows,
+            title="Fig. 4 — SNE area breakdown (measured; anchors = paper values)",
+        )
+    )
+    report.add(
+        render_comparison(
+            [
+                ComparisonRow(
+                    f"memory kGE @ {n} slices",
+                    FIG4_ANCHORS["memory"][i],
+                    breakdowns[n]["memory"],
+                    "kGE",
+                )
+                for i, n in enumerate(FIG4_SLICES)
+            ]
+            + [
+                ComparisonRow("neuron area", 19.9, model.neuron_area_um2(), "um2"),
+            ],
+            title="Fig. 4 / Table II anchors",
+        )
+    )
+
+    # Shape assertions: the paper's three qualitative observations.
+    for n in FIG4_SLICES:
+        assert breakdowns[n]["memory"] == max(breakdowns[n].values())
+    assert len({breakdowns[n]["streamers"] for n in FIG4_SLICES}) == 1
+    fractions = [model.dma_fraction(n) for n in FIG4_SLICES]
+    assert all(a > b for a, b in zip(fractions, fractions[1:]))
+    assert model.neuron_area_um2() == pytest.approx(19.9, rel=0.01)

@@ -1,0 +1,86 @@
+"""Fig. 5b — performance (GSOP/s) and energy per SOP vs slice count.
+
+Performance is validated two ways: the analytical peak (slices x 16
+clusters x 400 MHz) and a measured SOP rate from the cycle simulator
+running the all-clusters-updating workload (the benchmarked kernel).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ComparisonRow, render_comparison, render_table
+from repro.energy import FIG5B_PJ_PER_SOP, EfficiencyModel
+from repro.events import EventStream
+from repro.hw import SNE, PAPER_CONFIG, LayerGeometry, LayerKind, LayerProgram, SNEConfig
+
+PAPER_PERF_GSOPS = {1: 6.4, 2: 12.8, 4: 25.6, 8: 51.2}
+
+
+@pytest.fixture(scope="module")
+def eff():
+    return EfficiencyModel()
+
+
+def test_fig5b_performance_and_energy(benchmark, eff, report):
+    def evaluate_sweep():
+        out = {}
+        for n in (1, 2, 4, 8):
+            cfg = PAPER_CONFIG.with_slices(n)
+            out[n] = (eff.performance_gsops(cfg), eff.energy_per_sop_pj(cfg))
+        return out
+
+    sweep = benchmark(evaluate_sweep)
+
+    rows, comp = [], []
+    for n, (gsops, esop) in sweep.items():
+        rows.append([n, gsops, esop])
+        comp.append(ComparisonRow(f"perf @ {n} slices", PAPER_PERF_GSOPS[n], gsops, "GSOP/s"))
+        comp.append(ComparisonRow(f"energy/SOP @ {n} slices", FIG5B_PJ_PER_SOP[n], esop, "pJ"))
+    report.add(
+        render_table(
+            ["slices", "performance [GSOP/s]", "energy/SOP [pJ]"],
+            rows,
+            title="Fig. 5b — performance and energy per synaptic operation",
+        )
+    )
+    report.add(render_comparison(comp, title="Fig. 5b anchors"))
+
+    # Shape: performance proportional to slices; energy/SOP decreasing.
+    perfs = [sweep[n][0] for n in (1, 2, 4, 8)]
+    assert perfs == [pytest.approx(6.4 * n) for n in (1, 2, 4, 8)]
+    esops = [sweep[n][1] for n in (1, 2, 4, 8)]
+    assert all(a > b for a, b in zip(esops, esops[1:]))
+    assert esops[-1] == pytest.approx(0.221, abs=0.001)
+
+
+def test_fig5b_measured_sop_rate_approaches_peak(benchmark, report):
+    """The cycle simulator must sustain ~1 SOP/cluster/cycle when every
+    cluster updates on every event (the peak-performance condition)."""
+    cfg = SNEConfig(n_slices=1, cycles_per_fire=0, cycles_per_reset=1)
+
+    def run_dense_layer():
+        rng = np.random.default_rng(0)
+        n_outputs = cfg.neurons_per_slice  # fill the slice exactly
+        g = LayerGeometry(LayerKind.DENSE, 1, 4, 4, n_outputs, 1, 1)
+        prog = LayerProgram(g, rng.integers(-1, 2, (n_outputs, 16)), threshold=120, leak=0)
+        dense = (rng.random((10, 1, 4, 4)) < 0.3).astype(np.uint8)
+        _, stats = SNE(cfg).run_layer(prog, EventStream.from_dense(dense))
+        return stats
+
+    stats = benchmark(run_dense_layer)
+    # Every event updates all 1024 neurons across 16 clusters in 64+16
+    # overrun cycles; utilisation = 1024 / (16 * 64) = 1.0.
+    assert stats.utilization() == pytest.approx(1.0)
+    measured_gsops = stats.sops_per_second(cfg) / 1e9
+    report.add(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["measured SOP rate (1 slice)", f"{measured_gsops:.2f} GSOP/s"],
+                ["analytical peak (1 slice)", "6.40 GSOP/s"],
+                ["utilization", stats.utilization()],
+            ],
+            title="Fig. 5b companion — simulator sustains the peak SOP rate",
+        )
+    )
+    assert measured_gsops == pytest.approx(6.4, rel=0.05)

@@ -1,0 +1,103 @@
+"""§III/§IV running-text claims measured on the cycle-level simulator.
+
+TXT1: an input event is consumed in 48 clock cycles = 120 ns at 400 MHz,
+updating all sensitive membrane potentials serially (one per cluster-
+cycle).  TXT2: DVS-Gesture activity of 1.2-4.9% implies 7.1-23.12 ms,
+141-43 inf/s and 80-261 µJ per inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ComparisonRow, render_comparison
+from repro.energy import DATASET_EVENT_ANCHORS, EfficiencyModel
+from repro.events import EventStream
+from repro.hw import SNE, PAPER_CONFIG, LayerGeometry, LayerKind, LayerProgram, SNEConfig
+
+
+def test_txt1_single_event_48_cycles(benchmark, report):
+    cfg = SNEConfig(n_slices=1, cycles_per_fire=0, cycles_per_reset=0)
+    g = LayerGeometry(LayerKind.CONV, 1, 8, 8, 4, 8, 8, kernel=3, padding=1)
+    prog = LayerProgram(g, np.ones((4, 1, 3, 3), dtype=np.int64), threshold=50, leak=0)
+    stream = EventStream([0], [0], [4], [4], (1, 1, 8, 8))
+
+    def run_single_event():
+        _, stats = SNE(cfg).run_layer(prog, stream)
+        return stats
+
+    stats = benchmark(run_single_event)
+    event_time_ns = stats.time_s(cfg) * 1e9
+    report.add(
+        render_comparison(
+            [
+                ComparisonRow("cycles per event", 48, stats.cycles, "cycles"),
+                ComparisonRow("event time @ 400 MHz", 120.0, event_time_ns, "ns"),
+                ComparisonRow("membrane updates (3x3 x 4 ch)", 36, stats.sops, "SOP"),
+            ],
+            title="TXT1 — one UPDATE event through the sequencer window",
+        )
+    )
+    assert stats.cycles == 48
+    assert event_time_ns == pytest.approx(120.0)
+    assert stats.sops == 36  # 9 receptive-field taps x 4 output channels
+
+
+def test_txt2_gesture_inference_window(benchmark, report):
+    eff = EfficiencyModel()
+    best_events, worst_events = DATASET_EVENT_ANCHORS["ibm_dvs_gesture"]
+
+    def estimate():
+        return (
+            eff.inference(best_events, PAPER_CONFIG),
+            eff.inference(worst_events, PAPER_CONFIG),
+        )
+
+    best, worst = benchmark(estimate)
+    report.add(
+        render_comparison(
+            [
+                ComparisonRow("best-case inference time", 7.1, best.time_s * 1e3, "ms"),
+                ComparisonRow("worst-case inference time", 23.12, worst.time_s * 1e3, "ms"),
+                ComparisonRow("best-case rate", 141, best.rate_inf_s, "inf/s"),
+                ComparisonRow("worst-case rate", 43, worst.rate_inf_s, "inf/s"),
+                ComparisonRow("best-case energy", 80, best.energy_uj, "uJ"),
+                ComparisonRow("worst-case energy", 261, worst.energy_uj, "uJ"),
+            ],
+            title="TXT2 — DVS-Gesture inference window (1.2-4.9% activity)",
+        )
+    )
+    assert best.time_s * 1e3 == pytest.approx(7.1, rel=0.01)
+    assert worst.time_s * 1e3 == pytest.approx(23.12, rel=0.01)
+    assert best.energy_uj == pytest.approx(80, rel=0.01)
+    assert worst.energy_uj == pytest.approx(261, rel=0.01)
+
+
+def test_txt1_serial_updates_one_sop_per_cluster_cycle(benchmark, report):
+    """'SNE takes 48 clock cycles to consume an input event and update
+    all membrane potentials serially': within one cluster, updates are
+    TDM-serial — never more than one per cycle."""
+    cfg = SNEConfig(n_slices=1)
+    rng = np.random.default_rng(0)
+    g = LayerGeometry(LayerKind.CONV, 2, 16, 16, 4, 16, 16, kernel=3, padding=1)
+    prog = LayerProgram(g, rng.integers(-2, 3, (4, 2, 3, 3)), threshold=30, leak=1)
+    dense = (rng.random((10, 2, 16, 16)) < 0.05).astype(np.uint8)
+    stream = EventStream.from_dense(dense)
+
+    def run():
+        _, stats = SNE(cfg).run_layer(prog, stream)
+        return stats
+
+    stats = benchmark(run)
+    # SOPs can never exceed clusters x cycles (the serial TDM bound).
+    bound = cfg.clusters_per_slice * stats.cycles
+    report.add(
+        render_comparison(
+            [
+                ComparisonRow("SOPs vs serial bound", bound, stats.sops, "SOP (<= bound)"),
+                ComparisonRow("sequencer overruns", 0, stats.sequencer_overrun_cycles, "cycles"),
+            ],
+            title="TXT1 companion — serial TDM update bound",
+        )
+    )
+    assert stats.sops <= bound
+    assert stats.sequencer_overrun_cycles == 0

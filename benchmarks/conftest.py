@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints its paper-vs-measured table and also appends it
+to ``benchmarks/results_last_run.md`` through the ``report`` fixture, so
+one ``pytest benchmarks/ --benchmark-only`` run regenerates the full
+comparison record that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results_last_run.md"
+
+
+class Reporter:
+    """Accumulates rendered tables and flushes them to disk."""
+
+    def __init__(self) -> None:
+        self.sections: list[str] = []
+
+    def add(self, text: str) -> None:
+        self.sections.append(text)
+        print("\n" + text)
+
+    def flush(self) -> None:
+        if self.sections:
+            RESULTS_PATH.write_text("\n\n".join(self.sections) + "\n")
+
+
+@pytest.fixture(scope="session")
+def report():
+    reporter = Reporter()
+    yield reporter
+    reporter.flush()

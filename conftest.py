@@ -1,0 +1,14 @@
+"""Repo-level pytest configuration.
+
+Makes the source tree importable without an installed package, so a
+fresh checkout can run ``pytest tests/`` and
+``pytest benchmarks/ --benchmark-only`` directly (useful in offline
+environments where ``pip install -e .`` cannot build a wheel).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

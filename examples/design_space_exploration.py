@@ -1,0 +1,57 @@
+"""Figs. 4 + 5 in one sweep: the SNE design space over the slice count.
+
+For each configuration (1-8 slices) prints the area breakdown, the
+power split, the peak performance and the energy per operation —
+the complete §IV-A exploration — plus a non-synthesised interpolation
+point to show the models generalise beyond the paper's four anchors.
+
+Usage: ``python examples/design_space_exploration.py``
+"""
+
+from repro.analysis import render_table
+from repro.baselines import sne_record
+from repro.energy import AreaModel, EfficiencyModel, PowerModel
+from repro.hw import PAPER_CONFIG
+
+
+def main() -> None:
+    area = AreaModel()
+    power = PowerModel(area=area)
+    eff = EfficiencyModel(power=power)
+
+    rows = []
+    for n in (1, 2, 3, 4, 6, 8):
+        cfg = PAPER_CONFIG.with_slices(n)
+        breakdown = power.fig5a_breakdown(n)
+        rows.append([
+            n,
+            "yes" if n in (1, 2, 4, 8) else "interp.",
+            f"{area.total_kge(n):.0f}",
+            f"{area.total_mm2(n):.3f}",
+            f"{breakdown.dynamic_mw:.2f}",
+            f"{breakdown.leakage_mw:.3f}",
+            f"{eff.performance_gsops(cfg):.1f}",
+            f"{eff.energy_per_sop_pj(cfg):.4f}",
+            f"{eff.efficiency_tsops_w(cfg):.2f}",
+        ])
+    print(render_table(
+        ["slices", "synthesised", "area [kGE]", "area [mm2]", "dyn [mW]",
+         "leak [mW]", "perf [GSOP/s]", "E/SOP [pJ]", "eff [TSOP/s/W]"],
+        rows,
+        title="SNE design space (Figs. 4 + 5): anchors exact, rest interpolated",
+    ))
+
+    print("\nTable II row computed from the models:")
+    sne = sne_record()
+    print(f"  {sne.name}: {sne.n_neurons} neurons, "
+          f"{sne.neuron_area_um2} um2/neuron, {sne.performance_gops} GSOP/s, "
+          f"{sne.efficiency_tops_w} TSOP/s/W, {sne.energy_per_sop_pj} pJ/SOP, "
+          f"{sne.power_mw} mW @ {sne.freq_mhz:.0f} MHz / 0.8 V")
+
+    print("\n0.9 V extrapolation (paper: 4.03 TOP/s/W, 0.248 pJ/SOP):")
+    print(f"  {eff.efficiency_tsops_w(PAPER_CONFIG, voltage=0.9):.2f} TSOP/s/W, "
+          f"{eff.energy_per_sop_pj(PAPER_CONFIG, voltage=0.9):.3f} pJ/SOP")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""SNE reproduction: an energy-proportional accelerator for sparse
+event-based convolutions (Di Mauro et al., DATE 2022).
+
+Subpackages:
+
+* :mod:`repro.events` -- event formats, streams, DVS simulation, datasets;
+* :mod:`repro.snn` -- the SLAYER-style training framework (LIF + SRM);
+* :mod:`repro.hw` -- the cycle-level SNE hardware model and mapper;
+* :mod:`repro.energy` -- calibrated area/power/efficiency models;
+* :mod:`repro.baselines` -- dense CNN engine and Table II platforms;
+* :mod:`repro.analysis` -- activity profiling, metrics, table rendering.
+
+Quick start::
+
+    from repro.events import SyntheticDVSGesture
+    from repro.snn import build_small_network, Trainer, TrainConfig
+    from repro.hw import SNE, SNEConfig, compile_network
+    from repro.energy import EfficiencyModel
+
+See ``examples/quickstart.py`` for the end-to-end flow.
+"""
+
+from . import analysis, baselines, energy, events, hw, snn
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "baselines", "energy", "events", "hw", "snn", "__version__"]

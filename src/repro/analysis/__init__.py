@@ -1,0 +1,29 @@
+"""Evaluation methodology: activity profiling, metrics, tables, sweeps."""
+
+from .activity import (
+    ActivityProfile,
+    LayerActivity,
+    dataset_activity_range,
+    profile_network,
+)
+from .metrics import ProportionalityFit, accuracy, confusion_matrix, proportionality_fit
+from .tables import ComparisonRow, render_comparison, render_table, to_csv
+from .proportionality import ActivitySweep, SweepPoint, sweep_activity
+
+__all__ = [
+    "ActivityProfile",
+    "LayerActivity",
+    "dataset_activity_range",
+    "profile_network",
+    "ProportionalityFit",
+    "accuracy",
+    "confusion_matrix",
+    "proportionality_fit",
+    "ComparisonRow",
+    "render_comparison",
+    "render_table",
+    "to_csv",
+    "ActivitySweep",
+    "SweepPoint",
+    "sweep_activity",
+]

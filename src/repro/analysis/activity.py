@@ -1,0 +1,108 @@
+"""Firing-activity measurement (paper §IV-B's 1.2-4.9 % analysis).
+
+The paper estimates per-layer firing activity on DVS-Gesture samples and
+derives best/worst-case inference time from it.  These helpers compute
+the same quantities on our networks and datasets: per-layer activities
+from a forward pass, the network average, and the number of events the
+accelerator *consumes* for one inference (the quantity that multiplies
+the 48-cycle event window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..events.datasets import EventDataset
+from ..snn.network import Sequential
+
+__all__ = ["LayerActivity", "ActivityProfile", "profile_network", "dataset_activity_range"]
+
+
+@dataclass(frozen=True)
+class LayerActivity:
+    """Activity of one layer on one (batch of) input."""
+
+    layer_index: int
+    layer_name: str
+    activity: float  # fraction of (step, neuron) sites that spiked
+    events: int  # absolute spike count
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Per-layer activity of one forward pass."""
+
+    layers: tuple[LayerActivity, ...]
+    input_events: int
+
+    @property
+    def network_activity(self) -> float:
+        """Site-weighted mean activity across layers (the paper's figure)."""
+        total_sites = 0
+        total_events = 0
+        for layer in self.layers:
+            if layer.activity > 0:
+                sites = layer.events / layer.activity
+            else:
+                continue
+            total_sites += sites
+            total_events += layer.events
+        if total_sites == 0:
+            return 0.0
+        return total_events / total_sites
+
+    @property
+    def events_consumed(self) -> int:
+        """Events the accelerator consumes for one inference.
+
+        Every layer consumes its input stream: the network input plus
+        every intermediate feature map (the last layer's output is not
+        consumed again).
+        """
+        intermediate = sum(l.events for l in self.layers[:-1])
+        return self.input_events + intermediate
+
+
+def profile_network(network: Sequential, x: np.ndarray) -> ActivityProfile:
+    """Run a forward pass and collect per-layer activities.
+
+    ``x`` is a dense spike tensor ``[T, B, C, H, W]``; activities average
+    over the batch.
+    """
+    network.forward(x)
+    layers = []
+    for i, layer in enumerate(network.layers):
+        spikes = layer.last_spikes
+        if spikes is None:
+            continue
+        layers.append(
+            LayerActivity(
+                layer_index=i,
+                layer_name=type(layer).__name__,
+                activity=float(spikes.mean()),
+                events=int(spikes.sum()),
+            )
+        )
+    return ActivityProfile(layers=tuple(layers), input_events=int(np.asarray(x).sum()))
+
+
+def dataset_activity_range(
+    network: Sequential, dataset: EventDataset, max_samples: int | None = None
+) -> tuple[ActivityProfile, ActivityProfile]:
+    """(least-active, most-active) profiles over a dataset.
+
+    This is the analysis behind the paper's "between 1.2% and 4.9%":
+    the two extreme profiles bound the inference time and energy.
+    """
+    if not len(dataset):
+        raise ValueError("dataset is empty")
+    samples = dataset.samples[:max_samples] if max_samples else dataset.samples
+    profiles = []
+    for sample in samples:
+        dense = sample.stream.to_dense().astype(np.float64)
+        x = dense[:, None]  # [T, B=1, C, H, W]
+        profiles.append(profile_network(network, x))
+    profiles.sort(key=lambda p: p.events_consumed)
+    return profiles[0], profiles[-1]

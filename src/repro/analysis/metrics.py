@@ -1,0 +1,84 @@
+"""Classification and proportionality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "ProportionalityFit",
+    "proportionality_fit",
+]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Counts[i, j] = samples of true class i predicted as class j."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if n_classes < 1:
+        raise ValueError("n_classes must be positive")
+    if predictions.size and (
+        predictions.min() < 0 or predictions.max() >= n_classes
+        or labels.min() < 0 or labels.max() >= n_classes
+    ):
+        raise ValueError("class index outside [0, n_classes)")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+@dataclass(frozen=True)
+class ProportionalityFit:
+    """Linear fit of a cost metric against the event count.
+
+    ``r_squared`` near 1 with a small intercept fraction is the paper's
+    energy-to-information proportionality claim in statistical form.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    @property
+    def intercept_fraction(self) -> float:
+        """Fixed cost relative to the cost at the largest measured point."""
+        return self._intercept_fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_intercept_fraction", float("nan"))
+
+
+def proportionality_fit(events: np.ndarray, costs: np.ndarray) -> ProportionalityFit:
+    """Least-squares line ``cost = slope * events + intercept`` with R²."""
+    events = np.asarray(events, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if events.shape != costs.shape or events.ndim != 1:
+        raise ValueError("events and costs must be 1-D arrays of equal length")
+    if events.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    design = np.stack([events, np.ones_like(events)], axis=1)
+    coeff, *_ = np.linalg.lstsq(design, costs, rcond=None)
+    predicted = design @ coeff
+    ss_res = float(((costs - predicted) ** 2).sum())
+    ss_tot = float(((costs - costs.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    fit = ProportionalityFit(slope=float(coeff[0]), intercept=float(coeff[1]), r_squared=r2)
+    max_cost = float(np.abs(costs).max()) or 1.0
+    object.__setattr__(fit, "_intercept_fraction", abs(fit.intercept) / max_cost)
+    return fit

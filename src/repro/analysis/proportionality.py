@@ -1,0 +1,107 @@
+"""Energy-proportionality sweeps (the paper's title claim, TXT3/ABL benches).
+
+SNE "performs a number of operations proportional to the number of
+events contained into the input data stream".  The sweep harness runs
+the cycle-level simulator at a range of input activities, converts the
+resulting cycle/utilisation counters to energy through the calibrated
+power model, and fits cost-vs-events lines; the dense baseline provides
+the flat comparison curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.dense_engine import DenseEngine
+from ..energy.power import PowerModel
+from ..events.noise import thin_to_activity
+from ..events.stream import EventStream
+from ..hw.config import SNEConfig
+from ..hw.mapper import LayerProgram
+from ..hw.sne import SNE
+from .metrics import ProportionalityFit, proportionality_fit
+
+__all__ = ["SweepPoint", "ActivitySweep", "sweep_activity"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One operating point of the activity sweep."""
+
+    activity: float
+    n_events: int
+    cycles: int
+    sops: int
+    time_s: float
+    sne_energy_uj: float
+    dense_energy_uj: float
+
+
+@dataclass(frozen=True)
+class ActivitySweep:
+    """Sweep result plus the proportionality fits."""
+
+    points: tuple[SweepPoint, ...]
+    cycles_fit: ProportionalityFit
+    energy_fit: ProportionalityFit
+
+    def crossover_activity(self) -> float | None:
+        """Lowest measured activity where dense energy <= SNE energy."""
+        for point in self.points:
+            if point.dense_energy_uj <= point.sne_energy_uj:
+                return point.activity
+        return None
+
+
+def sweep_activity(
+    program: LayerProgram,
+    base_stream: EventStream,
+    activities: list[float],
+    config: SNEConfig | None = None,
+    power: PowerModel | None = None,
+    dense: DenseEngine | None = None,
+    seed: int = 0,
+) -> ActivitySweep:
+    """Run one layer at several input activities and fit cost-vs-events.
+
+    ``base_stream`` must be at least as active as ``max(activities)``;
+    each point thins it down to the target activity, runs the simulator
+    and evaluates both cost models on the same workload.
+    """
+    if not activities:
+        raise ValueError("need at least one activity point")
+    if max(activities) > base_stream.activity() + 1e-9:
+        raise ValueError(
+            f"base stream activity {base_stream.activity():.4f} below the "
+            f"requested maximum {max(activities):.4f}"
+        )
+    config = config or SNEConfig()
+    power = power or PowerModel()
+    dense = dense or DenseEngine()
+    dense_cost = dense.estimate([program], base_stream.n_steps)
+
+    points = []
+    for activity in sorted(activities):
+        stream = thin_to_activity(base_stream, activity, seed=seed)
+        _, stats = SNE(config).run_layer(program, stream)
+        points.append(
+            SweepPoint(
+                activity=stream.activity(),
+                n_events=len(stream),
+                cycles=stats.cycles,
+                sops=stats.sops,
+                time_s=stats.time_s(config),
+                sne_energy_uj=power.energy_uj(stats, config),
+                dense_energy_uj=dense_cost.energy_uj,
+            )
+        )
+    events = np.array([p.n_events for p in points], dtype=np.float64)
+    cycles = np.array([p.cycles for p in points], dtype=np.float64)
+    energy = np.array([p.sne_energy_uj for p in points], dtype=np.float64)
+    return ActivitySweep(
+        points=tuple(points),
+        cycles_fit=proportionality_fit(events, cycles),
+        energy_fit=proportionality_fit(events, energy),
+    )

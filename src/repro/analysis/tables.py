@@ -1,0 +1,95 @@
+"""Paper-style table and figure-series rendering.
+
+Every benchmark prints its result next to the paper's published number
+through these helpers, and EXPERIMENTS.md is generated from the same
+rows, so the recorded comparison can never drift from the measured one.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+__all__ = ["render_table", "ComparisonRow", "render_comparison", "to_csv"]
+
+
+def render_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Fixed-width text table (markdown-compatible pipes)."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    def line(cells):
+        out.write("| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |\n")
+    line(headers)
+    out.write("|" + "|".join("-" * (w + 2) for w in widths) + "|\n")
+    for row in str_rows:
+        line(row)
+    return out.getvalue()
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured data point."""
+
+    metric: str
+    paper: float | str | None
+    measured: float | str | None
+    unit: str = ""
+
+    @property
+    def relative_error(self) -> float | None:
+        """|measured - paper| / |paper| when both are numeric."""
+        if not isinstance(self.paper, (int, float)) or not isinstance(
+            self.measured, (int, float)
+        ):
+            return None
+        if self.paper == 0:
+            return None
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+
+def render_comparison(rows: list[ComparisonRow], title: str | None = None) -> str:
+    """Render paper-vs-measured rows with a relative-error column."""
+    table_rows = []
+    for row in rows:
+        err = row.relative_error
+        table_rows.append(
+            [
+                row.metric,
+                row.paper,
+                row.measured,
+                row.unit,
+                f"{err * 100:.1f}%" if err is not None else "-",
+            ]
+        )
+    return render_table(
+        ["metric", "paper", "measured", "unit", "rel. err"], table_rows, title=title
+    )
+
+
+def to_csv(headers: list[str], rows: list[list]) -> str:
+    """Comma-separated rendering of the same rows."""
+    lines = [",".join(headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        lines.append(",".join(_fmt(c) for c in row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,14 @@
+"""Baselines: the dense convolutional engine and the Table II platforms."""
+
+from .dense_engine import DenseEngine, DenseEngineConfig, DenseEstimate
+from .soa import TABLE2_LITERATURE, PlatformRecord, improvement_over, sne_record
+
+__all__ = [
+    "DenseEngine",
+    "DenseEngineConfig",
+    "DenseEstimate",
+    "TABLE2_LITERATURE",
+    "PlatformRecord",
+    "improvement_over",
+    "sne_record",
+]

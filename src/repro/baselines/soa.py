@@ -1,0 +1,125 @@
+"""State-of-the-art comparison records (paper Table II).
+
+Every row of Table II is reproduced as a :class:`PlatformRecord`; the
+SNE row is *computed* from our models rather than transcribed, so the
+bench that regenerates the table also validates the models.  Fields use
+``None`` where the paper prints a dash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.area import AreaModel
+from ..energy.efficiency import EfficiencyModel
+from ..energy.power import PowerModel
+from ..hw.config import PAPER_CONFIG, SNEConfig
+
+__all__ = ["PlatformRecord", "TABLE2_LITERATURE", "sne_record", "improvement_over"]
+
+
+@dataclass(frozen=True)
+class PlatformRecord:
+    """One platform row of Table II."""
+
+    name: str
+    technology_nm: int
+    implementation: str  # 'digital' or 'analog'
+    neuron_model: str | None
+    learning: str | None
+    network_type: str | None
+    n_neurons: int | None
+    neuron_area_um2: float | None
+    performance_gops: float | None
+    efficiency_tops_w: float | None
+    energy_per_sop_pj: float | None
+    freq_mhz: float | None  # None = asynchronous
+    power_mw: float | None
+    weight_bits: str | None
+    voltage: float | None
+
+
+#: Literature rows exactly as Table II prints them.
+TABLE2_LITERATURE: tuple[PlatformRecord, ...] = (
+    PlatformRecord(
+        name="Tianjic", technology_nm=28, implementation="digital",
+        neuron_model=None, learning=None, network_type="hybrid",
+        n_neurons=40000, neuron_area_um2=361.0, performance_gops=649.0,
+        efficiency_tops_w=1.28, energy_per_sop_pj=6.18, freq_mhz=300.0,
+        power_mw=950.0, weight_bits="8", voltage=0.9,
+    ),
+    PlatformRecord(
+        name="Dynapsel", technology_nm=28, implementation="analog",
+        neuron_model=None, learning="online STDP", network_type=None,
+        n_neurons=256, neuron_area_um2=150390.0, performance_gops=None,
+        efficiency_tops_w=None, energy_per_sop_pj=None, freq_mhz=None,
+        power_mw=None, weight_bits="4", voltage=1.0,
+    ),
+    PlatformRecord(
+        name="ODIN", technology_nm=28, implementation="digital",
+        neuron_model="bio-plausible", learning=None, network_type=None,
+        n_neurons=256, neuron_area_um2=335.9, performance_gops=0.038,
+        efficiency_tops_w=0.079, energy_per_sop_pj=12.7, freq_mhz=75.0,
+        power_mw=0.477, weight_bits=None, voltage=0.55,
+    ),
+    PlatformRecord(
+        name="TrueNorth", technology_nm=28, implementation="digital",
+        neuron_model="EXP LIF", learning="online", network_type="SNN",
+        n_neurons=1_000_000, neuron_area_um2=389.0, performance_gops=58.0,
+        efficiency_tops_w=0.046, energy_per_sop_pj=27.0, freq_mhz=None,
+        power_mw=65.0, weight_bits="1", voltage=0.75,
+    ),
+    PlatformRecord(
+        name="SPOON", technology_nm=28, implementation="digital",
+        neuron_model=None, learning="DRTP", network_type="conv SNN",
+        n_neurons=None, neuron_area_um2=None, performance_gops=None,
+        efficiency_tops_w=None, energy_per_sop_pj=6.8, freq_mhz=150.0,
+        power_mw=None, weight_bits="8", voltage=0.6,
+    ),
+    PlatformRecord(
+        name="Loihi", technology_nm=14, implementation="digital",
+        neuron_model="LIF+", learning="online STDP", network_type="SNN",
+        n_neurons=131072, neuron_area_um2=396.7, performance_gops=None,
+        efficiency_tops_w=None, energy_per_sop_pj=23.0, freq_mhz=None,
+        power_mw=None, weight_bits="1-64", voltage=None,
+    ),
+    PlatformRecord(
+        name="SpiNNaker 2", technology_nm=22, implementation="digital",
+        neuron_model="programmable", learning=None, network_type="DNN/SNN",
+        n_neurons=None, neuron_area_um2=None, performance_gops=None,
+        efficiency_tops_w=3.26, energy_per_sop_pj=1700.0, freq_mhz=200.0,
+        power_mw=None, weight_bits="var", voltage=0.5,
+    ),
+)
+
+
+def sne_record(config: SNEConfig | None = None) -> PlatformRecord:
+    """The SNE row of Table II, computed from our calibrated models."""
+    config = config or PAPER_CONFIG
+    area = AreaModel()
+    power = PowerModel(area=area)
+    eff = EfficiencyModel(power=power)
+    return PlatformRecord(
+        name="SNE (this work)",
+        technology_nm=22,
+        implementation="digital",
+        neuron_model="LIF",
+        learning="offline",
+        network_type="conv SNN",
+        n_neurons=config.total_neurons,
+        neuron_area_um2=round(area.neuron_area_um2(config), 1),
+        performance_gops=round(eff.performance_gsops(config), 1),
+        efficiency_tops_w=round(eff.efficiency_tsops_w(config), 2),
+        energy_per_sop_pj=round(eff.energy_per_sop_pj(config), 3),
+        freq_mhz=config.freq_hz / 1e6,
+        power_mw=round(power.fig5a_breakdown(config.n_slices).total_mw, 2),
+        weight_bits=str(config.weight_bits),
+        voltage=0.8,
+    )
+
+
+def improvement_over(ours: PlatformRecord, other: PlatformRecord) -> float:
+    """Energy-efficiency ratio (the paper's '3.55X over Tianjic')."""
+    if other.efficiency_tops_w is None or ours.efficiency_tops_w is None:
+        raise ValueError(f"no efficiency figure for {other.name} or {ours.name}")
+    return ours.efficiency_tops_w / other.efficiency_tops_w

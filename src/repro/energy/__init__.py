@@ -1,0 +1,39 @@
+"""Area, power and efficiency models calibrated on the paper's results.
+
+These models replace the Synopsys DC / PrimePower flow of §IV: the
+hardware simulator produces the activity counters (cycles, SOPs, gated
+cluster-cycles) and these models convert them to kGE, mW and pJ using
+the paper's published numbers as calibration anchors (DESIGN.md §4).
+"""
+
+from .technology import GF22FDX, TechnologyParams
+from .area import COMPONENTS, FIG4_ANCHORS, FIG4_SLICES, AreaModel
+from .power import (
+    FIG5A_TOTAL_MW,
+    FIG5B_PJ_PER_SOP,
+    PowerBreakdown,
+    PowerModel,
+)
+from .efficiency import (
+    DATASET_EVENT_ANCHORS,
+    DVS_GESTURE_ACTIVITY_RANGE,
+    EfficiencyModel,
+    InferenceEstimate,
+)
+
+__all__ = [
+    "GF22FDX",
+    "TechnologyParams",
+    "COMPONENTS",
+    "FIG4_ANCHORS",
+    "FIG4_SLICES",
+    "AreaModel",
+    "FIG5A_TOTAL_MW",
+    "FIG5B_PJ_PER_SOP",
+    "PowerBreakdown",
+    "PowerModel",
+    "DATASET_EVENT_ANCHORS",
+    "DVS_GESTURE_ACTIVITY_RANGE",
+    "EfficiencyModel",
+    "InferenceEstimate",
+]

@@ -1,0 +1,98 @@
+"""Area model reproducing Fig. 4 (kGE breakdown vs number of slices).
+
+The paper reports post-synthesis area per component for 1/2/4/8 slices.
+Those values are the calibration anchors; they are returned exactly for
+the synthesised configurations and linearly extrapolated (least-squares
+``a*n + b`` per component) for any other slice count — which is also the
+structural truth of the design: everything scales with the slice count
+except the two DMAs.
+
+Component naming follows the figure's legend: memory (the latch-based
+neuron state), clusters (the LIF datapaths), streamers (the DMAs,
+constant), interconnect (C-XBAR), registers (configuration and pipeline
+registers), control (sequencer/decoder), FIFOs, and filters (address
+filtering/shift logic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.config import SNEConfig
+from .technology import GF22FDX, TechnologyParams
+
+__all__ = ["AreaModel", "FIG4_ANCHORS", "FIG4_SLICES", "COMPONENTS"]
+
+FIG4_SLICES = (1, 2, 4, 8)
+
+#: Post-synthesis kGE per component, decoded from Fig. 4 of the paper.
+FIG4_ANCHORS: dict[str, tuple[float, float, float, float]] = {
+    "memory": (91.2, 182.4, 364.9, 729.8),
+    "clusters": (12.5, 24.9, 50.0, 99.9),
+    "streamers": (30.0, 30.0, 30.0, 30.0),
+    "interconnect": (0.8, 1.4, 2.8, 6.2),
+    "registers": (51.4, 88.5, 161.9, 306.2),
+    "control": (7.1, 13.4, 31.3, 65.0),
+    "fifos": (27.8, 56.3, 106.0, 212.3),
+    "filters": (28.9, 57.8, 115.6, 231.3),
+}
+
+COMPONENTS = tuple(FIG4_ANCHORS)
+
+
+class AreaModel:
+    """Per-component area in kGE as a function of the slice count."""
+
+    def __init__(self, tech: TechnologyParams | None = None) -> None:
+        self.tech = tech or GF22FDX
+        self._fits: dict[str, tuple[float, float]] = {}
+        n = np.asarray(FIG4_SLICES, dtype=np.float64)
+        design = np.stack([n, np.ones_like(n)], axis=1)
+        for component, values in FIG4_ANCHORS.items():
+            coeff, *_ = np.linalg.lstsq(design, np.asarray(values), rcond=None)
+            self._fits[component] = (float(coeff[0]), float(coeff[1]))
+
+    # -- queries ------------------------------------------------------------
+    def breakdown_kge(self, n_slices: int) -> dict[str, float]:
+        """Component -> kGE.  Anchor-exact at the synthesised configs."""
+        if n_slices < 1:
+            raise ValueError("n_slices must be positive")
+        if n_slices in FIG4_SLICES:
+            idx = FIG4_SLICES.index(n_slices)
+            return {c: FIG4_ANCHORS[c][idx] for c in COMPONENTS}
+        return {
+            c: max(0.0, a * n_slices + b) for c, (a, b) in self._fits.items()
+        }
+
+    def total_kge(self, n_slices: int) -> float:
+        return sum(self.breakdown_kge(n_slices).values())
+
+    def total_um2(self, n_slices: int) -> float:
+        return self.tech.kge_to_um2(self.total_kge(n_slices))
+
+    def total_mm2(self, n_slices: int) -> float:
+        return self.total_um2(n_slices) / 1e6
+
+    def normalized_breakdown(self, n_slices: int) -> dict[str, float]:
+        """Fractions of the total (the bar heights of Fig. 4)."""
+        breakdown = self.breakdown_kge(n_slices)
+        total = sum(breakdown.values())
+        return {c: v / total for c, v in breakdown.items()}
+
+    def neuron_area_um2(self, config: SNEConfig | None = None) -> float:
+        """Per-neuron silicon area: Table II's 19.9 µm².
+
+        The neuron-specific area is the state memory plus the cluster
+        datapaths; shared infrastructure (DMAs, crossbar, registers) is
+        excluded, matching how neuromorphic papers quote this figure.
+        """
+        config = config or SNEConfig()
+        breakdown = self.breakdown_kge(config.n_slices)
+        neuron_kge = breakdown["memory"] + breakdown["clusters"]
+        return self.tech.kge_to_um2(neuron_kge) / config.total_neurons
+
+    def dma_fraction(self, n_slices: int) -> float:
+        """Share of the fixed DMA cost: shrinks as slices grow (Fig. 4's
+        "fixed cost of the DMAs is progressively absorbed")."""
+        breakdown = self.breakdown_kge(n_slices)
+        return breakdown["streamers"] / sum(breakdown.values())

@@ -1,0 +1,117 @@
+"""Performance / energy-efficiency metrics: Fig. 5b, Table I, Table II.
+
+The paper's own arithmetic (which its published numbers obey exactly,
+see DESIGN.md §4):
+
+* performance = slices x 16 clusters x 1 SOP/cycle x f_clk;
+* energy/SOP = total power / performance (0.221 pJ at 8 slices);
+* inference time = events consumed x 48 cycles / f_clk — the
+  energy-to-information proportionality claim in one formula;
+* inference energy = total power x inference time;
+* inference rate = 1 / inference time.
+
+Per-dataset event-count anchors are back-derived from Table I's
+energy/rate intervals (e.g. DVS-Gesture best case: 80 µJ / 11.29 mW =
+7.1 ms = 59.2k events at 120 ns/event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.config import SNEConfig
+from .power import PowerModel
+from .technology import GF22FDX, TechnologyParams
+
+__all__ = [
+    "EfficiencyModel",
+    "InferenceEstimate",
+    "DATASET_EVENT_ANCHORS",
+    "DVS_GESTURE_ACTIVITY_RANGE",
+]
+
+#: (best-case, worst-case) events consumed per inference, back-derived
+#: from Table I at 120 ns/event and 11.29 mW.
+DATASET_EVENT_ANCHORS = {
+    "ibm_dvs_gesture": (59_167, 192_667),  # 7.1 ms .. 23.12 ms
+    "nmnist": (31_928, 104_822),  # 3.83 ms .. 12.58 ms
+}
+
+#: Network-average firing activity observed on DVS-Gesture (§IV-B).
+DVS_GESTURE_ACTIVITY_RANGE = (0.012, 0.049)
+
+
+@dataclass(frozen=True)
+class InferenceEstimate:
+    """Timing/energy of one inference at a given event count."""
+
+    n_events: int
+    time_s: float
+    energy_uj: float
+    rate_inf_s: float
+
+
+class EfficiencyModel:
+    """Performance and energy-per-operation as the paper computes them."""
+
+    def __init__(
+        self,
+        tech: TechnologyParams | None = None,
+        power: PowerModel | None = None,
+    ) -> None:
+        self.tech = tech or GF22FDX
+        self.power = power or PowerModel(self.tech)
+
+    # -- Fig. 5b ------------------------------------------------------------
+    def performance_gsops(self, config: SNEConfig) -> float:
+        return config.peak_sops_per_s / 1e9
+
+    def energy_per_sop_pj(self, config: SNEConfig, voltage: float | None = None) -> float:
+        """Total power over peak SOP rate; anchor-exact at 1/2/4/8 slices."""
+        if voltage is None:
+            total_mw = self.power.fig5a_breakdown(config.n_slices).total_mw
+        else:
+            total_mw = self.power.total_mw(config.n_slices, 1.0, voltage)
+        return total_mw * 1e-3 / config.peak_sops_per_s * 1e12
+
+    def efficiency_tsops_w(self, config: SNEConfig, voltage: float | None = None) -> float:
+        """TSOP/s/W = 1 / (pJ/SOP): 4.54 at 8 slices (Table II)."""
+        return 1.0 / self.energy_per_sop_pj(config, voltage)
+
+    # -- Table I / §IV-B text -------------------------------------------------
+    def inference(self, n_events: int, config: SNEConfig, voltage: float | None = None) -> InferenceEstimate:
+        """Timing/energy of consuming ``n_events`` input events."""
+        if n_events < 0:
+            raise ValueError("n_events must be non-negative")
+        time_s = n_events * config.cycles_per_event / config.freq_hz
+        power_mw = (
+            self.power.fig5a_breakdown(config.n_slices).total_mw
+            if voltage is None
+            else self.power.total_mw(config.n_slices, 1.0, voltage)
+        )
+        energy_uj = power_mw * 1e-3 * time_s * 1e6
+        rate = 1.0 / time_s if time_s > 0 else float("inf")
+        return InferenceEstimate(n_events, time_s, energy_uj, rate)
+
+    def dataset_range(
+        self, dataset: str, config: SNEConfig
+    ) -> tuple[InferenceEstimate, InferenceEstimate]:
+        """(best, worst) inference estimates for a Table I dataset."""
+        if dataset not in DATASET_EVENT_ANCHORS:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; known: {sorted(DATASET_EVENT_ANCHORS)}"
+            )
+        best_events, worst_events = DATASET_EVENT_ANCHORS[dataset]
+        return self.inference(best_events, config), self.inference(worst_events, config)
+
+    def events_from_activity(
+        self, activity: float, reference_activity: float, reference_events: int
+    ) -> int:
+        """Scale an event count linearly with network activity.
+
+        The paper's proportionality premise: half the activity means
+        half the events means half the time and energy.
+        """
+        if activity < 0 or reference_activity <= 0:
+            raise ValueError("activities must be positive")
+        return int(round(activity / reference_activity * reference_events))

@@ -1,0 +1,83 @@
+"""Event substrate: formats, streams, sensor simulation, datasets.
+
+This package implements everything the SNE accelerator consumes:
+the 32-bit event/weight word formats of paper Fig. 1 (:mod:`.event`,
+:mod:`.memory_format`), sparse event-stream containers with dense
+conversions (:mod:`.stream`), a DVS pixel simulator (:mod:`.dvs`),
+corruption models (:mod:`.noise`) and synthetic replacements for the
+NMNIST / IBM DVS-Gesture datasets (:mod:`.datasets`).
+"""
+
+from .event import DEFAULT_FORMAT, Event, EventFormat, EventOp
+from .stream import EventStream
+from .memory_format import (
+    WEIGHTS_PER_WORD,
+    decode_inference,
+    decode_updates,
+    encode_inference,
+    pack_weights,
+    unpack_weights,
+)
+from .dvs import DVSConfig, DVSSimulator, render_video
+from .noise import add_background_noise, add_hot_pixels, drop_events, thin_to_activity
+from .datasets import (
+    DIGIT_GLYPHS,
+    GESTURE_NAMES,
+    EventDataset,
+    EventSample,
+    SyntheticDVSGesture,
+    SyntheticNMNIST,
+)
+from .augment import (
+    mirror_horizontal,
+    polarity_flip,
+    random_crop_time,
+    spatial_jitter,
+    time_jitter,
+    time_reverse,
+)
+from .visualize import render_raster, render_timeline
+from .io import load_dataset, load_stream, save_dataset, save_stream
+from .frames import accumulate_frames, polarity_difference_frames, rebin_time
+
+__all__ = [
+    "DEFAULT_FORMAT",
+    "Event",
+    "EventFormat",
+    "EventOp",
+    "EventStream",
+    "WEIGHTS_PER_WORD",
+    "decode_inference",
+    "decode_updates",
+    "encode_inference",
+    "pack_weights",
+    "unpack_weights",
+    "DVSConfig",
+    "DVSSimulator",
+    "render_video",
+    "add_background_noise",
+    "add_hot_pixels",
+    "drop_events",
+    "thin_to_activity",
+    "DIGIT_GLYPHS",
+    "GESTURE_NAMES",
+    "EventDataset",
+    "EventSample",
+    "SyntheticDVSGesture",
+    "SyntheticNMNIST",
+    "mirror_horizontal",
+    "polarity_flip",
+    "random_crop_time",
+    "spatial_jitter",
+    "time_jitter",
+    "time_reverse",
+    "render_raster",
+    "render_timeline",
+    "load_dataset",
+    "load_stream",
+    "save_dataset",
+    "save_stream",
+    "accumulate_frames",
+    "polarity_difference_frames",
+    "rebin_time",
+]

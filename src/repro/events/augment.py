@@ -1,0 +1,114 @@
+"""Event-stream augmentation for training.
+
+Event-based training pipelines (SLAYER's included) augment recordings
+directly in the event domain.  These transforms operate on
+:class:`~repro.events.stream.EventStream` without densifying, preserve
+the unary raster property, and are deterministic given a seed — the
+properties the augmentation tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stream import EventStream
+
+__all__ = [
+    "spatial_jitter",
+    "time_jitter",
+    "polarity_flip",
+    "mirror_horizontal",
+    "time_reverse",
+    "random_crop_time",
+]
+
+
+def _rebuild(stream: EventStream, t, ch, x, y, shape=None) -> EventStream:
+    out = EventStream(t, ch, x, y, shape or stream.shape)
+    # Collapse collisions the transform may create (rasters are unary).
+    return out.merge(EventStream.empty(out.shape))
+
+
+def spatial_jitter(stream: EventStream, max_shift: int, seed: int = 0) -> EventStream:
+    """Shift the whole recording by a random (dy, dx); clipped at borders.
+
+    A global shift (not per-event) keeps spatial structure intact, which
+    is what makes it an augmentation rather than noise.
+    """
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+    if max_shift == 0 or not len(stream):
+        return stream
+    rng = np.random.default_rng(seed)
+    dy, dx = rng.integers(-max_shift, max_shift + 1, 2)
+    _, _, height, width = stream.shape
+    x = stream.x + dx
+    y = stream.y + dy
+    keep = (x >= 0) & (x < width) & (y >= 0) & (y < height)
+    return _rebuild(stream, stream.t[keep], stream.ch[keep], x[keep], y[keep])
+
+
+def time_jitter(stream: EventStream, max_jitter: int, seed: int = 0) -> EventStream:
+    """Move each event by an independent random timestep offset.
+
+    Models sensor timestamp noise; events pushed outside the envelope
+    are clamped to its edges (a real pipeline's binning does the same).
+    """
+    if max_jitter < 0:
+        raise ValueError("max_jitter must be non-negative")
+    if max_jitter == 0 or not len(stream):
+        return stream
+    rng = np.random.default_rng(seed)
+    t = stream.t + rng.integers(-max_jitter, max_jitter + 1, len(stream))
+    t = np.clip(t, 0, stream.n_steps - 1)
+    return _rebuild(stream, t, stream.ch, stream.x, stream.y)
+
+
+def polarity_flip(stream: EventStream, probability: float = 1.0, seed: int = 0) -> EventStream:
+    """Swap ON/OFF polarity (channels 0 and 1), per event with probability.
+
+    Only defined for two-channel polarity streams.
+    """
+    if stream.shape[1] != 2:
+        raise ValueError("polarity_flip requires a 2-channel stream")
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if not len(stream):
+        return stream
+    rng = np.random.default_rng(seed)
+    flip = rng.random(len(stream)) < probability
+    ch = np.where(flip, 1 - stream.ch, stream.ch)
+    return _rebuild(stream, stream.t, ch, stream.x, stream.y)
+
+
+def mirror_horizontal(stream: EventStream) -> EventStream:
+    """Mirror the recording left-right (x -> width-1-x)."""
+    width = stream.shape[3]
+    return _rebuild(stream, stream.t, stream.ch, width - 1 - stream.x, stream.y)
+
+
+def time_reverse(stream: EventStream) -> EventStream:
+    """Play the recording backwards (t -> T-1-t).
+
+    Turns a clockwise gesture into a counter-clockwise one — useful both
+    as augmentation and as a hard-negative generator for those classes.
+    """
+    return _rebuild(
+        stream, stream.n_steps - 1 - stream.t, stream.ch, stream.x, stream.y
+    )
+
+
+def random_crop_time(stream: EventStream, n_steps: int, seed: int = 0) -> EventStream:
+    """Take a random contiguous window of ``n_steps`` timesteps."""
+    if not 1 <= n_steps <= stream.n_steps:
+        raise ValueError(
+            f"crop length {n_steps} outside [1, {stream.n_steps}]"
+        )
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(0, stream.n_steps - n_steps + 1))
+    mask = (stream.t >= start) & (stream.t < start + n_steps)
+    shape = (n_steps, *stream.shape[1:])
+    return _rebuild(
+        stream, stream.t[mask] - start, stream.ch[mask], stream.x[mask],
+        stream.y[mask], shape=shape,
+    )

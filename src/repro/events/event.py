@@ -1,0 +1,227 @@
+"""Event and weight word formats (paper Fig. 1).
+
+SNE consumes *explicitly encoded* events instead of dense tensor tiles.
+Each event is a 32-bit word partitioned into the quadruple
+``(OPe, t, ch, x, y)``:
+
+* ``OPe`` — the event operation (:class:`EventOp`): ``RST_OP`` resets all
+  membrane potentials, ``UPDATE_OP`` accumulates a synaptic contribution
+  into every neuron whose receptive field contains the event, and
+  ``FIRE_OP`` lets every neuron above threshold emit an output event.
+* ``t`` — the timestep of the event.
+* ``ch`` — the input channel; it also selects one of the 256 resident
+  filter sets on the fly.
+* ``x, y`` — the spatial position of the event.
+
+The paper fixes the total width (32 bits) but not the per-field widths;
+:class:`EventFormat` makes the partition explicit and configurable (see
+DESIGN.md §5).  All packing helpers exist both as scalar functions and as
+vectorised numpy functions, because the DMA models move whole memory
+images at once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "EventOp",
+    "EventFormat",
+    "Event",
+    "DEFAULT_FORMAT",
+]
+
+
+class EventOp(enum.IntEnum):
+    """Event operation encoded in the control field of an event word."""
+
+    RST_OP = 0
+    UPDATE_OP = 1
+    FIRE_OP = 2
+
+    @classmethod
+    def is_valid(cls, value: int) -> bool:
+        """Return True when ``value`` encodes a defined operation."""
+        return value in (cls.RST_OP, cls.UPDATE_OP, cls.FIRE_OP)
+
+
+@dataclass(frozen=True)
+class EventFormat:
+    """Bit-level partition of the 32-bit SNE event word.
+
+    Field order (MSB to LSB): ``op | time | ch | x | y``.  The widths must
+    sum to exactly 32 bits.  The defaults cover 256 timesteps, 64 input
+    channels and a 256x256 spatial plane, which is sufficient for both
+    benchmark networks of the paper.
+    """
+
+    op_bits: int = 2
+    time_bits: int = 8
+    ch_bits: int = 6
+    x_bits: int = 8
+    y_bits: int = 8
+
+    def __post_init__(self) -> None:
+        total = self.op_bits + self.time_bits + self.ch_bits + self.x_bits + self.y_bits
+        if total != 32:
+            raise ValueError(f"event format must total 32 bits, got {total}")
+        for name in ("op_bits", "time_bits", "ch_bits", "x_bits", "y_bits"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1 bit")
+        if self.op_bits < 2:
+            raise ValueError("op field needs at least 2 bits for 3 operations")
+
+    # -- capacity -------------------------------------------------------
+    @property
+    def max_time(self) -> int:
+        """Largest representable timestep value."""
+        return (1 << self.time_bits) - 1
+
+    @property
+    def max_ch(self) -> int:
+        """Largest representable channel index."""
+        return (1 << self.ch_bits) - 1
+
+    @property
+    def max_x(self) -> int:
+        """Largest representable x coordinate."""
+        return (1 << self.x_bits) - 1
+
+    @property
+    def max_y(self) -> int:
+        """Largest representable y coordinate."""
+        return (1 << self.y_bits) - 1
+
+    # -- field offsets (LSB position of each field) ---------------------
+    @property
+    def _shifts(self) -> tuple[int, int, int, int, int]:
+        y_shift = 0
+        x_shift = self.y_bits
+        ch_shift = x_shift + self.x_bits
+        t_shift = ch_shift + self.ch_bits
+        op_shift = t_shift + self.time_bits
+        return op_shift, t_shift, ch_shift, x_shift, y_shift
+
+    # -- scalar pack/unpack ---------------------------------------------
+    def pack(self, op: int, t: int, ch: int, x: int, y: int) -> int:
+        """Pack one event quadruple into a 32-bit word.
+
+        Raises ``ValueError`` when any field overflows its width — silent
+        truncation would corrupt the spatial addressing downstream.
+        """
+        if not EventOp.is_valid(op):
+            raise ValueError(f"invalid event op {op}")
+        if not 0 <= t <= self.max_time:
+            raise ValueError(f"time {t} out of range [0, {self.max_time}]")
+        if not 0 <= ch <= self.max_ch:
+            raise ValueError(f"channel {ch} out of range [0, {self.max_ch}]")
+        if not 0 <= x <= self.max_x:
+            raise ValueError(f"x {x} out of range [0, {self.max_x}]")
+        if not 0 <= y <= self.max_y:
+            raise ValueError(f"y {y} out of range [0, {self.max_y}]")
+        op_s, t_s, ch_s, x_s, y_s = self._shifts
+        return (op << op_s) | (t << t_s) | (ch << ch_s) | (x << x_s) | (y << y_s)
+
+    def unpack(self, word: int) -> "Event":
+        """Unpack one 32-bit word into an :class:`Event`."""
+        if not 0 <= word < (1 << 32):
+            raise ValueError(f"word {word:#x} is not a 32-bit value")
+        op_s, t_s, ch_s, x_s, y_s = self._shifts
+        op = (word >> op_s) & ((1 << self.op_bits) - 1)
+        if not EventOp.is_valid(op):
+            raise ValueError(f"word {word:#x} encodes invalid op {op}")
+        return Event(
+            op=EventOp(op),
+            t=(word >> t_s) & ((1 << self.time_bits) - 1),
+            ch=(word >> ch_s) & ((1 << self.ch_bits) - 1),
+            x=(word >> x_s) & ((1 << self.x_bits) - 1),
+            y=(word >> y_s) & ((1 << self.y_bits) - 1),
+        )
+
+    # -- vectorised pack/unpack ------------------------------------------
+    def pack_array(
+        self,
+        op: np.ndarray,
+        t: np.ndarray,
+        ch: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> np.ndarray:
+        """Pack parallel field arrays into a ``uint32`` word array."""
+        op = np.asarray(op, dtype=np.int64)
+        t = np.asarray(t, dtype=np.int64)
+        ch = np.asarray(ch, dtype=np.int64)
+        x = np.asarray(x, dtype=np.int64)
+        y = np.asarray(y, dtype=np.int64)
+        for arr, hi, name in (
+            (op, (1 << self.op_bits) - 1, "op"),
+            (t, self.max_time, "time"),
+            (ch, self.max_ch, "ch"),
+            (x, self.max_x, "x"),
+            (y, self.max_y, "y"),
+        ):
+            if arr.size and (arr.min() < 0 or arr.max() > hi):
+                raise ValueError(f"{name} field out of range [0, {hi}]")
+        op_s, t_s, ch_s, x_s, y_s = self._shifts
+        words = (op << op_s) | (t << t_s) | (ch << ch_s) | (x << x_s) | (y << y_s)
+        return words.astype(np.uint32)
+
+    def unpack_array(
+        self, words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Unpack a ``uint32`` word array into ``(op, t, ch, x, y)`` arrays."""
+        words = np.asarray(words, dtype=np.int64)
+        op_s, t_s, ch_s, x_s, y_s = self._shifts
+        op = (words >> op_s) & ((1 << self.op_bits) - 1)
+        if op.size and not np.isin(op, (0, 1, 2)).all():
+            bad = int(op[~np.isin(op, (0, 1, 2))][0])
+            raise ValueError(f"memory image contains invalid op {bad}")
+        t = (words >> t_s) & ((1 << self.time_bits) - 1)
+        ch = (words >> ch_s) & ((1 << self.ch_bits) - 1)
+        x = (words >> x_s) & ((1 << self.x_bits) - 1)
+        y = (words >> y_s) & ((1 << self.y_bits) - 1)
+        return op, t, ch, x, y
+
+
+DEFAULT_FORMAT = EventFormat()
+
+
+@dataclass(frozen=True)
+class Event:
+    """One decoded SNE event.
+
+    ``UPDATE_OP`` events carry all four address/time fields.  ``RST_OP``
+    and ``FIRE_OP`` events only use the time field; their spatial fields
+    are zero by convention.
+    """
+
+    op: EventOp
+    t: int
+    ch: int = 0
+    x: int = 0
+    y: int = 0
+    fmt: EventFormat = field(default=DEFAULT_FORMAT, repr=False, compare=False)
+
+    def pack(self) -> int:
+        """Encode this event into its 32-bit memory word."""
+        return self.fmt.pack(int(self.op), self.t, self.ch, self.x, self.y)
+
+    @classmethod
+    def rst(cls, t: int = 0, fmt: EventFormat = DEFAULT_FORMAT) -> "Event":
+        """Build a reset event (state of every neuron cleared)."""
+        return cls(op=EventOp.RST_OP, t=t, fmt=fmt)
+
+    @classmethod
+    def fire(cls, t: int, fmt: EventFormat = DEFAULT_FORMAT) -> "Event":
+        """Build a fire event (threshold scan at the end of timestep ``t``)."""
+        return cls(op=EventOp.FIRE_OP, t=t, fmt=fmt)
+
+    @classmethod
+    def update(
+        cls, t: int, ch: int, x: int, y: int, fmt: EventFormat = DEFAULT_FORMAT
+    ) -> "Event":
+        """Build a membrane-update event at ``(t, ch, x, y)``."""
+        return cls(op=EventOp.UPDATE_OP, t=t, ch=ch, x=x, y=y, fmt=fmt)

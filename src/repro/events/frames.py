@@ -1,0 +1,66 @@
+"""Event-frame accumulation: binning event streams into frame tensors.
+
+Frame-based pipelines (the dense-engine baseline, visualisation, and
+conventional CNN comparisons) consume fixed-rate tensors.  These
+helpers bin an event stream into frames by accumulating counts over
+time windows — the standard "event frame" representation — and rebin
+recordings to a different timestep granularity, which is how raw
+microsecond DVS recordings become the T-step tensors the eCNNs train
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stream import EventStream
+
+__all__ = ["accumulate_frames", "rebin_time", "polarity_difference_frames"]
+
+
+def accumulate_frames(stream: EventStream, window: int) -> np.ndarray:
+    """Bin events into count frames ``[n_frames, C, H, W]`` (uint16).
+
+    ``window`` timesteps per frame; the last frame may cover fewer
+    source steps if the envelope does not divide evenly.  Counts (not
+    binary) are kept: a frame-based consumer sees event multiplicity
+    across the window.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n_steps, channels, height, width = stream.shape
+    n_frames = -(-n_steps // window)
+    frames = np.zeros((n_frames, channels, height, width), dtype=np.uint16)
+    if len(stream):
+        np.add.at(frames, (stream.t // window, stream.ch, stream.y, stream.x), 1)
+    return frames
+
+
+def rebin_time(stream: EventStream, n_steps: int) -> EventStream:
+    """Re-express a recording on a coarser/finer timestep grid.
+
+    Event times scale proportionally (``t' = floor(t * n' / n)``);
+    collisions collapse (rasters are unary).  This is the binning step
+    that turns long recordings into the fixed-T tensors of training.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    old_steps = stream.n_steps
+    t = (stream.t.astype(np.int64) * n_steps) // old_steps
+    out = EventStream(
+        t, stream.ch, stream.x, stream.y,
+        (n_steps, *stream.shape[1:]),
+    )
+    return out.merge(EventStream.empty(out.shape))
+
+
+def polarity_difference_frames(stream: EventStream, window: int) -> np.ndarray:
+    """Signed frames ``ON - OFF`` per window, ``[n_frames, H, W]`` (int32).
+
+    The classic DVS visualisation/feature: net brightness-change per
+    pixel per window.  Requires the 2-channel polarity convention.
+    """
+    if stream.shape[1] != 2:
+        raise ValueError("polarity difference requires a 2-channel stream")
+    frames = accumulate_frames(stream, window).astype(np.int32)
+    return frames[:, 1] - frames[:, 0]

@@ -1,0 +1,88 @@
+"""Persistence for event streams and datasets (.npz archives).
+
+Synthetic datasets are cheap to regenerate, but training sweeps and
+hardware regression fixtures want stable on-disk recordings.  Streams
+serialise to compressed npz with their envelope; datasets add labels
+and a manifest.  Loading validates shapes so a truncated or foreign
+archive fails loudly instead of producing an empty stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datasets import EventDataset, EventSample
+from .stream import EventStream
+
+__all__ = ["save_stream", "load_stream", "save_dataset", "load_dataset"]
+
+_STREAM_KEYS = ("t", "ch", "x", "y", "shape")
+
+
+def save_stream(path: str, stream: EventStream) -> None:
+    """Write one stream to a compressed npz archive."""
+    np.savez_compressed(
+        path,
+        t=stream.t, ch=stream.ch, x=stream.x, y=stream.y,
+        shape=np.array(stream.shape, dtype=np.int64),
+    )
+
+
+def load_stream(path: str) -> EventStream:
+    """Read a stream written by :func:`save_stream`."""
+    with np.load(path) as data:
+        missing = [k for k in _STREAM_KEYS if k not in data.files]
+        if missing:
+            raise ValueError(f"not an event-stream archive: missing {missing}")
+        shape = tuple(int(v) for v in data["shape"])
+        if len(shape) != 4:
+            raise ValueError(f"corrupt envelope {shape}")
+        return EventStream(data["t"], data["ch"], data["x"], data["y"], shape)
+
+
+def save_dataset(path: str, dataset: EventDataset) -> None:
+    """Write a labelled dataset to one npz archive.
+
+    Per-sample arrays are stored under indexed keys plus a manifest
+    (labels, class count, name) — one file, no directory layout.
+    """
+    payload: dict[str, np.ndarray] = {
+        "labels": dataset.labels(),
+        "n_classes": np.array(dataset.n_classes, dtype=np.int64),
+        "name": np.array(dataset.name),
+        "n_samples": np.array(len(dataset), dtype=np.int64),
+    }
+    for i, sample in enumerate(dataset.samples):
+        s = sample.stream
+        payload[f"s{i}_t"] = s.t
+        payload[f"s{i}_ch"] = s.ch
+        payload[f"s{i}_x"] = s.x
+        payload[f"s{i}_y"] = s.y
+        payload[f"s{i}_shape"] = np.array(s.shape, dtype=np.int64)
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset(path: str) -> EventDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(path) as data:
+        for key in ("labels", "n_classes", "n_samples"):
+            if key not in data.files:
+                raise ValueError(f"not a dataset archive: missing {key!r}")
+        n_samples = int(data["n_samples"])
+        labels = data["labels"]
+        if labels.shape != (n_samples,):
+            raise ValueError("label array does not match the sample count")
+        samples = []
+        for i in range(n_samples):
+            try:
+                shape = tuple(int(v) for v in data[f"s{i}_shape"])
+                stream = EventStream(
+                    data[f"s{i}_t"], data[f"s{i}_ch"],
+                    data[f"s{i}_x"], data[f"s{i}_y"], shape,
+                )
+            except KeyError as exc:
+                raise ValueError(f"archive truncated at sample {i}") from exc
+            samples.append(EventSample(stream, int(labels[i])))
+        return EventDataset(
+            samples, n_classes=int(data["n_classes"]), name=str(data["name"])
+        )

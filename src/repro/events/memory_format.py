@@ -1,0 +1,170 @@
+"""Lowering between software event streams and SNE memory images.
+
+The DMA streamers of SNE read a *linear* array of 32-bit words from main
+memory (paper §III-D.2).  An inference is encoded as:
+
+``RST_OP(t=0)`` · { UPDATE_OP events of step t }* · ``FIRE_OP(t)`` per step
+
+i.e. one reset bracket at the start, then for every timestep all of its
+update events followed by a fire marker that triggers the threshold scan.
+Empty timesteps still carry their FIRE marker so that the leak bookkeeping
+(time-of-last-update) observes monotonically increasing time; the TLU
+optimisation in the cluster model is what makes those markers cheap.
+
+Weights are streamed as packed words of eight 4-bit two's-complement
+values (Fig. 1, right).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .event import DEFAULT_FORMAT, EventFormat, EventOp
+from .stream import EventStream
+
+__all__ = [
+    "encode_inference",
+    "decode_inference",
+    "decode_updates",
+    "pack_weights",
+    "unpack_weights",
+    "WEIGHTS_PER_WORD",
+]
+
+WEIGHTS_PER_WORD = 8
+_WEIGHT_BITS = 4
+_WEIGHT_MIN = -(1 << (_WEIGHT_BITS - 1))
+_WEIGHT_MAX = (1 << (_WEIGHT_BITS - 1)) - 1
+
+
+def encode_inference(
+    stream: EventStream,
+    fmt: EventFormat = DEFAULT_FORMAT,
+    include_reset: bool = True,
+    fire_every_step: bool = True,
+) -> np.ndarray:
+    """Lower an event stream to the linear ``uint32`` memory image.
+
+    Parameters
+    ----------
+    stream:
+        The UPDATE events of one inference.
+    include_reset:
+        Prepend the ``RST_OP`` bracket (true for a standalone inference;
+        false when appending to a longer program).
+    fire_every_step:
+        Emit a ``FIRE_OP`` marker after every timestep of the envelope.
+        When false, a single trailing FIRE marker is produced, which is
+        how a *non-spiking* (accumulate-only) output layer is driven.
+    """
+    if stream.n_steps - 1 > fmt.max_time:
+        raise ValueError(
+            f"stream has {stream.n_steps} steps but format holds {fmt.max_time + 1}"
+        )
+    ops: list[np.ndarray] = []
+    ts: list[np.ndarray] = []
+    chs: list[np.ndarray] = []
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+
+    def _push(op: int, t: int, ch=0, x=0, y=0) -> None:
+        ops.append(np.array([op]))
+        ts.append(np.array([t]))
+        chs.append(np.array([ch]))
+        xs.append(np.array([x]))
+        ys.append(np.array([y]))
+
+    if include_reset:
+        _push(int(EventOp.RST_OP), 0)
+
+    counts = stream.counts_per_step()
+    start = 0
+    for step in range(stream.n_steps):
+        n = int(counts[step])
+        if n:
+            sl = slice(start, start + n)
+            ops.append(np.full(n, int(EventOp.UPDATE_OP)))
+            ts.append(stream.t[sl])
+            chs.append(stream.ch[sl])
+            xs.append(stream.x[sl])
+            ys.append(stream.y[sl])
+            start += n
+        if fire_every_step:
+            _push(int(EventOp.FIRE_OP), step)
+    if not fire_every_step:
+        _push(int(EventOp.FIRE_OP), stream.n_steps - 1)
+
+    return fmt.pack_array(
+        np.concatenate(ops),
+        np.concatenate(ts),
+        np.concatenate(chs),
+        np.concatenate(xs),
+        np.concatenate(ys),
+    )
+
+
+def decode_updates(
+    words: np.ndarray,
+    shape: tuple[int, int, int, int],
+    fmt: EventFormat = DEFAULT_FORMAT,
+) -> EventStream:
+    """Recover the UPDATE events of a memory image as an :class:`EventStream`."""
+    op, t, ch, x, y = fmt.unpack_array(np.asarray(words))
+    mask = op == int(EventOp.UPDATE_OP)
+    return EventStream(t[mask], ch[mask], x[mask], y[mask], shape)
+
+
+def decode_inference(
+    words: np.ndarray,
+    shape: tuple[int, int, int, int],
+    fmt: EventFormat = DEFAULT_FORMAT,
+) -> tuple[EventStream, dict[str, int]]:
+    """Decode a memory image; also return control-op counts for checking.
+
+    Returns the update stream and ``{"resets": n, "fires": n}``.
+    """
+    op, _, _, _, _ = fmt.unpack_array(np.asarray(words))
+    counts = {
+        "resets": int((op == int(EventOp.RST_OP)).sum()),
+        "fires": int((op == int(EventOp.FIRE_OP)).sum()),
+    }
+    return decode_updates(words, shape, fmt), counts
+
+
+# ---------------------------------------------------------------------------
+# Weight packing
+# ---------------------------------------------------------------------------
+
+def pack_weights(weights: np.ndarray) -> np.ndarray:
+    """Pack an integer weight array into 32-bit words of eight 4-bit nibbles.
+
+    The flattened weight order is preserved; the first weight lands in the
+    lowest nibble of the first word (little-nibble-endian), matching the
+    streamer model's unpack order.  Values must fit 4-bit two's complement
+    ([-8, 7]); out-of-range values raise rather than silently saturate —
+    saturation is the quantiser's job (:mod:`repro.snn.quantize`).
+    """
+    flat = np.asarray(weights).reshape(-1).astype(np.int64)
+    if flat.size and (flat.min() < _WEIGHT_MIN or flat.max() > _WEIGHT_MAX):
+        raise ValueError(
+            f"weights out of 4-bit range [{_WEIGHT_MIN}, {_WEIGHT_MAX}]; quantise first"
+        )
+    nibbles = (flat & 0xF).astype(np.uint64)
+    pad = (-flat.size) % WEIGHTS_PER_WORD
+    if pad:
+        nibbles = np.concatenate([nibbles, np.zeros(pad, dtype=np.uint64)])
+    nibbles = nibbles.reshape(-1, WEIGHTS_PER_WORD)
+    shifts = np.arange(WEIGHTS_PER_WORD, dtype=np.uint64) * _WEIGHT_BITS
+    return (nibbles << shifts).sum(axis=1, dtype=np.uint64).astype(np.uint32)
+
+
+def unpack_weights(words: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``count`` 4-bit weights from packed words, sign-extended."""
+    words = np.asarray(words, dtype=np.uint32)
+    if count < 0 or count > words.size * WEIGHTS_PER_WORD:
+        raise ValueError(f"cannot unpack {count} weights from {words.size} words")
+    shifts = np.arange(WEIGHTS_PER_WORD, dtype=np.uint32) * _WEIGHT_BITS
+    nibbles = (words[:, None] >> shifts) & 0xF
+    flat = nibbles.reshape(-1)[:count].astype(np.int64)
+    flat = np.where(flat >= 8, flat - 16, flat)
+    return flat

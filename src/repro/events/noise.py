@@ -1,0 +1,89 @@
+"""Event-stream corruption models for robustness experiments.
+
+These utilities inject the failure modes that real event pipelines see —
+uncorrelated background activity, stuck ("hot") pixels, and event drops
+on a saturated link — so that tests and ablations can check how the
+accelerator's energy and the classifier's accuracy degrade.  None of
+these appear in the paper's tables, but the power benchmark of §IV-A.2
+implicitly depends on the activity level, which these knobs control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stream import EventStream
+
+__all__ = ["add_background_noise", "add_hot_pixels", "drop_events", "thin_to_activity"]
+
+
+def add_background_noise(
+    stream: EventStream, rate: float, seed: int = 0
+) -> EventStream:
+    """Add uncorrelated noise events at ``rate`` (events per site).
+
+    ``rate`` is the probability that any (t, ch, x, y) site fires
+    spuriously; the result is merged with the original stream.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("rate must be in [0, 1)")
+    if rate == 0.0:
+        return stream
+    rng = np.random.default_rng(seed)
+    n_steps, channels, height, width = stream.shape
+    n_noise = rng.binomial(stream.n_sites, rate)
+    noise = EventStream(
+        rng.integers(0, n_steps, n_noise),
+        rng.integers(0, channels, n_noise),
+        rng.integers(0, width, n_noise),
+        rng.integers(0, height, n_noise),
+        stream.shape,
+    )
+    return stream.merge(noise)
+
+
+def add_hot_pixels(
+    stream: EventStream, n_pixels: int, fire_probability: float = 1.0, seed: int = 0
+) -> EventStream:
+    """Make ``n_pixels`` random pixels fire (on channel 0) almost every step."""
+    if n_pixels < 0:
+        raise ValueError("n_pixels must be non-negative")
+    if n_pixels == 0:
+        return stream
+    rng = np.random.default_rng(seed)
+    n_steps, _, height, width = stream.shape
+    px = rng.integers(0, width, n_pixels)
+    py = rng.integers(0, height, n_pixels)
+    mask = rng.random((n_steps, n_pixels)) < fire_probability
+    tt, pp = np.nonzero(mask)
+    hot = EventStream(
+        tt, np.zeros(tt.size, dtype=np.int32), px[pp], py[pp], stream.shape
+    )
+    return stream.merge(hot)
+
+
+def drop_events(stream: EventStream, drop_fraction: float, seed: int = 0) -> EventStream:
+    """Randomly discard a fraction of events (saturated-link model)."""
+    if not 0.0 <= drop_fraction <= 1.0:
+        raise ValueError("drop_fraction must be in [0, 1]")
+    if drop_fraction == 0.0 or not len(stream):
+        return stream
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(stream)) >= drop_fraction
+    return EventStream(
+        stream.t[keep], stream.ch[keep], stream.x[keep], stream.y[keep], stream.shape
+    )
+
+
+def thin_to_activity(stream: EventStream, target_activity: float, seed: int = 0) -> EventStream:
+    """Thin a stream to a target activity level (used by the power sweeps).
+
+    If the stream is already sparser than the target it is returned
+    unchanged — thinning cannot create events.
+    """
+    if target_activity < 0:
+        raise ValueError("target_activity must be non-negative")
+    current = stream.activity()
+    if current <= target_activity or current == 0.0:
+        return stream
+    return drop_events(stream, 1.0 - target_activity / current, seed=seed)

@@ -1,0 +1,54 @@
+"""ASCII visualisation of event streams (debugging aid).
+
+Renders a time-collapsed raster of an event recording in the terminal:
+ON-dominated pixels as ``+``, OFF-dominated as ``-``, mixed as ``#``.
+Useful for eyeballing synthetic dataset samples and layer outputs
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stream import EventStream
+
+__all__ = ["render_raster", "render_timeline"]
+
+
+def render_raster(stream: EventStream, max_width: int = 80) -> str:
+    """Time-collapsed spatial raster of a (1- or 2-channel) stream."""
+    n_steps, channels, height, width = stream.shape
+    if channels > 2:
+        raise ValueError("raster rendering supports at most 2 channels")
+    if width > max_width:
+        raise ValueError(f"plane width {width} exceeds max_width {max_width}")
+    dense = stream.to_dense().sum(axis=0)  # [C, H, W] counts
+    off = dense[0]
+    on = dense[1] if channels == 2 else np.zeros_like(off)
+    rows = []
+    for r in range(height):
+        row = []
+        for c in range(width):
+            if on[r, c] and off[r, c]:
+                row.append("#")
+            elif on[r, c]:
+                row.append("+")
+            elif off[r, c]:
+                row.append("-")
+            else:
+                row.append(".")
+        rows.append("".join(row))
+    return "\n".join(rows) + "\n"
+
+
+def render_timeline(stream: EventStream, width: int = 60) -> str:
+    """Event-count histogram over time as a one-line-per-bin bar chart."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    counts = stream.counts_per_step()
+    peak = int(counts.max()) if counts.size and counts.max() > 0 else 1
+    lines = []
+    for step, count in enumerate(counts):
+        bar = "#" * int(round(int(count) / peak * width))
+        lines.append(f"t={step:>3} |{bar:<{width}}| {int(count)}")
+    return "\n".join(lines) + "\n"

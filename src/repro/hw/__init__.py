@@ -1,0 +1,100 @@
+"""Cycle-level model of the SNE accelerator (paper §III).
+
+The hierarchy mirrors Fig. 2: :class:`~repro.hw.sne.SNE` instantiates
+slices (:mod:`.slice`) of 16 clusters (:mod:`.cluster`) behind a
+crossbar (:mod:`.xbar`), fed by DMA streamers (:mod:`.streamer`) from a
+latency-modelled memory (:mod:`.memory`), drained by a collector
+(:mod:`.collector`) and programmed through a register file
+(:mod:`.registers`).  :mod:`.mapper` compiles trained eCNN layers into
+the integer :class:`~repro.hw.mapper.LayerProgram` the hardware
+executes, and :mod:`.functional` provides the independent dense-path
+golden model the equivalence tests check against.
+"""
+
+from .config import PAPER_CONFIG, SNEConfig
+from .fifo import Fifo, FifoStats
+from .memory import MainMemory, MemoryStats
+from .lif_datapath import (
+    check_weight_range,
+    fire_mask,
+    leak_catchup,
+    sat_add,
+    state_bounds,
+)
+from .cluster import Cluster, ClusterStats
+from .mapper import (
+    LayerGeometry,
+    LayerKind,
+    LayerProgram,
+    compile_layer,
+    compile_network,
+)
+from .slice import Slice, SliceStats
+from .xbar import Crossbar, CrossbarStats
+from .streamer import DmaStreamer, StreamerStats
+from .collector import Collector, CollectorStats
+from .registers import RegisterFile, RegisterMap
+from .sne import SNE, SNEStats
+from .functional import (
+    check_no_intra_step_saturation,
+    layer_currents,
+    simulate_layer_dense,
+)
+from .trace import (
+    ActivityTrace,
+    StepTrace,
+    dump_trace_text,
+    power_waveform,
+    trace_energy_uj,
+)
+from .runner import EvaluationReport, HardwareEvaluator, SampleResult
+from .fuzz import FuzzCase, FuzzResult, fuzz, random_case, run_case
+
+__all__ = [
+    "PAPER_CONFIG",
+    "SNEConfig",
+    "Fifo",
+    "FifoStats",
+    "MainMemory",
+    "MemoryStats",
+    "check_weight_range",
+    "fire_mask",
+    "leak_catchup",
+    "sat_add",
+    "state_bounds",
+    "Cluster",
+    "ClusterStats",
+    "LayerGeometry",
+    "LayerKind",
+    "LayerProgram",
+    "compile_layer",
+    "compile_network",
+    "Slice",
+    "SliceStats",
+    "Crossbar",
+    "CrossbarStats",
+    "DmaStreamer",
+    "StreamerStats",
+    "Collector",
+    "CollectorStats",
+    "RegisterFile",
+    "RegisterMap",
+    "SNE",
+    "SNEStats",
+    "check_no_intra_step_saturation",
+    "layer_currents",
+    "simulate_layer_dense",
+    "ActivityTrace",
+    "StepTrace",
+    "dump_trace_text",
+    "power_waveform",
+    "trace_energy_uj",
+    "EvaluationReport",
+    "HardwareEvaluator",
+    "SampleResult",
+    "FuzzCase",
+    "FuzzResult",
+    "fuzz",
+    "random_case",
+    "run_case",
+]

@@ -1,0 +1,140 @@
+"""The SNE cluster: 64 time-multiplexed LIF neurons (paper §III-D.4).
+
+A cluster owns one combinational LIF datapath, two latch-based state
+memories in double-buffering (modelled as one vector — the buffering is
+a throughput device, not a semantic one), a time-of-last-update (TLU)
+register that lets the cluster skip leak bookkeeping across idle
+timesteps, and an output FIFO towards the collector.
+
+The model is bit-accurate: weights and membrane are integers, the
+accumulate saturates per event, and the leak catch-up telescopes exactly
+as ``dt`` repetitions of the per-step linear decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fifo import Fifo
+from .lif_datapath import fire_mask, leak_catchup, sat_add, state_bounds
+
+__all__ = ["Cluster", "ClusterStats"]
+
+
+@dataclass
+class ClusterStats:
+    """Per-cluster activity counters feeding the power model."""
+
+    updates: int = 0  # neuron state updates performed (= SOPs)
+    fires: int = 0  # output events emitted
+    events_seen: int = 0  # events for which the address filter matched
+    events_gated: int = 0  # events for which this cluster was clock-gated
+    tlu_skipped_steps: int = 0  # idle timesteps the TLU collapsed
+
+
+class Cluster:
+    """One cluster: TDM neuron states + TLU + output FIFO."""
+
+    def __init__(
+        self,
+        n_neurons: int = 64,
+        state_bits: int = 8,
+        fifo_depth: int = 8,
+        name: str = "cluster",
+    ) -> None:
+        if n_neurons < 1:
+            raise ValueError("n_neurons must be positive")
+        self.n_neurons = n_neurons
+        self.state_bits = state_bits
+        self.state = np.zeros(n_neurons, dtype=np.int64)
+        self.tlu = 0
+        self.out_fifo = Fifo(fifo_depth, name=f"{name}.out")
+        self.stats = ClusterStats()
+        self.name = name
+
+    # -- state bookkeeping -------------------------------------------------
+    def reset(self, t: int = 0) -> None:
+        """RST_OP: clear every membrane and realign the TLU."""
+        self.state[...] = 0
+        self.tlu = t
+
+    def catch_up(self, t: int, leak: int) -> None:
+        """Apply the leak for the timesteps elapsed since the last update.
+
+        The TLU register makes this a single arithmetic step no matter
+        how many idle timesteps passed — the accounting records how many
+        per-step walks a TLU-less design would have spent.
+        """
+        if t < self.tlu:
+            raise ValueError(
+                f"event time {t} precedes cluster TLU {self.tlu}; "
+                "streams must be time-sorted"
+            )
+        dt = t - self.tlu
+        if dt == 0:
+            return
+        if dt > 1:
+            self.stats.tlu_skipped_steps += dt - 1
+        self.state = leak_catchup(self.state, leak, dt)
+        self.tlu = t
+
+    # -- event operations ----------------------------------------------------
+    def apply_update(self, t: int, neuron_idx: np.ndarray, weights: np.ndarray, leak: int) -> int:
+        """UPDATE_OP: accumulate ``weights`` into the addressed TDM neurons.
+
+        Returns the number of state updates performed (SOPs).  Saturation
+        is per event, exactly like the serial hardware accumulate.
+        """
+        neuron_idx = np.asarray(neuron_idx, dtype=np.int64)
+        if neuron_idx.size == 0:
+            return 0
+        if neuron_idx.min() < 0 or neuron_idx.max() >= self.n_neurons:
+            raise ValueError("neuron index outside the cluster's TDM range")
+        if np.unique(neuron_idx).size != neuron_idx.size:
+            raise ValueError("one event cannot address a TDM neuron twice")
+        self.catch_up(t, leak)
+        self.state[neuron_idx] = sat_add(
+            self.state[neuron_idx], weights, self.state_bits
+        )
+        self.stats.updates += int(neuron_idx.size)
+        self.stats.events_seen += 1
+        return int(neuron_idx.size)
+
+    def fire(self, t: int, threshold: int, leak: int) -> np.ndarray:
+        """FIRE_OP: scan the TDM neurons; reset and report those above V_th.
+
+        The scan compares against the *effective* membrane — the stored
+        value decayed by the timesteps elapsed since the TLU — without
+        writing the decay back.  Materialising the leak lazily (only on
+        UPDATE events) is exactly the optimisation the per-cluster TLU
+        register enables; the linear decay telescopes, so the observable
+        behaviour is identical to a per-step walk (see the ABL1 bench).
+
+        Returns the local indices of the fired neurons.  The caller
+        (slice) translates them to absolute output coordinates through
+        the cluster base address and pushes them into the output FIFO.
+        """
+        if t < self.tlu:
+            raise ValueError(
+                f"fire time {t} precedes cluster TLU {self.tlu}; "
+                "streams must be time-sorted"
+            )
+        effective = leak_catchup(self.state, leak, t - self.tlu)
+        mask = fire_mask(effective, threshold)
+        fired = np.flatnonzero(mask)
+        self.state[fired] = 0
+        self.stats.fires += int(fired.size)
+        return fired
+
+    def note_gated(self) -> None:
+        """Record that an event bypassed this cluster (clock gating)."""
+        self.stats.events_gated += 1
+
+    # -- invariants -----------------------------------------------------------
+    def check_state_bounds(self) -> None:
+        """Assert the membrane register never escaped its bit-width."""
+        lo, hi = state_bounds(self.state_bits)
+        if self.state.min() < lo or self.state.max() > hi:
+            raise AssertionError(f"cluster {self.name} state out of bounds")

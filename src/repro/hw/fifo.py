@@ -1,0 +1,77 @@
+"""Ready/valid FIFO primitive used by the DMA, cluster and collector models.
+
+The RTL uses ready-valid handshakes everywhere (paper §III-D.1); in the
+cycle-level model a FIFO is a bounded deque with occupancy statistics.
+``push`` on a full FIFO returns ``False`` — the producer stalls, which is
+the event the back-pressure ablation counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Fifo", "FifoStats"]
+
+
+@dataclass
+class FifoStats:
+    """Lifetime statistics of one FIFO instance."""
+
+    pushes: int = 0
+    pops: int = 0
+    rejected_pushes: int = 0
+    max_occupancy: int = 0
+
+
+class Fifo:
+    """Bounded FIFO with stall accounting."""
+
+    def __init__(self, depth: int, name: str = "fifo") -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self.name = name
+        self._items: deque = deque()
+        self.stats = FifoStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item) -> bool:
+        """Enqueue; returns False (and counts a stall) when full."""
+        if self.full:
+            self.stats.rejected_pushes += 1
+            return False
+        self._items.append(item)
+        self.stats.pushes += 1
+        if len(self._items) > self.stats.max_occupancy:
+            self.stats.max_occupancy = len(self._items)
+        return True
+
+    def pop(self):
+        """Dequeue; raises on empty (callers must check ``empty``)."""
+        if not self._items:
+            raise IndexError(f"pop from empty FIFO {self.name!r}")
+        self.stats.pops += 1
+        return self._items.popleft()
+
+    def peek(self):
+        if not self._items:
+            raise IndexError(f"peek on empty FIFO {self.name!r}")
+        return self._items[0]
+
+    def drain(self) -> list:
+        """Pop everything (end-of-run flush)."""
+        out = []
+        while not self.empty:
+            out.append(self.pop())
+        return out

@@ -1,0 +1,103 @@
+"""Dense-path golden model for the cycle-level simulator.
+
+This module recomputes a :class:`~repro.hw.mapper.LayerProgram`'s output
+through a *completely different* code path than the event-driven
+hardware model: dense integer convolution (im2col) followed by the
+vectorised integer LIF of :func:`repro.snn.neurons.lif_forward_int`.
+The equivalence tests assert the two paths agree event-for-event.
+
+One semantic difference is inherent: the hardware saturates the 8-bit
+membrane after *every* event, the dense path after every *timestep*.
+The two coincide whenever no intra-step partial sum leaves the 8-bit
+range; :func:`check_no_intra_step_saturation` verifies that precondition
+so the equivalence tests cannot pass vacuously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..events.stream import EventStream
+from ..snn.layers import im2col
+from ..snn.neurons import lif_forward_int
+from .lif_datapath import state_bounds
+from .mapper import LayerKind, LayerProgram
+
+__all__ = ["layer_currents", "simulate_layer_dense", "check_no_intra_step_saturation"]
+
+
+def layer_currents(program: LayerProgram, stream: EventStream) -> np.ndarray:
+    """Integer synaptic currents ``[T, n_outputs]`` of one layer."""
+    g = program.geometry
+    if stream.shape != g.input_shape(stream.n_steps):
+        raise ValueError(
+            f"stream envelope {stream.shape} does not match layer input "
+            f"{g.input_shape(stream.n_steps)}"
+        )
+    dense = stream.to_dense().astype(np.int64)  # [T, C, H, W]
+    n_steps = dense.shape[0]
+    if g.kind == LayerKind.DENSE:
+        flat = dense.reshape(n_steps, -1)
+        return flat @ program.weights.T
+    if g.kind == LayerKind.CONV:
+        cols, (h_out, w_out) = im2col(
+            dense.astype(np.float64), g.kernel, g.stride, g.padding
+        )
+        w = program.weights.reshape(g.out_channels, -1).astype(np.float64)
+        currents = np.einsum("ok,nkl->nol", w, cols)
+        out = np.rint(currents).astype(np.int64)
+        return out.reshape(n_steps, -1)
+    # DEPTHWISE: one independent single-channel convolution per channel.
+    outputs = []
+    for c in range(g.in_channels):
+        cols, (h_out, w_out) = im2col(
+            dense[:, c : c + 1].astype(np.float64), g.kernel, g.stride, g.padding
+        )
+        w = program.weights[c].reshape(1, -1).astype(np.float64)
+        currents = np.einsum("ok,nkl->nol", w, cols)
+        outputs.append(np.rint(currents).astype(np.int64).reshape(n_steps, -1))
+    return np.concatenate(outputs, axis=1)
+
+
+def check_no_intra_step_saturation(
+    program: LayerProgram, stream: EventStream, state_bits: int = 8
+) -> bool:
+    """True when per-event and per-step saturation provably coincide.
+
+    Sufficient condition: for every (neuron, timestep), the running
+    partial sums of that step's contributions stay inside the register
+    range even on top of a register that starts anywhere the previous
+    step could have left it.  We use the cheap conservative bound
+    |previous state| + sum |w| < 2^(bits-1).
+    """
+    lo, hi = state_bounds(state_bits)
+    g = program.geometry
+    dense = stream.to_dense().astype(np.int64)
+    n_steps = dense.shape[0]
+    abs_program = LayerProgram(
+        geometry=g,
+        weights=np.abs(program.weights),
+        threshold=program.threshold,
+        leak=program.leak,
+        scale=program.scale,
+        name=program.name,
+        spiking=program.spiking,
+    )
+    abs_currents = layer_currents(abs_program, stream)
+    # The previous state is below threshold in magnitude (it fired and
+    # reset otherwise) or bounded by the register.
+    prev_bound = min(hi, program.threshold)
+    return bool((abs_currents + prev_bound <= hi).all())
+
+
+def simulate_layer_dense(program: LayerProgram, stream: EventStream) -> EventStream:
+    """Golden output events of one layer via the dense integer path."""
+    g = program.geometry
+    currents = layer_currents(program, stream)
+    spikes, _ = lif_forward_int(
+        currents, threshold=program.threshold, leak=program.leak
+    )
+    dense_out = spikes.reshape(
+        stream.n_steps, g.out_channels, g.out_height, g.out_width
+    )
+    return EventStream.from_dense(dense_out)

@@ -1,0 +1,148 @@
+"""Randomised co-simulation: the event-driven model vs the dense golden.
+
+A verification engineer would fuzz the RTL against a golden C model;
+this module is the Python analogue.  :func:`random_case` draws a random
+layer kind, geometry, LIF parameters and input stream (constrained to
+the saturation-free regime where the two paths are provably
+equivalent); :func:`run_case` executes both and diffs the outputs.
+Used by the property-based tests and runnable standalone::
+
+    python -m repro.hw.fuzz 200
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..events.stream import EventStream
+from .config import SNEConfig
+from .functional import check_no_intra_step_saturation, simulate_layer_dense
+from .mapper import LayerGeometry, LayerKind, LayerProgram
+from .sne import SNE
+
+__all__ = ["FuzzCase", "FuzzResult", "random_case", "run_case", "fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One randomly drawn co-simulation scenario."""
+
+    program: LayerProgram
+    stream: EventStream
+    n_slices: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class FuzzResult:
+    """Outcome of one scenario."""
+
+    case: FuzzCase
+    matched: bool
+    hw_events: int
+    golden_events: int
+    skipped_saturation: bool
+
+
+def random_case(seed: int, max_plane: int = 10) -> FuzzCase:
+    """Draw a random saturation-checkable layer + stream + slice count."""
+    rng = np.random.default_rng(seed)
+    kind = rng.choice([LayerKind.CONV, LayerKind.DEPTHWISE, LayerKind.DENSE])
+    c_in = int(rng.integers(1, 4))
+    n_steps = int(rng.integers(1, 10))
+
+    if kind == LayerKind.DENSE:
+        h = int(rng.integers(1, 5))
+        w = int(rng.integers(1, 5))
+        c_out = int(rng.integers(1, 16))
+        geometry = LayerGeometry(kind, c_in, h, w, c_out, 1, 1)
+        weights = rng.integers(-2, 3, (c_out, geometry.n_inputs))
+    else:
+        kernel = int(rng.integers(1, 4))
+        h = int(rng.integers(kernel, max_plane))
+        w = int(rng.integers(kernel, max_plane))
+        if kind == LayerKind.DEPTHWISE:
+            stride = kernel  # pooling-style
+            if h % stride or w % stride:
+                h -= h % stride
+                w -= w % stride
+                h = max(h, stride)
+                w = max(w, stride)
+            geometry = LayerGeometry(
+                kind, c_in, h, w, c_in, h // stride, w // stride, kernel, stride, 0
+            )
+            weights = rng.integers(1, 3, (c_in, kernel, kernel))
+        else:
+            padding = int(rng.integers(0, kernel))
+            stride = int(rng.integers(1, 3))
+            h_out = (h + 2 * padding - kernel) // stride + 1
+            w_out = (w + 2 * padding - kernel) // stride + 1
+            if h_out < 1 or w_out < 1:
+                stride, padding = 1, kernel // 2
+                h_out = h + 2 * padding - kernel + 1
+                w_out = w + 2 * padding - kernel + 1
+            c_out = int(rng.integers(1, 5))
+            geometry = LayerGeometry(
+                kind, c_in, h, w, c_out, h_out, w_out, kernel, stride, padding
+            )
+            weights = rng.integers(-2, 3, (c_out, c_in, kernel, kernel))
+
+    program = LayerProgram(
+        geometry,
+        weights,
+        threshold=int(rng.integers(1, 12)),
+        leak=int(rng.integers(0, 3)),
+    )
+    density = float(rng.uniform(0.0, 0.25))
+    dense = (rng.random((n_steps, c_in, h, w)) < density).astype(np.uint8)
+    return FuzzCase(
+        program=program,
+        stream=EventStream.from_dense(dense),
+        n_slices=int(rng.choice([1, 2, 4, 8])),
+        seed=seed,
+    )
+
+
+def run_case(case: FuzzCase) -> FuzzResult:
+    """Co-simulate one case; skips scenarios where paths may diverge."""
+    if not check_no_intra_step_saturation(case.program, case.stream):
+        return FuzzResult(case, matched=True, hw_events=0, golden_events=0,
+                          skipped_saturation=True)
+    out_hw, _ = SNE(SNEConfig(n_slices=case.n_slices)).run_layer(
+        case.program, case.stream
+    )
+    out_gold = simulate_layer_dense(case.program, case.stream)
+    return FuzzResult(
+        case,
+        matched=out_hw == out_gold,
+        hw_events=len(out_hw),
+        golden_events=len(out_gold),
+        skipped_saturation=False,
+    )
+
+
+def fuzz(n_cases: int, seed0: int = 0) -> list[FuzzResult]:
+    """Run ``n_cases`` scenarios; returns every result (failures included)."""
+    if n_cases < 1:
+        raise ValueError("n_cases must be positive")
+    return [run_case(random_case(seed0 + i)) for i in range(n_cases)]
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[0]) if argv else 100
+    results = fuzz(n)
+    failures = [r for r in results if not r.matched]
+    skipped = sum(r.skipped_saturation for r in results)
+    print(f"{len(results)} cases: {len(results) - len(failures)} matched, "
+          f"{len(failures)} mismatched, {skipped} skipped (saturation)")
+    for r in failures:
+        print(f"  MISMATCH seed={r.case.seed}: hw={r.hw_events} gold={r.golden_events}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,61 @@
+"""The cluster's combinational LIF datapath, bit-accurate (paper §III-D.4).
+
+One instance of this arithmetic serves 64 time-multiplexed neurons per
+cluster: saturating two's-complement accumulate of a 4-bit weight into
+the 8-bit membrane, linear leak catch-up scaled by the timestep distance
+(the time-of-last-update mechanism), and the threshold comparison.  All
+functions are vectorised so a cluster can apply one event's receptive
+field in a single call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["state_bounds", "sat_add", "leak_catchup", "fire_mask", "check_weight_range"]
+
+
+def state_bounds(state_bits: int) -> tuple[int, int]:
+    """(min, max) of the two's-complement membrane register."""
+    if state_bits < 2:
+        raise ValueError("state_bits must be >= 2")
+    return -(1 << (state_bits - 1)), (1 << (state_bits - 1)) - 1
+
+
+def check_weight_range(weights: np.ndarray, weight_bits: int) -> None:
+    """Reject weights that do not fit the configured width."""
+    lo, hi = -(1 << (weight_bits - 1)), (1 << (weight_bits - 1)) - 1
+    w = np.asarray(weights)
+    if w.size and (w.min() < lo or w.max() > hi):
+        raise ValueError(f"weights exceed {weight_bits}-bit range [{lo}, {hi}]")
+
+
+def sat_add(state: np.ndarray, weights: np.ndarray, state_bits: int) -> np.ndarray:
+    """Saturating accumulate: the UPDATE_OP arithmetic."""
+    lo, hi = state_bounds(state_bits)
+    return np.clip(
+        state.astype(np.int64) + np.asarray(weights, dtype=np.int64), lo, hi
+    )
+
+
+def leak_catchup(state: np.ndarray, leak: int, dt: np.ndarray | int) -> np.ndarray:
+    """Apply ``dt`` steps of linear decay toward zero in one shot.
+
+    Each elapsed timestep subtracts ``leak`` saturating at zero, so ``dt``
+    steps telescope into a single ``max(|v| - leak*dt, 0)`` — this is the
+    arithmetic the TLU register enables (paper §III-D.4.iii).
+    """
+    if leak < 0:
+        raise ValueError("leak must be non-negative")
+    state = np.asarray(state, dtype=np.int64)
+    dt = np.asarray(dt, dtype=np.int64)
+    if np.any(dt < 0):
+        raise ValueError("time must be monotonically non-decreasing")
+    return np.sign(state) * np.maximum(np.abs(state) - leak * dt, 0)
+
+
+def fire_mask(state: np.ndarray, threshold: int) -> np.ndarray:
+    """Threshold comparison of the FIRE_OP: ``Θ(V − V_th)``."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    return np.asarray(state) >= threshold

@@ -1,0 +1,82 @@
+"""Main-memory model behind the DMA streamers.
+
+SNE hangs off a SoC memory through two autonomous DMAs (paper §III-D.2).
+The model is a flat array of 32-bit words with a fixed access latency
+and single-port contention: one access per port per cycle, and a 16-word
+FIFO in the DMA absorbs the latency (which is why the streamer tests can
+show zero net slowdown at moderate latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MainMemory", "MemoryStats"]
+
+
+@dataclass
+class MemoryStats:
+    reads: int = 0
+    writes: int = 0
+    contention_stalls: int = 0
+
+
+class MainMemory:
+    """Word-addressed memory with latency and per-cycle port contention."""
+
+    def __init__(self, n_words: int, latency: int = 2) -> None:
+        if n_words < 1:
+            raise ValueError("n_words must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.words = np.zeros(n_words, dtype=np.uint32)
+        self.latency = latency
+        self.stats = MemoryStats()
+        self._busy_until = -1  # cycle index until which the port is taken
+
+    @property
+    def n_words(self) -> int:
+        return int(self.words.size)
+
+    def load_image(self, base: int, image: np.ndarray) -> None:
+        """Preload a word image (events or weights) before a run."""
+        image = np.asarray(image, dtype=np.uint32)
+        if base < 0 or base + image.size > self.n_words:
+            raise ValueError(
+                f"image [{base}, {base + image.size}) outside memory of {self.n_words} words"
+            )
+        self.words[base : base + image.size] = image
+
+    def read(self, addr: int, now: int) -> tuple[int, int]:
+        """Issue a read at cycle ``now``; returns ``(data, ready_cycle)``.
+
+        If the port is busy (another transaction still in flight) the
+        access queues behind it and the contention is counted.
+        """
+        if not 0 <= addr < self.n_words:
+            raise ValueError(f"read address {addr} out of range")
+        start = now
+        if self._busy_until >= now:
+            self.stats.contention_stalls += self._busy_until - now + 1
+            start = self._busy_until + 1
+        ready = start + self.latency
+        self._busy_until = start
+        self.stats.reads += 1
+        return int(self.words[addr]), ready
+
+    def write(self, addr: int, data: int, now: int) -> int:
+        """Issue a write at cycle ``now``; returns the completion cycle."""
+        if not 0 <= addr < self.n_words:
+            raise ValueError(f"write address {addr} out of range")
+        if not 0 <= data < (1 << 32):
+            raise ValueError("data must be a 32-bit value")
+        start = now
+        if self._busy_until >= now:
+            self.stats.contention_stalls += self._busy_until - now + 1
+            start = self._busy_until + 1
+        self._busy_until = start
+        self.stats.writes += 1
+        self.words[addr] = data
+        return start + self.latency

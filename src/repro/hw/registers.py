@@ -1,0 +1,114 @@
+"""Memory-mapped register interface (paper §III-D: "programmed through a
+register interface", APB port in Fig. 2).
+
+The register file exposes the per-slice LIF parameters, address
+filter/shift configuration and the filter-buffer write port.  The SNE
+top level programs layers through this interface exactly as a SoC
+driver would, so tests can exercise the same sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RegisterFile", "RegisterMap", "APB_WORD_BITS"]
+
+APB_WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class RegisterMap:
+    """Word offsets of the SNE register space (one block per slice)."""
+
+    CTRL: int = 0x00
+    STATUS: int = 0x01
+    THRESHOLD: int = 0x02
+    LEAK: int = 0x03
+    NEURON_LO: int = 0x04
+    NEURON_HI: int = 0x05
+    FILTER_SET: int = 0x06  # selects the filter set for WEIGHT_DATA writes
+    WEIGHT_ADDR: int = 0x07
+    WEIGHT_DATA: int = 0x08
+    SLICE_STRIDE: int = 0x10  # per-slice register block stride
+
+
+class RegisterFile:
+    """APB-like register file with per-slice blocks and a weight port."""
+
+    def __init__(self, n_slices: int, n_filter_sets: int = 256, weights_per_set: int = 64) -> None:
+        if n_slices < 1:
+            raise ValueError("n_slices must be positive")
+        self.n_slices = n_slices
+        self.map = RegisterMap()
+        self._regs = np.zeros((n_slices, self.map.SLICE_STRIDE), dtype=np.int64)
+        self._weights = np.zeros((n_slices, n_filter_sets, weights_per_set), dtype=np.int64)
+        self.writes = 0
+        self.reads = 0
+
+    def _split(self, addr: int) -> tuple[int, int]:
+        slice_idx, offset = divmod(addr, self.map.SLICE_STRIDE)
+        if not 0 <= slice_idx < self.n_slices:
+            raise ValueError(f"address {addr:#x} outside the register space")
+        return slice_idx, offset
+
+    def write(self, addr: int, value: int) -> None:
+        """APB write; weight-port writes stream into the filter buffer."""
+        if not -(1 << 31) <= value < (1 << 32):
+            raise ValueError("register value must fit 32 bits")
+        slice_idx, offset = self._split(addr)
+        self.writes += 1
+        if offset == self.map.WEIGHT_DATA:
+            fset = int(self._regs[slice_idx, self.map.FILTER_SET])
+            waddr = int(self._regs[slice_idx, self.map.WEIGHT_ADDR])
+            if not 0 <= fset < self._weights.shape[1]:
+                raise ValueError(f"filter set {fset} out of range")
+            if not 0 <= waddr < self._weights.shape[2]:
+                raise ValueError(f"weight address {waddr} out of range")
+            self._weights[slice_idx, fset, waddr] = value
+            # auto-increment, the usual streaming-port convention
+            self._regs[slice_idx, self.map.WEIGHT_ADDR] = waddr + 1
+            return
+        self._regs[slice_idx, offset] = value
+
+    def read(self, addr: int) -> int:
+        slice_idx, offset = self._split(addr)
+        self.reads += 1
+        return int(self._regs[slice_idx, offset])
+
+    # -- typed accessors used by the SNE top level ---------------------------
+    def slice_addr(self, slice_idx: int, offset: int) -> int:
+        if not 0 <= slice_idx < self.n_slices:
+            raise ValueError(f"slice {slice_idx} out of range")
+        return slice_idx * self.map.SLICE_STRIDE + offset
+
+    def program_lif(self, slice_idx: int, threshold: int, leak: int) -> None:
+        self.write(self.slice_addr(slice_idx, self.map.THRESHOLD), threshold)
+        self.write(self.slice_addr(slice_idx, self.map.LEAK), leak)
+
+    def program_interval(self, slice_idx: int, lo: int, hi: int) -> None:
+        self.write(self.slice_addr(slice_idx, self.map.NEURON_LO), lo)
+        self.write(self.slice_addr(slice_idx, self.map.NEURON_HI), hi)
+
+    def program_weights(self, slice_idx: int, fset: int, values: np.ndarray) -> None:
+        """Stream one filter set through the weight port."""
+        self.write(self.slice_addr(slice_idx, self.map.FILTER_SET), fset)
+        self.write(self.slice_addr(slice_idx, self.map.WEIGHT_ADDR), 0)
+        for v in np.asarray(values).reshape(-1):
+            self.write(self.slice_addr(slice_idx, self.map.WEIGHT_DATA), int(v))
+
+    def lif_params(self, slice_idx: int) -> tuple[int, int]:
+        return (
+            self.read(self.slice_addr(slice_idx, self.map.THRESHOLD)),
+            self.read(self.slice_addr(slice_idx, self.map.LEAK)),
+        )
+
+    def interval(self, slice_idx: int) -> tuple[int, int]:
+        return (
+            self.read(self.slice_addr(slice_idx, self.map.NEURON_LO)),
+            self.read(self.slice_addr(slice_idx, self.map.NEURON_HI)),
+        )
+
+    def weights(self, slice_idx: int, fset: int) -> np.ndarray:
+        return self._weights[slice_idx, fset].copy()

@@ -1,0 +1,122 @@
+"""Hardware-in-the-loop dataset evaluation.
+
+Runs a whole labelled event dataset through a compiled network on the
+cycle-level SNE model: per-sample prediction (most active output
+channel), cycles, time, energy — the numbers a deployment study needs.
+This closes the loop the paper opens: accuracy is measured *on the
+accelerator's arithmetic* (4-bit weights, 8-bit saturating state,
+per-event updates), not on the float training graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..energy.power import PowerModel
+from ..events.datasets import EventDataset
+from .config import SNEConfig
+from .mapper import LayerProgram
+from .sne import SNE
+
+__all__ = ["SampleResult", "EvaluationReport", "HardwareEvaluator"]
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """One inference on the hardware model."""
+
+    label: int
+    prediction: int
+    input_events: int
+    output_events: int
+    cycles: int
+    sops: int
+    time_s: float
+    energy_uj: float
+
+    @property
+    def correct(self) -> bool:
+        return self.label == self.prediction
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Aggregate of one dataset evaluation."""
+
+    results: tuple[SampleResult, ...]
+
+    @property
+    def accuracy(self) -> float:
+        if not self.results:
+            raise ValueError("report is empty")
+        return sum(r.correct for r in self.results) / len(self.results)
+
+    @property
+    def mean_energy_uj(self) -> float:
+        return float(np.mean([r.energy_uj for r in self.results]))
+
+    @property
+    def mean_time_s(self) -> float:
+        return float(np.mean([r.time_s for r in self.results]))
+
+    @property
+    def energy_range_uj(self) -> tuple[float, float]:
+        """(best, worst) per-inference energy — the Table I interval."""
+        energies = [r.energy_uj for r in self.results]
+        return (min(energies), max(energies))
+
+    def energy_follows_events(self) -> float:
+        """Correlation between input events and energy (proportionality)."""
+        if len(self.results) < 2:
+            raise ValueError("need at least two samples")
+        events = np.array([r.input_events for r in self.results], dtype=np.float64)
+        energy = np.array([r.energy_uj for r in self.results])
+        if events.std() == 0 or energy.std() == 0:
+            return 1.0
+        return float(np.corrcoef(events, energy)[0, 1])
+
+
+class HardwareEvaluator:
+    """Evaluate compiled networks on the SNE model, sample by sample."""
+
+    def __init__(
+        self,
+        programs: list[LayerProgram],
+        config: SNEConfig | None = None,
+        power: PowerModel | None = None,
+    ) -> None:
+        if not programs:
+            raise ValueError("need at least one layer program")
+        self.programs = list(programs)
+        self.config = config or SNEConfig()
+        self.power = power or PowerModel()
+        n_classes = self.programs[-1].geometry.out_channels
+        if self.programs[-1].geometry.out_height * self.programs[-1].geometry.out_width != 1:
+            raise ValueError("the final layer must be a classifier (1x1 plane)")
+        self.n_classes = n_classes
+
+    def run_sample(self, stream, label: int) -> SampleResult:
+        sne = SNE(self.config)
+        out_events, stats = sne.run_network(self.programs, stream)
+        counts = np.bincount(out_events.ch, minlength=self.n_classes)
+        return SampleResult(
+            label=label,
+            prediction=int(counts.argmax()),
+            input_events=len(stream),
+            output_events=len(out_events),
+            cycles=stats.cycles,
+            sops=stats.sops,
+            time_s=stats.time_s(self.config),
+            energy_uj=self.power.energy_uj(stats, self.config),
+        )
+
+    def evaluate(self, dataset: EventDataset, max_samples: int | None = None) -> EvaluationReport:
+        if not len(dataset):
+            raise ValueError("dataset is empty")
+        samples = dataset.samples[:max_samples] if max_samples else dataset.samples
+        results = tuple(
+            self.run_sample(sample.stream, sample.label) for sample in samples
+        )
+        return EvaluationReport(results=results)

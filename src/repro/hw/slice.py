@@ -1,0 +1,206 @@
+"""The SNE slice: sequencer, decoder, address filter and 16 clusters.
+
+A slice receives every event of the stream (broadcast on the C-XBAR) and
+dispatches it to the clusters whose neurons are sensitive to it; the
+others are clock-gated (paper §III-D.4).  The sequencer walks the TDM
+neurons inside a fixed 48-cycle window per UPDATE event; FIRE events
+scan all TDM neurons of every cluster and stream the spikes through the
+per-cluster output FIFOs toward the collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cluster import Cluster
+from .config import SNEConfig
+from .mapper import LayerProgram
+
+__all__ = ["Slice", "SliceStats"]
+
+
+@dataclass
+class SliceStats:
+    """Cycle/activity counters of one slice for one run."""
+
+    busy_cycles: int = 0
+    update_events: int = 0
+    fire_events: int = 0
+    reset_events: int = 0
+    sops: int = 0
+    active_cluster_cycles: int = 0
+    gated_cluster_cycles: int = 0
+    output_events: int = 0
+    fifo_stall_cycles: int = 0
+    sequencer_overrun_cycles: int = 0
+
+
+class Slice:
+    """One slice configured with (a pass of) a layer program."""
+
+    def __init__(self, config: SNEConfig, slice_idx: int = 0) -> None:
+        self.config = config
+        self.slice_idx = slice_idx
+        self.clusters = [
+            Cluster(
+                n_neurons=config.neurons_per_cluster,
+                state_bits=config.state_bits,
+                fifo_depth=config.cluster_fifo_depth,
+                name=f"slice{slice_idx}.cluster{i}",
+            )
+            for i in range(config.clusters_per_slice)
+        ]
+        self.program: LayerProgram | None = None
+        self._neuron_lo = 0
+        self._neuron_hi = 0
+        self.stats = SliceStats()
+
+    # -- configuration -----------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.config.neurons_per_slice
+
+    def configure(self, program: LayerProgram, neuron_lo: int, neuron_hi: int) -> None:
+        """Load a program and adopt the linear neuron interval [lo, hi).
+
+        The interval is what the address-shift registers implement in the
+        RTL: cluster ``c`` of this slice owns neurons
+        ``[lo + c*64, lo + (c+1)*64) ∩ [lo, hi)``.
+        """
+        if neuron_hi - neuron_lo > self.capacity:
+            raise ValueError(
+                f"slice holds {self.capacity} neurons, asked for "
+                f"{neuron_hi - neuron_lo}"
+            )
+        if neuron_lo < 0 or neuron_hi < neuron_lo:
+            raise ValueError("invalid neuron interval")
+        program.validate_for(self.config)
+        self.program = program
+        self._neuron_lo = neuron_lo
+        self._neuron_hi = neuron_hi
+        self.stats = SliceStats()
+        for cluster in self.clusters:
+            cluster.reset(0)
+            cluster.stats = type(cluster.stats)()
+
+    def _require_program(self) -> LayerProgram:
+        if self.program is None:
+            raise RuntimeError("slice is not configured with a layer program")
+        return self.program
+
+    # -- event operations ------------------------------------------------------
+    def process_reset(self, t: int = 0) -> int:
+        """RST_OP: zero every membrane; all clusters activate (§III-D.4)."""
+        self._require_program()
+        for cluster in self.clusters:
+            cluster.reset(t)
+        self.stats.reset_events += 1
+        self.stats.busy_cycles += self.config.cycles_per_reset
+        return self.config.cycles_per_reset
+
+    def process_update(self, t: int, ch: int, x: int, y: int) -> int:
+        """UPDATE_OP: route the event to the sensitive clusters.
+
+        Returns the cycles consumed.  The sequencer window is fixed at
+        ``cycles_per_event``; if the mapping forces one cluster to update
+        more neurons than the window holds, the extra cycles are counted
+        as sequencer overrun (the RTL would simply never be programmed
+        that way, but the model must not silently lose updates).
+        """
+        program = self._require_program()
+        cfg = self.config
+        idx, weights = program.geometry.affected_outputs(ch, x, y, program.weights)
+        in_range = (idx >= self._neuron_lo) & (idx < self._neuron_hi)
+        idx = idx[in_range] - self._neuron_lo
+        weights = weights[in_range]
+
+        per_cluster = cfg.neurons_per_cluster
+        cluster_ids = idx // per_cluster
+        max_updates = 0
+        touched: set[int] = set()
+        for c in np.unique(cluster_ids):
+            sel = cluster_ids == c
+            local = idx[sel] % per_cluster
+            n = self.clusters[int(c)].apply_update(t, local, weights[sel], program.leak)
+            max_updates = max(max_updates, n)
+            touched.add(int(c))
+        for c, cluster in enumerate(self.clusters):
+            if c not in touched:
+                cluster.note_gated()
+
+        cycles = cfg.cycles_per_event
+        if max_updates > cfg.cycles_per_event:
+            overrun = max_updates - cfg.cycles_per_event
+            self.stats.sequencer_overrun_cycles += overrun
+            cycles += overrun
+        self.stats.update_events += 1
+        self.stats.sops += int(in_range.sum())
+        self.stats.active_cluster_cycles += int(in_range.sum())
+        self.stats.gated_cluster_cycles += (
+            cfg.clusters_per_slice * cycles - int(in_range.sum())
+        )
+        self.stats.busy_cycles += cycles
+        return cycles
+
+    def process_fire(self, t: int) -> tuple[list[tuple[int, int, int, int]], int]:
+        """FIRE_OP: scan every TDM neuron; emit (t, ch, x, y) output events.
+
+        The collector drains one event per cycle while the 64-cycle TDM
+        scan runs; the per-cluster FIFOs absorb bursts beyond that.  A
+        fire burst larger than scan-drain plus total FIFO slack stalls
+        the scan one extra cycle per spilled event (the back-pressure
+        the ABL4 bench sweeps).  Returns ``(events, cycles)``.
+        """
+        program = self._require_program()
+        cfg = self.config
+        geometry = program.geometry
+        plane = geometry.out_height * geometry.out_width
+        events: list[tuple[int, int, int, int]] = []
+        total_fired = 0
+        for c, cluster in enumerate(self.clusters):
+            base = self._neuron_lo + c * cfg.neurons_per_cluster
+            fired_local = cluster.fire(t, program.threshold, program.leak)
+            for n in fired_local:
+                linear = base + int(n)
+                if linear >= self._neuron_hi:
+                    continue  # TDM slots beyond the mapped interval stay silent
+                out_ch, rem = divmod(linear, plane)
+                i, j = divmod(rem, geometry.out_width)
+                if cluster.out_fifo.full:
+                    events.append(cluster.out_fifo.pop())  # collector drains
+                cluster.out_fifo.push((t, out_ch, j, i))
+                total_fired += 1
+            events.extend(cluster.out_fifo.drain())
+        stall = self.stats_fifo_penalty(total_fired)
+        cycles = cfg.cycles_per_fire + stall
+        self.stats.fifo_stall_cycles += stall
+        self.stats.fire_events += 1
+        self.stats.output_events += total_fired
+        self.stats.busy_cycles += cycles
+        return events, cycles
+
+    def stats_fifo_penalty(self, total_fired: int) -> int:
+        """Extra cycles when one fire burst exceeds the drain bandwidth.
+
+        During the ``cycles_per_fire`` scan the collector accepts one
+        event per cycle; events beyond that and beyond the FIFO slack
+        lengthen the operation.
+        """
+        cfg = self.config
+        slack = cfg.cycles_per_fire + cfg.cluster_fifo_depth * cfg.clusters_per_slice
+        return max(0, total_fired - slack)
+
+    # -- inspection ----------------------------------------------------------
+    def membrane_snapshot(self) -> np.ndarray:
+        """Linear membrane vector of the mapped interval (tests/debug)."""
+        states = np.concatenate([c.state for c in self.clusters])
+        return states[: self._neuron_hi - self._neuron_lo]
+
+    def utilization(self) -> float:
+        """Fraction of cluster-cycles that performed a state update."""
+        total = self.stats.active_cluster_cycles + self.stats.gated_cluster_cycles
+        if total == 0:
+            return 0.0
+        return self.stats.active_cluster_cycles / total

@@ -1,0 +1,359 @@
+"""SNE top level: slices + C-XBAR + DMA streamers + collector (paper Fig. 2).
+
+Two operating modes (paper §III-D.5):
+
+* **time-multiplexed** (:meth:`SNE.run_layer` / :meth:`SNE.run_network`)
+  — the network is larger than the 8192 on-chip neurons; each layer runs
+  as one or more *passes*, each pass mapping a block of output neurons
+  onto the slices and replaying the input event stream, with
+  intermediate feature maps spilled through the DMAs.
+* **layer-parallel** (:meth:`SNE.run_network_pipelined`) — the whole
+  network fits; each layer occupies a group of slices and output events
+  flow to the next layer through the C-XBAR within the same timestep.
+
+All slices observe every event (broadcast) and their address filters
+decide participation, so a pass costs the same cycle count on every
+slice; the run's cycle count is the per-slice busy time times the number
+of passes, while SOPs and output events sum across slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from ..events.stream import EventStream
+from .collector import Collector
+from .config import SNEConfig
+from .mapper import LayerProgram
+from .registers import RegisterFile
+from .slice import Slice
+from .xbar import Crossbar
+
+__all__ = ["SNE", "SNEStats"]
+
+
+@dataclass
+class SNEStats:
+    """Aggregate counters of one SNE run (one layer or one network)."""
+
+    cycles: int = 0
+    sops: int = 0
+    update_events: int = 0
+    fire_events: int = 0
+    reset_events: int = 0
+    output_events: int = 0
+    active_cluster_cycles: int = 0
+    gated_cluster_cycles: int = 0
+    fifo_stall_cycles: int = 0
+    sequencer_overrun_cycles: int = 0
+    passes: int = 0
+    dma_words_in: int = 0
+    dma_words_out: int = 0
+    xbar_broadcasts: int = 0
+    tlu_skipped_steps: int = 0
+    per_layer: list = field(default_factory=list)
+
+    def merge(self, other: "SNEStats", parallel: bool = False) -> None:
+        """Accumulate another run's counters.
+
+        ``parallel=True`` models concurrent execution: cycles take the
+        max instead of the sum (layer-parallel mode), everything else
+        still adds.
+        """
+        for f in fields(self):
+            if f.name in ("cycles", "per_layer"):
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        if parallel:
+            self.cycles = max(self.cycles, other.cycles)
+        else:
+            self.cycles += other.cycles
+
+    # -- derived metrics ---------------------------------------------------
+    def time_s(self, config: SNEConfig) -> float:
+        return self.cycles / config.freq_hz
+
+    def sops_per_second(self, config: SNEConfig) -> float:
+        t = self.time_s(config)
+        return self.sops / t if t > 0 else 0.0
+
+    def utilization(self) -> float:
+        """Fraction of cluster-cycles spent on actual neuron updates."""
+        total = self.active_cluster_cycles + self.gated_cluster_cycles
+        return self.active_cluster_cycles / total if total else 0.0
+
+
+class SNE:
+    """One SNE instance: a configurable number of slices behind a C-XBAR."""
+
+    def __init__(self, config: SNEConfig | None = None) -> None:
+        self.config = config or SNEConfig()
+        self.slices = [Slice(self.config, i) for i in range(self.config.n_slices)]
+        # Masters: 2 DMAs + collector; slaves: the slices + output DMA port.
+        self.xbar = Crossbar(
+            n_masters=self.config.n_dmas + 1, n_slaves=self.config.n_slices + 1
+        )
+        self.registers = RegisterFile(
+            self.config.n_slices,
+            n_filter_sets=self.config.n_filter_sets,
+            weights_per_set=self.config.neurons_per_cluster,
+        )
+
+    # -- programming ---------------------------------------------------------
+    def _program_pass(
+        self, program: LayerProgram, pass_lo: int, pass_hi: int
+    ) -> list[tuple[Slice, int, int]]:
+        """Configure the slices for one pass; returns the active ones."""
+        cfg = self.config
+        active: list[tuple[Slice, int, int]] = []
+        for s, sl in enumerate(self.slices):
+            lo = pass_lo + s * cfg.neurons_per_slice
+            hi = min(lo + cfg.neurons_per_slice, pass_hi)
+            if lo >= hi:
+                break
+            sl.configure(program, lo, hi)
+            self.registers.program_lif(s, program.threshold, program.leak)
+            self.registers.program_interval(s, lo, hi)
+            active.append((sl, lo, hi))
+        return active
+
+    @staticmethod
+    def _activity_snapshot(active) -> tuple[int, int, int, int]:
+        """(sops, output_events, active_cc, gated_cc) summed over slices."""
+        sops = sum(sl.stats.sops for sl, _, _ in active)
+        outs = sum(sl.stats.output_events for sl, _, _ in active)
+        act = sum(sl.stats.active_cluster_cycles for sl, _, _ in active)
+        gated = sum(sl.stats.gated_cluster_cycles for sl, _, _ in active)
+        return sops, outs, act, gated
+
+    # -- single-layer execution ----------------------------------------------
+    def run_layer(
+        self,
+        program: LayerProgram,
+        stream: EventStream,
+        trace=None,
+    ) -> tuple[EventStream, SNEStats]:
+        """Execute one layer in time-multiplexed mode.
+
+        Replays the input stream once per pass (Listing 1's software
+        loop).  Returns the output event stream and the run statistics.
+        When an :class:`~repro.hw.trace.ActivityTrace` is passed, one
+        entry per timestep is recorded (multi-pass runs use the global
+        index ``pass * n_steps + step``).
+        """
+        cfg = self.config
+        program.validate_for(cfg)
+        g = program.geometry
+        if stream.shape != g.input_shape(stream.n_steps):
+            raise ValueError(
+                f"stream envelope {stream.shape} does not match layer input "
+                f"{g.input_shape(stream.n_steps)}"
+            )
+        stats = SNEStats()
+        out_t, out_ch, out_x, out_y = [], [], [], []
+        n_passes = program.n_passes(cfg)
+
+        for pass_idx in range(n_passes):
+            pass_lo, pass_hi = program.pass_neuron_range(cfg, pass_idx)
+            active = self._program_pass(program, pass_lo, pass_hi)
+            pass_cycles = 0
+
+            # RST bracket
+            for sl, _, _ in active:
+                sl.process_reset(0)
+            pass_cycles += cfg.cycles_per_reset
+
+            counts = stream.counts_per_step()
+            start = 0
+            for step in range(stream.n_steps):
+                step_cycles_before = pass_cycles
+                snapshot = self._activity_snapshot(active) if trace is not None else None
+                n = int(counts[step])
+                for k in range(start, start + n):
+                    t = int(stream.t[k])
+                    ch, x, y = int(stream.ch[k]), int(stream.x[k]), int(stream.y[k])
+                    event_cycles = cfg.cycles_per_event
+                    for sl, _, _ in active:
+                        event_cycles = max(event_cycles, sl.process_update(t, ch, x, y))
+                    pass_cycles += event_cycles
+                    stats.xbar_broadcasts += 1
+                start += n
+                fire_cycles = cfg.cycles_per_fire
+                for sl, _, _ in active:
+                    events, cyc = sl.process_fire(step)
+                    fire_cycles = max(fire_cycles, cyc)
+                    for (t, o, x, y) in events:
+                        out_t.append(t)
+                        out_ch.append(o)
+                        out_x.append(x)
+                        out_y.append(y)
+                pass_cycles += fire_cycles
+                if trace is not None:
+                    from .trace import StepTrace
+
+                    after = self._activity_snapshot(active)
+                    trace.record(
+                        StepTrace(
+                            step=pass_idx * stream.n_steps + step,
+                            input_events=n,
+                            cycles=pass_cycles - step_cycles_before,
+                            sops=after[0] - snapshot[0],
+                            output_events=after[1] - snapshot[1],
+                            active_cluster_cycles=after[2] - snapshot[2],
+                            gated_cluster_cycles=after[3] - snapshot[3],
+                        )
+                    )
+
+            # Collect per-slice counters of the pass.
+            for sl, _, _ in active:
+                s = sl.stats
+                stats.sops += s.sops
+                stats.output_events += s.output_events
+                stats.active_cluster_cycles += s.active_cluster_cycles
+                stats.gated_cluster_cycles += s.gated_cluster_cycles
+                stats.fifo_stall_cycles += s.fifo_stall_cycles
+                stats.sequencer_overrun_cycles += s.sequencer_overrun_cycles
+                for cluster in sl.clusters:
+                    stats.tlu_skipped_steps += cluster.stats.tlu_skipped_steps
+            stats.update_events += len(stream) * len(active)
+            stats.fire_events += stream.n_steps * len(active)
+            stats.reset_events += len(active)
+            stats.cycles += pass_cycles
+            # DMA traffic: the input image is re-read every pass; outputs
+            # are written once (they are produced across passes).
+            stats.dma_words_in += 1 + len(stream) + stream.n_steps
+
+        stats.passes = n_passes
+        stats.dma_words_out += len(out_t)
+        out_stream = EventStream(
+            np.array(out_t, dtype=np.int32),
+            np.array(out_ch, dtype=np.int32),
+            np.array(out_x, dtype=np.int32),
+            np.array(out_y, dtype=np.int32),
+            g.output_shape(stream.n_steps),
+        )
+        return out_stream, stats
+
+    # -- whole-network execution -----------------------------------------------
+    def run_network(
+        self, programs: list[LayerProgram], stream: EventStream
+    ) -> tuple[EventStream, SNEStats]:
+        """Run layers back-to-back in time-multiplexed mode.
+
+        Intermediate feature maps travel through external memory (the
+        DMA word counters accumulate accordingly).
+        """
+        if not programs:
+            raise ValueError("network must contain at least one program")
+        total = SNEStats()
+        current = stream
+        for program in programs:
+            current, layer_stats = self.run_layer(program, current)
+            total.merge(layer_stats)
+            total.per_layer.append((program.name, layer_stats))
+        return current, total
+
+    def run_network_pipelined(
+        self, programs: list[LayerProgram], stream: EventStream
+    ) -> tuple[EventStream, SNEStats]:
+        """Run the whole network in layer-parallel mode (§III-D.5).
+
+        Every layer must fit simultaneously; each gets a contiguous group
+        of slices and output events hop to the next layer through the
+        C-XBAR within the same timestep.  The run's cycle count is the
+        busiest slice group (they execute concurrently).
+        """
+        cfg = self.config
+        if not programs:
+            raise ValueError("network must contain at least one program")
+        # Allocate slice groups.
+        groups: list[list[tuple[Slice, int, int]]] = []
+        next_slice = 0
+        for program in programs:
+            program.validate_for(cfg)
+            n_outputs = program.geometry.n_outputs
+            needed = -(-n_outputs // cfg.neurons_per_slice)
+            if next_slice + needed > cfg.n_slices:
+                raise ValueError(
+                    f"network needs more than {cfg.n_slices} slices for "
+                    "layer-parallel mode; use run_network (time-multiplexed)"
+                )
+            group = []
+            for k in range(needed):
+                sl = self.slices[next_slice + k]
+                lo = k * cfg.neurons_per_slice
+                hi = min(lo + cfg.neurons_per_slice, n_outputs)
+                sl.configure(program, lo, hi)
+                self.registers.program_lif(next_slice + k, program.threshold, program.leak)
+                self.registers.program_interval(next_slice + k, lo, hi)
+                group.append((sl, lo, hi))
+            groups.append(group)
+            next_slice += needed
+
+        stats = SNEStats()
+        stats.passes = 1
+        n_steps = stream.n_steps
+        for group in groups:
+            for sl, _, _ in group:
+                sl.process_reset(0)
+
+        out_t, out_ch, out_x, out_y = [], [], [], []
+        counts = stream.counts_per_step()
+        start = 0
+        for step in range(n_steps):
+            n = int(counts[step])
+            layer_inputs = [
+                (int(stream.ch[k]), int(stream.x[k]), int(stream.y[k]))
+                for k in range(start, start + n)
+            ]
+            start += n
+            for li, (program, group) in enumerate(zip(programs, groups)):
+                for (ch, x, y) in layer_inputs:
+                    for sl, _, _ in group:
+                        sl.process_update(step, ch, x, y)
+                    stats.xbar_broadcasts += 1
+                next_inputs = []
+                for sl, _, _ in group:
+                    events, _ = sl.process_fire(step)
+                    for (t, o, x, y) in events:
+                        next_inputs.append((o, x, y))
+                layer_inputs = next_inputs
+            for (o, x, y) in layer_inputs:  # final layer's output
+                out_t.append(step)
+                out_ch.append(o)
+                out_x.append(x)
+                out_y.append(y)
+
+        # Concurrency: total time is the busiest group; SOPs etc. sum.
+        group_cycles = []
+        for group in groups:
+            cyc = max(sl.stats.busy_cycles for sl, _, _ in group)
+            group_cycles.append(cyc)
+            for sl, _, _ in group:
+                s = sl.stats
+                stats.sops += s.sops
+                stats.output_events += s.output_events
+                stats.active_cluster_cycles += s.active_cluster_cycles
+                stats.gated_cluster_cycles += s.gated_cluster_cycles
+                stats.fifo_stall_cycles += s.fifo_stall_cycles
+                stats.sequencer_overrun_cycles += s.sequencer_overrun_cycles
+                stats.update_events += s.update_events
+                stats.fire_events += s.fire_events
+                stats.reset_events += s.reset_events
+                for cluster in sl.clusters:
+                    stats.tlu_skipped_steps += cluster.stats.tlu_skipped_steps
+        stats.cycles = max(group_cycles)
+        stats.dma_words_in = 1 + len(stream) + n_steps
+        stats.dma_words_out = len(out_t)
+
+        g_last = programs[-1].geometry
+        out_stream = EventStream(
+            np.array(out_t, dtype=np.int32),
+            np.array(out_ch, dtype=np.int32),
+            np.array(out_x, dtype=np.int32),
+            np.array(out_y, dtype=np.int32),
+            g_last.output_shape(n_steps),
+        )
+        return out_stream, stats

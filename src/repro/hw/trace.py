@@ -1,0 +1,121 @@
+"""Per-timestep activity traces and power waveforms.
+
+The paper's power numbers come from value-change-dump (VCD) activity of
+the post-synthesis netlist fed to PrimePower.  The cycle-level analogue:
+record per-timestep counters during a run (events, cycles, SOPs, output
+events, utilisation) and convert them to a power-over-time waveform
+through the calibrated power model.  The trace can also be dumped in a
+VCD-inspired text format for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..energy.power import PowerModel
+from .config import SNEConfig
+
+__all__ = ["StepTrace", "ActivityTrace", "power_waveform", "dump_trace_text"]
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """Counters of one timestep of one run."""
+
+    step: int
+    input_events: int
+    cycles: int
+    sops: int
+    output_events: int
+    active_cluster_cycles: int
+    gated_cluster_cycles: int
+
+    @property
+    def utilization(self) -> float:
+        total = self.active_cluster_cycles + self.gated_cluster_cycles
+        return self.active_cluster_cycles / total if total else 0.0
+
+
+class ActivityTrace:
+    """Ordered per-timestep trace collected by ``SNE.run_layer``."""
+
+    def __init__(self) -> None:
+        self.steps: list[StepTrace] = []
+
+    def record(self, entry: StepTrace) -> None:
+        if self.steps and entry.step <= self.steps[-1].step:
+            raise ValueError("trace steps must be strictly increasing")
+        self.steps.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # -- aggregates --------------------------------------------------------
+    def totals(self) -> dict[str, int]:
+        return {
+            "input_events": sum(s.input_events for s in self.steps),
+            "cycles": sum(s.cycles for s in self.steps),
+            "sops": sum(s.sops for s in self.steps),
+            "output_events": sum(s.output_events for s in self.steps),
+        }
+
+    def utilization_series(self) -> np.ndarray:
+        return np.array([s.utilization for s in self.steps])
+
+    def busiest_step(self) -> StepTrace:
+        if not self.steps:
+            raise ValueError("trace is empty")
+        return max(self.steps, key=lambda s: s.sops)
+
+
+def power_waveform(
+    trace: ActivityTrace,
+    config: SNEConfig,
+    power: PowerModel | None = None,
+    voltage: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(time_s, power_mw) arrays, one point per timestep.
+
+    Each timestep draws the utilisation-scaled power for its share of
+    the run's wall-clock time — the same product the run-level
+    ``PowerModel.energy_uj`` integrates, so the waveform integral equals
+    the scalar energy (checked by the trace tests).
+    """
+    power = power or PowerModel()
+    times, watts = [], []
+    now = 0.0
+    for step in trace.steps:
+        duration = step.cycles / config.freq_hz
+        times.append(now)
+        watts.append(power.total_mw(config.n_slices, step.utilization, voltage))
+        now += duration
+    return np.array(times), np.array(watts)
+
+
+def trace_energy_uj(
+    trace: ActivityTrace,
+    config: SNEConfig,
+    power: PowerModel | None = None,
+    voltage: float | None = None,
+) -> float:
+    """Integral of the power waveform over the run."""
+    power = power or PowerModel()
+    energy_uj = 0.0
+    for step in trace.steps:
+        duration = step.cycles / config.freq_hz
+        mw = power.total_mw(config.n_slices, step.utilization, voltage)
+        energy_uj += mw * 1e-3 * duration * 1e6
+    return energy_uj
+
+
+def dump_trace_text(trace: ActivityTrace) -> str:
+    """Human-readable waveform dump (VCD-inspired, one line per step)."""
+    lines = ["#step  in_events  cycles  sops  out_events  utilization"]
+    for s in trace.steps:
+        lines.append(
+            f"{s.step:>5}  {s.input_events:>9}  {s.cycles:>6}  {s.sops:>4}  "
+            f"{s.output_events:>10}  {s.utilization:.4f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,94 @@
+"""The C-XBAR: synaptic crossbar routing events and weights (paper §III-D.1).
+
+Two modes exist in the RTL and are both modelled:
+
+* point-to-point — one master talks to one slave (event transfers,
+  configuration loads);
+* broadcast — one master fans an event out to several slaves, with the
+  flow control pausing the transaction until *all* slaves accepted it.
+
+The model routes Python objects and counts transactions and broadcast
+back-pressure; it is the glue that lets the layer-parallel mapping send
+a slice's output events straight into another slice's input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CrossbarStats", "Crossbar"]
+
+
+@dataclass
+class CrossbarStats:
+    point_to_point: int = 0
+    broadcasts: int = 0
+    broadcast_stall_cycles: int = 0
+
+
+class Crossbar:
+    """Master/slave port fabric with point-to-point and broadcast routing."""
+
+    def __init__(self, n_masters: int, n_slaves: int) -> None:
+        if n_masters < 1 or n_slaves < 1:
+            raise ValueError("crossbar needs at least one master and one slave")
+        self.n_masters = n_masters
+        self.n_slaves = n_slaves
+        self.stats = CrossbarStats()
+        self._sinks: dict[int, object] = {}
+
+    def attach(self, slave_idx: int, sink) -> None:
+        """Bind a slave port to a sink exposing ``accept(item) -> bool``."""
+        self._check_slave(slave_idx)
+        self._sinks[slave_idx] = sink
+
+    def _check_master(self, idx: int) -> None:
+        if not 0 <= idx < self.n_masters:
+            raise ValueError(f"master index {idx} out of range [0, {self.n_masters})")
+
+    def _check_slave(self, idx: int) -> None:
+        if not 0 <= idx < self.n_slaves:
+            raise ValueError(f"slave index {idx} out of range [0, {self.n_slaves})")
+
+    def route(self, master_idx: int, slave_idx: int, item) -> bool:
+        """Point-to-point transfer; returns the slave's accept status."""
+        self._check_master(master_idx)
+        self._check_slave(slave_idx)
+        self.stats.point_to_point += 1
+        sink = self._sinks.get(slave_idx)
+        if sink is None:
+            raise RuntimeError(f"slave port {slave_idx} has no sink attached")
+        return bool(sink.accept(item))
+
+    def broadcast(self, master_idx: int, slave_idxs: list[int], item) -> int:
+        """Fan ``item`` to several slaves; returns stall cycles incurred.
+
+        Ready/valid semantics: the transaction completes only when every
+        slave accepted; each retry round costs one stall cycle.  Sinks
+        that reject forever would deadlock the RTL too — the model raises
+        after an implausible number of rounds instead of hanging.
+        """
+        self._check_master(master_idx)
+        for idx in slave_idxs:
+            self._check_slave(idx)
+        if not slave_idxs:
+            raise ValueError("broadcast needs at least one slave")
+        self.stats.broadcasts += 1
+        pending = list(slave_idxs)
+        stalls = 0
+        for _round in range(1_000_000):
+            still = []
+            for idx in pending:
+                sink = self._sinks.get(idx)
+                if sink is None:
+                    raise RuntimeError(f"slave port {idx} has no sink attached")
+                if not sink.accept(item):
+                    still.append(idx)
+            if not still:
+                break
+            pending = still
+            stalls += 1
+        else:
+            raise RuntimeError("broadcast did not complete; sink never ready")
+        self.stats.broadcast_stall_cycles += stalls
+        return stalls

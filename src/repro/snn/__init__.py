@@ -1,0 +1,89 @@
+"""SNN algorithmic framework: neurons, layers, quantisation, training.
+
+Numpy reimplementation of the training flow the paper runs in SLAYER
+(§IV-B): event-CNN layers over a time axis, surrogate-gradient BPTT, the
+SNE linear-decay LIF neuron (float for training, bit-accurate integer
+for inference) and the SRM baseline neuron, plus the 4-bit weight
+quantisation used by the SNE-LIF-4b deployment configuration.
+"""
+
+from .surrogate import FastSigmoid, SlayerPdf, SurrogateGradient, Triangle
+from .neurons import (
+    LIFDynamics,
+    LIFParams,
+    ResetMode,
+    SRMDynamics,
+    SRMParams,
+    lif_forward_int,
+    linear_decay,
+)
+from .quantize import (
+    QuantSpec,
+    dequantize,
+    export_layer_quant,
+    fake_quantize,
+    quantize_int,
+    weight_scale,
+)
+from .layers import (
+    EConv2d,
+    EDense,
+    EFlatten,
+    ESumPool2d,
+    Layer,
+    Parameter,
+    col2im,
+    im2col,
+)
+from .network import Sequential
+from .training import Adam, TrainConfig, Trainer, evaluate, softmax_cross_entropy
+from .schedule import ConstantLR, CosineLR, EarlyStopping, LRSchedule, StepDecayLR
+from .topology import FIG6_PAPER, Fig6Spec, build_fig6_network, build_small_network
+from .slayer import SLAYER_SRM, SNE_LIF_4B, ModelConfig, build_pair
+
+__all__ = [
+    "FastSigmoid",
+    "SlayerPdf",
+    "SurrogateGradient",
+    "Triangle",
+    "LIFDynamics",
+    "LIFParams",
+    "ResetMode",
+    "SRMDynamics",
+    "SRMParams",
+    "lif_forward_int",
+    "linear_decay",
+    "QuantSpec",
+    "dequantize",
+    "export_layer_quant",
+    "fake_quantize",
+    "quantize_int",
+    "weight_scale",
+    "EConv2d",
+    "EDense",
+    "EFlatten",
+    "ESumPool2d",
+    "Layer",
+    "Parameter",
+    "col2im",
+    "im2col",
+    "Sequential",
+    "Adam",
+    "TrainConfig",
+    "Trainer",
+    "evaluate",
+    "softmax_cross_entropy",
+    "ConstantLR",
+    "CosineLR",
+    "EarlyStopping",
+    "LRSchedule",
+    "StepDecayLR",
+    "FIG6_PAPER",
+    "Fig6Spec",
+    "build_fig6_network",
+    "build_small_network",
+    "SLAYER_SRM",
+    "SNE_LIF_4B",
+    "ModelConfig",
+    "build_pair",
+]

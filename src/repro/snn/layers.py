@@ -1,0 +1,347 @@
+"""Event-based network layers with numpy BPTT.
+
+Layers consume binary spike tensors shaped ``[T, B, ...]`` (time first,
+then batch).  Synaptic currents are linear in the input spikes, so they
+are computed for all timesteps at once (time collapses into the batch
+axis); only the neuron recurrence iterates over time, inside the
+dynamics objects of :mod:`repro.snn.neurons`.
+
+The convolution is implemented with im2col/col2im on numpy views — this
+is the same arithmetic the SNE datapath performs event-by-event, which is
+what the hardware-equivalence tests in ``tests/test_hw_equivalence.py``
+rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .neurons import LIFDynamics, SRMDynamics
+from .quantize import QuantSpec, fake_quantize
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "EConv2d",
+    "ESumPool2d",
+    "EFlatten",
+    "EDense",
+    "im2col",
+    "col2im",
+]
+
+Dynamics = LIFDynamics | SRMDynamics
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Layer:
+    """Interface: stateless between calls except the forward cache."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    @property
+    def last_spikes(self) -> np.ndarray | None:
+        """Output spikes of the most recent forward (for activity analysis)."""
+        return getattr(self, "_last_spikes", None)
+
+
+# ---------------------------------------------------------------------------
+# Convolution plumbing
+# ---------------------------------------------------------------------------
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution; raises when it is not positive."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapses: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold ``x [N, C, H, W]`` into columns ``[N, C*k*k, Ho*Wo]``."""
+    n, c, h, w = x.shape
+    h_out = conv_output_size(h, kernel, stride, padding)
+    w_out = conv_output_size(w, kernel, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # [N, C, Ho, Wo, k, k]
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kernel * kernel, h_out * w_out)
+    return np.ascontiguousarray(cols), (h_out, w_out)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back onto the input plane (adjoint of :func:`im2col`)."""
+    n, c, h, w = x_shape
+    h_out = conv_output_size(h, kernel, stride, padding)
+    w_out = conv_output_size(w, kernel, stride, padding)
+    cols = cols.reshape(n, c, kernel, kernel, h_out, w_out)
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            x_pad[:, :, ki : ki + stride * h_out : stride, kj : kj + stride * w_out : stride] += cols[
+                :, :, ki, kj
+            ]
+    if padding:
+        return x_pad[:, :, padding:-padding, padding:-padding]
+    return x_pad
+
+
+# ---------------------------------------------------------------------------
+# Layers
+# ---------------------------------------------------------------------------
+
+class EConv2d(Layer):
+    """Event-based 2-D convolution followed by spiking dynamics.
+
+    There is no bias term — the SNE datapath has none; the programmable
+    leak plays that role.  ``quant`` enables 4-bit fake quantisation of
+    the weights (the SNE-LIF-4b configuration of Table I).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        dynamics: Dynamics | None = None,
+        quant: QuantSpec | None = None,
+        init_gain: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if in_channels < 1 or out_channels < 1 or kernel < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.dynamics = dynamics or LIFDynamics()
+        self.quant = quant
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel * kernel
+        # Spiking networks need a larger-than-He initial scale: inputs are
+        # sparse binary spikes, and a membrane that never approaches the
+        # threshold leaves the whole network silent (SLAYER scales its
+        # initial weights the same way).
+        init = rng.normal(0.0, init_gain * np.sqrt(2.0 / fan_in), (out_channels, fan_in))
+        self.weight = Parameter(init, name="conv_weight")
+        self._cache: dict = {}
+
+    def effective_weight(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Weight seen by the forward pass (fake-quantised when enabled)."""
+        if self.quant is None:
+            return self.weight.value, None
+        return fake_quantize(self.weight.value, self.quant)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5:
+            raise ValueError(f"EConv2d expects [T, B, C, H, W], got {x.shape}")
+        n_steps, batch = x.shape[:2]
+        if x.shape[2] != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {x.shape[2]}")
+        flat = x.reshape(n_steps * batch, *x.shape[2:])
+        cols, (h_out, w_out) = im2col(flat, self.kernel, self.stride, self.padding)
+        w_eff, ste_mask = self.effective_weight()
+        currents = np.einsum("ok,nkl->nol", w_eff, cols)
+        currents = currents.reshape(n_steps, batch, self.out_channels, h_out, w_out)
+        spikes, dyn_cache = self.dynamics.forward(currents)
+        self._cache = {
+            "cols": cols,
+            "x_shape": flat.shape,
+            "dyn": dyn_cache,
+            "ste_mask": ste_mask,
+            "w_eff": w_eff,
+        }
+        self._last_spikes = spikes
+        return spikes
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        grad_currents = self.dynamics.backward(grad_out, cache["dyn"])
+        n_steps, batch = grad_currents.shape[:2]
+        d_flat = grad_currents.reshape(n_steps * batch, self.out_channels, -1)
+        grad_w = np.einsum("nol,nkl->ok", d_flat, cache["cols"])
+        if cache["ste_mask"] is not None:
+            grad_w = grad_w * cache["ste_mask"]
+        self.weight.grad += grad_w
+        d_cols = np.einsum("ok,nol->nkl", cache["w_eff"], d_flat)
+        dx = col2im(d_cols, cache["x_shape"], self.kernel, self.stride, self.padding)
+        return dx.reshape(n_steps, batch, *cache["x_shape"][1:])
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight]
+
+    def output_shape(self, in_hw: tuple[int, int]) -> tuple[int, int, int]:
+        h = conv_output_size(in_hw[0], self.kernel, self.stride, self.padding)
+        w = conv_output_size(in_hw[1], self.kernel, self.stride, self.padding)
+        return self.out_channels, h, w
+
+
+class ESumPool2d(Layer):
+    """Spiking sum-pooling: window sum scaled by a fixed weight, then fire.
+
+    SLAYER and SNE both realise pooling as a convolution with a constant
+    kernel feeding an ordinary spiking neuron; the fixed ``pool_weight``
+    plays the role of that constant.  Stride equals the window, and input
+    planes must tile exactly (pad upstream otherwise) — silent fractional
+    pooling would desynchronise the hardware mapping.
+    """
+
+    def __init__(
+        self,
+        kernel: int,
+        pool_weight: float = 1.0,
+        dynamics: Dynamics | None = None,
+    ) -> None:
+        if kernel < 1:
+            raise ValueError("kernel must be >= 1")
+        self.kernel = kernel
+        self.pool_weight = pool_weight
+        self.dynamics = dynamics or LIFDynamics()
+        self._cache: dict = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5:
+            raise ValueError(f"ESumPool2d expects [T, B, C, H, W], got {x.shape}")
+        n_steps, batch, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ValueError(f"plane {h}x{w} does not tile by pool kernel {k}")
+        pooled = x.reshape(n_steps, batch, c, h // k, k, w // k, k).sum(axis=(4, 6))
+        currents = self.pool_weight * pooled
+        spikes, dyn_cache = self.dynamics.forward(currents)
+        self._cache = {"dyn": dyn_cache, "in_shape": x.shape}
+        self._last_spikes = spikes
+        return spikes
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_currents = self.dynamics.backward(grad_out, self._cache["dyn"])
+        n_steps, batch, c, h, w = self._cache["in_shape"]
+        k = self.kernel
+        grad_pool = self.pool_weight * grad_currents
+        dx = np.repeat(np.repeat(grad_pool, k, axis=3), k, axis=4)
+        return dx.reshape(n_steps, batch, c, h, w)
+
+    def output_shape(self, in_hw: tuple[int, int], channels: int) -> tuple[int, int, int]:
+        return channels, in_hw[0] // self.kernel, in_hw[1] // self.kernel
+
+
+class EFlatten(Layer):
+    """Reshape ``[T, B, C, H, W]`` to ``[T, B, C*H*W]`` (no dynamics)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5:
+            raise ValueError(f"EFlatten expects [T, B, C, H, W], got {x.shape}")
+        self._in_shape = x.shape
+        out = x.reshape(x.shape[0], x.shape[1], -1)
+        self._last_spikes = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._in_shape)
+
+
+class EDense(Layer):
+    """Fully-connected synapses followed by spiking dynamics.
+
+    With ``readout=True`` the layer skips the firing rule and returns the
+    raw synaptic currents — a non-spiking readout for losses that want
+    membrane-like quantities.  The paper's networks spike everywhere
+    (classification reads output spike counts), so the default spikes.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        dynamics: Dynamics | None = None,
+        quant: QuantSpec | None = None,
+        readout: bool = False,
+        init_gain: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.dynamics = dynamics or LIFDynamics()
+        self.quant = quant
+        self.readout = readout
+        rng = np.random.default_rng(seed)
+        # See EConv2d: spiking layers start from a larger scale so the
+        # membrane reaches the firing threshold on sparse binary inputs.
+        init = rng.normal(0.0, init_gain * np.sqrt(2.0 / in_features), (out_features, in_features))
+        self.weight = Parameter(init, name="dense_weight")
+        self._cache: dict = {}
+
+    def effective_weight(self) -> tuple[np.ndarray, np.ndarray | None]:
+        if self.quant is None:
+            return self.weight.value, None
+        return fake_quantize(self.weight.value, self.quant)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"EDense expects [T, B, F], got {x.shape}")
+        if x.shape[2] != self.in_features:
+            raise ValueError(f"expected {self.in_features} features, got {x.shape[2]}")
+        w_eff, ste_mask = self.effective_weight()
+        currents = x @ w_eff.T
+        if self.readout:
+            self._cache = {"x": x, "ste_mask": ste_mask, "w_eff": w_eff, "dyn": None}
+            self._last_spikes = None
+            return currents
+        spikes, dyn_cache = self.dynamics.forward(currents)
+        self._cache = {"x": x, "ste_mask": ste_mask, "w_eff": w_eff, "dyn": dyn_cache}
+        self._last_spikes = spikes
+        return spikes
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        if cache["dyn"] is None:
+            grad_currents = grad_out
+        else:
+            grad_currents = self.dynamics.backward(grad_out, cache["dyn"])
+        grad_w = np.einsum("tbo,tbf->of", grad_currents, cache["x"])
+        if cache["ste_mask"] is not None:
+            grad_w = grad_w * cache["ste_mask"]
+        self.weight.grad += grad_w
+        return grad_currents @ cache["w_eff"]
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight]

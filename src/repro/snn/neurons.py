@@ -1,0 +1,270 @@
+"""Neuron dynamics: the SNE linear-decay LIF and the SLAYER SRM baseline.
+
+The paper's neuron (§III-B) is a leaky integrate-and-fire unit whose
+exponential membrane decay is *linearly approximated* to simplify the
+hardware: a re-programmable leakage quantity ``L`` is subtracted at every
+timestep, and the firing rule is ``S[t] = Θ(V[t] − V_th)``.  The decay
+saturates at the resting potential (zero) — a linear subtraction that
+crossed zero would turn the leak into an oscillator (DESIGN.md §5).
+
+Two implementations coexist:
+
+* a float path with surrogate-gradient BPTT (training, :class:`LIFDynamics`);
+* an integer path bit-equivalent to the SNE cluster datapath (inference,
+  :func:`lif_forward_int`), used by the hardware-equivalence tests.
+
+:class:`SRMDynamics` implements the discrete SRM0 model (double-exponential
+synaptic/membrane kernels plus an exponential refractory kernel) that the
+paper trains with stock SLAYER as its accuracy baseline (Table I).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .surrogate import FastSigmoid, SurrogateGradient
+
+__all__ = [
+    "ResetMode",
+    "LIFParams",
+    "LIFDynamics",
+    "SRMParams",
+    "SRMDynamics",
+    "lif_forward_int",
+]
+
+
+class ResetMode(enum.Enum):
+    """What happens to the membrane after a spike."""
+
+    TO_ZERO = "to_zero"
+    SUBTRACT = "subtract"
+
+
+def linear_decay(v: np.ndarray, leak: float) -> np.ndarray:
+    """Move ``v`` toward zero by ``leak``, saturating at zero."""
+    return np.sign(v) * np.maximum(np.abs(v) - leak, 0.0)
+
+
+@dataclass(frozen=True)
+class LIFParams:
+    """Parameters of the SNE linear-decay LIF neuron.
+
+    ``threshold`` (V_th) and ``leak`` (L) live in the same units as the
+    synaptic currents.  ``v_clip`` bounds the membrane like the 8-bit
+    hardware state does (in scaled units); ``None`` disables clipping for
+    pure-float training.
+    """
+
+    threshold: float = 1.0
+    leak: float = 0.05
+    reset: ResetMode = ResetMode.TO_ZERO
+    v_clip: float | None = None
+    surrogate: SurrogateGradient = field(default_factory=FastSigmoid)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.leak < 0:
+            raise ValueError("leak must be non-negative")
+        if self.v_clip is not None and self.v_clip <= 0:
+            raise ValueError("v_clip must be positive when set")
+
+
+class LIFDynamics:
+    """Float linear-decay LIF with surrogate-gradient BPTT.
+
+    ``forward`` consumes synaptic currents ``I[t]`` shaped ``[T, ...]``
+    (any trailing shape: batch, channels, space) and returns binary
+    spikes of the same shape.  ``backward`` consumes the loss gradient
+    w.r.t. the output spikes and returns the gradient w.r.t. currents.
+    """
+
+    def __init__(self, params: LIFParams | None = None) -> None:
+        self.params = params or LIFParams()
+
+    def forward(self, currents: np.ndarray) -> tuple[np.ndarray, dict]:
+        p = self.params
+        currents = np.asarray(currents, dtype=np.float64)
+        n_steps = currents.shape[0]
+        v_post = np.zeros(currents.shape[1:], dtype=np.float64)
+        spikes = np.zeros_like(currents)
+        v_pre_trace = np.zeros_like(currents)
+        v_post_trace = np.zeros_like(currents)
+        for t in range(n_steps):
+            v_pre = linear_decay(v_post, p.leak) + currents[t]
+            if p.v_clip is not None:
+                v_pre = np.clip(v_pre, -p.v_clip, p.v_clip)
+            s = (v_pre >= p.threshold).astype(np.float64)
+            if p.reset == ResetMode.TO_ZERO:
+                v_post = v_pre * (1.0 - s)
+            else:
+                v_post = v_pre - p.threshold * s
+            spikes[t] = s
+            v_pre_trace[t] = v_pre
+            v_post_trace[t] = v_post
+        cache = {"v_pre": v_pre_trace, "v_post": v_post_trace, "spikes": spikes}
+        return spikes, cache
+
+    def backward(self, grad_spikes: np.ndarray, cache: dict) -> np.ndarray:
+        p = self.params
+        v_pre = cache["v_pre"]
+        v_post = cache["v_post"]
+        spikes = cache["spikes"]
+        n_steps = v_pre.shape[0]
+        grad_currents = np.zeros_like(v_pre)
+        d_v_post_next = np.zeros(v_pre.shape[1:], dtype=np.float64)
+        for t in range(n_steps - 1, -1, -1):
+            surr = p.surrogate.derivative(v_pre[t] - p.threshold)
+            d_v_pre = grad_spikes[t] * surr
+            # Reset path: treat the spike indicator as constant (detached),
+            # the standard practice that keeps BPTT first-order.
+            if p.reset == ResetMode.TO_ZERO:
+                d_v_pre = d_v_pre + d_v_post_next * (1.0 - spikes[t])
+            else:
+                d_v_pre = d_v_pre + d_v_post_next
+            grad_currents[t] = d_v_pre
+            if t > 0:
+                decay_grad = (np.abs(v_post[t - 1]) > p.leak).astype(np.float64)
+                d_v_post_next = d_v_pre * decay_grad
+        return grad_currents
+
+
+def lif_forward_int(
+    currents: np.ndarray,
+    threshold: int,
+    leak: int,
+    state_bits: int = 8,
+    reset: ResetMode = ResetMode.TO_ZERO,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bit-accurate integer LIF matching the SNE cluster datapath.
+
+    ``currents [T, ...]`` are integer synaptic sums per timestep (the sum
+    of the 4-bit weights delivered by UPDATE events); the membrane is a
+    saturating ``state_bits`` two's-complement register.  Returns
+    ``(spikes uint8, final membrane int)``.  This is the reference the
+    cycle-level hardware model is tested against.
+    """
+    if state_bits < 2:
+        raise ValueError("state_bits must be at least 2")
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if leak < 0:
+        raise ValueError("leak must be non-negative")
+    lo, hi = -(1 << (state_bits - 1)), (1 << (state_bits - 1)) - 1
+    currents = np.asarray(currents, dtype=np.int64)
+    n_steps = currents.shape[0]
+    v = np.zeros(currents.shape[1:], dtype=np.int64)
+    spikes = np.zeros(currents.shape, dtype=np.uint8)
+    for t in range(n_steps):
+        decayed = np.sign(v) * np.maximum(np.abs(v) - leak, 0)
+        v = np.clip(decayed + currents[t], lo, hi)
+        fired = v >= threshold
+        spikes[t] = fired
+        if reset == ResetMode.TO_ZERO:
+            v = np.where(fired, 0, v)
+        else:
+            v = np.where(fired, np.clip(v - threshold, lo, hi), v)
+    return spikes, v
+
+
+@dataclass(frozen=True)
+class SRMParams:
+    """Discrete SRM0 parameters (SLAYER's spike-response baseline).
+
+    ``tau_syn``/``tau_mem`` set the double-exponential epsilon kernel,
+    ``tau_ref`` the refractory kernel; all in timesteps.
+    """
+
+    threshold: float = 1.0
+    tau_syn: float = 2.0
+    tau_mem: float = 4.0
+    tau_ref: float = 2.0
+    refractory_scale: float = 1.0
+    surrogate: SurrogateGradient = field(default_factory=FastSigmoid)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        for name in ("tau_syn", "tau_mem", "tau_ref"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def alpha_syn(self) -> float:
+        return float(np.exp(-1.0 / self.tau_syn))
+
+    @property
+    def alpha_mem(self) -> float:
+        return float(np.exp(-1.0 / self.tau_mem))
+
+    @property
+    def alpha_ref(self) -> float:
+        return float(np.exp(-1.0 / self.tau_ref))
+
+
+class SRMDynamics:
+    """Discrete SRM0 neuron with surrogate-gradient BPTT.
+
+    Recurrences (per timestep)::
+
+        syn[t] = a_s * syn[t-1] + I[t]
+        ref[t] = a_r * ref[t-1] + S[t-1]
+        u[t]   = a_m * u[t-1] + (1 - a_m) * syn[t] - θ * ρ * ref[t]
+        S[t]   = Θ(u[t] - θ)
+
+    The refractory term implements the SRM's soft reset (SLAYER's ν
+    kernel); there is no hard reset.
+    """
+
+    def __init__(self, params: SRMParams | None = None) -> None:
+        self.params = params or SRMParams()
+
+    def forward(self, currents: np.ndarray) -> tuple[np.ndarray, dict]:
+        p = self.params
+        a_s, a_m, a_r = p.alpha_syn, p.alpha_mem, p.alpha_ref
+        currents = np.asarray(currents, dtype=np.float64)
+        n_steps = currents.shape[0]
+        inner = currents.shape[1:]
+        syn = np.zeros(inner)
+        u = np.zeros(inner)
+        ref = np.zeros(inner)
+        prev_s = np.zeros(inner)
+        spikes = np.zeros_like(currents)
+        u_trace = np.zeros_like(currents)
+        for t in range(n_steps):
+            syn = a_s * syn + currents[t]
+            ref = a_r * ref + prev_s
+            u = a_m * u + (1.0 - a_m) * syn - p.threshold * p.refractory_scale * ref
+            s = (u >= p.threshold).astype(np.float64)
+            spikes[t] = s
+            u_trace[t] = u
+            prev_s = s
+        return spikes, {"u": u_trace, "spikes": spikes}
+
+    def backward(self, grad_spikes: np.ndarray, cache: dict) -> np.ndarray:
+        p = self.params
+        a_s, a_m, a_r = p.alpha_syn, p.alpha_mem, p.alpha_ref
+        u_trace = cache["u"]
+        n_steps = u_trace.shape[0]
+        inner = u_trace.shape[1:]
+        grad_currents = np.zeros_like(u_trace)
+        d_u_next = np.zeros(inner)
+        d_syn_next = np.zeros(inner)
+        d_ref_next = np.zeros(inner)
+        for t in range(n_steps - 1, -1, -1):
+            surr = p.surrogate.derivative(u_trace[t] - p.threshold)
+            # The spike feeds the refractory state of step t+1 (detached
+            # second-order path kept, first-order like SLAYER).
+            d_s = grad_spikes[t] + d_ref_next if t < n_steps - 1 else grad_spikes[t]
+            d_u = d_s * surr + d_u_next * a_m
+            d_syn = d_u * (1.0 - a_m) + d_syn_next * a_s
+            d_ref = -d_u * p.threshold * p.refractory_scale + d_ref_next * a_r
+            grad_currents[t] = d_syn
+            d_u_next = d_u
+            d_syn_next = d_syn
+            d_ref_next = d_ref
+        return grad_currents

@@ -1,0 +1,119 @@
+"""Quantisation utilities for the 4-bit SNE deployment path.
+
+SNE stores synaptic weights as 4-bit two's-complement integers and the
+membrane as an 8-bit saturating register (paper §III-D.4).  Training uses
+*fake quantisation*: the forward pass sees the de-quantised 4-bit grid
+while the backward pass applies the straight-through estimator, so the
+float master weights keep receiving gradients.  Deployment converts the
+master weights to the integer grid plus per-layer scale, and rescales the
+threshold/leak into the same integer domain, which is exactly what the
+hardware accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantSpec",
+    "quantize_int",
+    "dequantize",
+    "fake_quantize",
+    "weight_scale",
+    "export_layer_quant",
+]
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """Symmetric uniform quantiser: ``bits`` two's-complement levels."""
+
+    bits: int = 4
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 16:
+            raise ValueError("bits must be in [2, 16]")
+
+    @property
+    def q_min(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def q_max(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+
+def weight_scale(weights: np.ndarray, spec: QuantSpec) -> float:
+    """Per-tensor max-abs calibration: scale so the largest weight uses q_max."""
+    max_abs = float(np.max(np.abs(weights))) if np.asarray(weights).size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    return max_abs / spec.q_max
+
+
+def quantize_int(weights: np.ndarray, scale: float, spec: QuantSpec) -> np.ndarray:
+    """Round to the integer grid and clip to the representable range."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    q = np.round(np.asarray(weights, dtype=np.float64) / scale)
+    return np.clip(q, spec.q_min, spec.q_max).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map integer grid values back to float."""
+    return np.asarray(q, dtype=np.float64) * scale
+
+
+def fake_quantize(
+    weights: np.ndarray, spec: QuantSpec, scale: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward fake-quantisation with the STE pass-through mask.
+
+    Returns ``(w_fq, ste_mask)``: ``w_fq`` is the de-quantised 4-bit view
+    of the weights; ``ste_mask`` is 1 where the weight was inside the
+    representable range (gradient passes) and 0 where it clipped
+    (gradient blocked, the clipped-STE variant).
+    """
+    scale = weight_scale(weights, spec) if scale is None else scale
+    q_unclipped = np.round(np.asarray(weights, dtype=np.float64) / scale)
+    mask = ((q_unclipped >= spec.q_min) & (q_unclipped <= spec.q_max)).astype(np.float64)
+    q = np.clip(q_unclipped, spec.q_min, spec.q_max)
+    return q * scale, mask
+
+
+def export_layer_quant(
+    weights: np.ndarray,
+    threshold: float,
+    leak: float,
+    spec: QuantSpec | None = None,
+    state_bits: int = 8,
+) -> dict:
+    """Convert one layer's float parameters to the hardware integer domain.
+
+    The hardware accumulates raw integer weights, so the float membrane
+    relates to the integer membrane by the weight scale: ``V_float =
+    scale * V_int``.  Threshold and leak are therefore divided by the
+    weight scale and rounded.  A threshold that lands above the 8-bit
+    state ceiling can never fire; that is a deployment error, not
+    something to silently clamp.
+    """
+    spec = spec or QuantSpec(bits=4)
+    scale = weight_scale(weights, spec)
+    w_int = quantize_int(weights, scale, spec)
+    th_int = max(1, int(round(threshold / scale)))
+    leak_int = int(round(leak / scale))
+    state_max = (1 << (state_bits - 1)) - 1
+    if th_int > state_max:
+        raise ValueError(
+            f"integer threshold {th_int} exceeds the {state_bits}-bit state "
+            f"ceiling {state_max}; retrain with a lower threshold or larger weights"
+        )
+    return {
+        "weights_int": w_int,
+        "scale": scale,
+        "threshold_int": th_int,
+        "leak_int": leak_int,
+        "state_bits": state_bits,
+    }

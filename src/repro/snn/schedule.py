@@ -1,0 +1,102 @@
+"""Learning-rate schedules and early stopping for the trainer.
+
+SLAYER's training runs are long (hundreds of epochs on the real
+datasets); schedules and patience-based stopping are part of making the
+accuracy protocol reproducible rather than luck-dependent.  These hooks
+plug into :class:`repro.snn.training.Trainer` via ``TrainConfig``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LRSchedule", "ConstantLR", "StepDecayLR", "CosineLR", "EarlyStopping"]
+
+
+class LRSchedule:
+    """Interface: ``lr_at(epoch)`` returns the learning rate to use."""
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLR(LRSchedule):
+    """The default: one learning rate throughout."""
+
+    lr: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+
+    def lr_at(self, epoch: int) -> float:
+        return self.lr
+
+
+@dataclass(frozen=True)
+class StepDecayLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_epochs`` epochs."""
+
+    lr: float = 1e-3
+    step_epochs: int = 10
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0 or not 0 < self.gamma <= 1 or self.step_epochs < 1:
+            raise ValueError("invalid step-decay parameters")
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.lr * self.gamma ** (epoch // self.step_epochs)
+
+
+@dataclass(frozen=True)
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``lr`` to ``lr_min`` over ``total_epochs``."""
+
+    lr: float = 1e-3
+    lr_min: float = 1e-5
+    total_epochs: int = 20
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0 or self.lr_min < 0 or self.lr_min > self.lr:
+            raise ValueError("need 0 <= lr_min <= lr")
+        if self.total_epochs < 1:
+            raise ValueError("total_epochs must be positive")
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        frac = min(epoch / max(self.total_epochs - 1, 1), 1.0)
+        return self.lr_min + 0.5 * (self.lr - self.lr_min) * (1 + math.cos(math.pi * frac))
+
+
+class EarlyStopping:
+    """Stop when validation accuracy has not improved for ``patience`` epochs.
+
+    ``update`` returns True when training should stop.  ``best`` holds
+    the best accuracy seen and ``best_epoch`` when it happened.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = -math.inf
+        self.best_epoch = -1
+        self._since_best = 0
+
+    def update(self, accuracy: float, epoch: int) -> bool:
+        if accuracy > self.best + self.min_delta:
+            self.best = accuracy
+            self.best_epoch = epoch
+            self._since_best = 0
+            return False
+        self._since_best += 1
+        return self._since_best >= self.patience

@@ -1,0 +1,67 @@
+"""Surrogate spike-derivative functions for BPTT training.
+
+The Heaviside firing rule ``S = Θ(V − V_th)`` has zero derivative almost
+everywhere, so gradient-based training replaces ``dS/dV`` with a smooth
+surrogate evaluated at the membrane's distance from threshold.  SLAYER
+[23] uses the probability-density interpretation (an exponential of the
+distance); the fast-sigmoid and triangle forms are the other two widely
+used choices and serve as ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SurrogateGradient", "FastSigmoid", "Triangle", "SlayerPdf"]
+
+
+class SurrogateGradient:
+    """Interface: ``derivative(v_minus_th)`` returns the surrogate dS/dV."""
+
+    def derivative(self, v_minus_th: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FastSigmoid(SurrogateGradient):
+    """``1 / (1 + α|v|)²`` — the SuperSpike surrogate."""
+
+    alpha: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def derivative(self, v_minus_th: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + self.alpha * np.abs(v_minus_th)) ** 2
+
+
+@dataclass(frozen=True)
+class Triangle(SurrogateGradient):
+    """``max(0, 1 − |v|/width)`` — piecewise-linear surrogate."""
+
+    width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+    def derivative(self, v_minus_th: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - np.abs(v_minus_th) / self.width)
+
+
+@dataclass(frozen=True)
+class SlayerPdf(SurrogateGradient):
+    """``α·exp(−β|v|)`` — SLAYER's spike escape-rate density."""
+
+    alpha: float = 1.0
+    beta: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("alpha and beta must be positive")
+
+    def derivative(self, v_minus_th: np.ndarray) -> np.ndarray:
+        return self.alpha * np.exp(-self.beta * np.abs(v_minus_th))

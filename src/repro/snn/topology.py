@@ -1,0 +1,149 @@
+"""Network topologies used by the paper's accuracy benchmark (Fig. 6).
+
+The paper evaluates one architecture on both datasets::
+
+    conv 2x32, 3x3 -> pool 2x2 -> conv 32x32, 3x3 -> pool 2x2
+    -> pool 4 -> fc 9*9*32 x 512 -> fc 512 x 11
+
+The fc stage fixes the pre-flatten plane at 9x9, which implies a
+144x144 input (144 -> 72 -> 36 -> 9 through the three pools with
+same-padding convolutions); DVS-Gesture's 128x128 recordings are
+zero-padded up to it (DESIGN.md §5).  :func:`build_fig6_network`
+produces that exact stack, parameterised so the scaled-down variants
+used for training speed keep the same shape ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .layers import EConv2d, EDense, EFlatten, ESumPool2d, Layer
+from .neurons import LIFDynamics, LIFParams, SRMDynamics, SRMParams
+from .network import Sequential
+from .quantize import QuantSpec
+
+__all__ = ["Fig6Spec", "build_fig6_network", "build_small_network", "FIG6_PAPER"]
+
+
+@dataclass(frozen=True)
+class Fig6Spec:
+    """Geometry of the Fig. 6 stack.
+
+    ``input_size`` must be divisible by ``pool1 * pool2 * pool3`` so the
+    pooling chain tiles exactly; the resulting plane feeds the first
+    fully-connected layer.
+    """
+
+    input_size: int = 144
+    in_channels: int = 2
+    conv_channels: int = 32
+    kernel: int = 3
+    pool1: int = 2
+    pool2: int = 2
+    pool3: int = 4
+    hidden: int = 512
+    n_classes: int = 11
+
+    def __post_init__(self) -> None:
+        total_pool = self.pool1 * self.pool2 * self.pool3
+        if self.input_size % total_pool:
+            raise ValueError(
+                f"input size {self.input_size} must tile by the pooling chain {total_pool}"
+            )
+
+    @property
+    def fc_plane(self) -> int:
+        """Side of the square plane entering the first fc layer (paper: 9)."""
+        return self.input_size // (self.pool1 * self.pool2 * self.pool3)
+
+    @property
+    def fc_inputs(self) -> int:
+        """Flattened feature count entering fc1 (paper: 9*9*32 = 2592)."""
+        return self.fc_plane * self.fc_plane * self.conv_channels
+
+    def scaled(self, factor: int) -> "Fig6Spec":
+        """A smaller, shape-compatible variant (factor divides input_size)."""
+        if self.input_size % factor:
+            raise ValueError("factor must divide input_size")
+        return replace(self, input_size=self.input_size // factor)
+
+
+FIG6_PAPER = Fig6Spec()
+
+
+def _dynamics(neuron_model: str, lif: LIFParams | None, srm: SRMParams | None):
+    if neuron_model == "lif":
+        return lambda: LIFDynamics(lif or LIFParams())
+    if neuron_model == "srm":
+        return lambda: SRMDynamics(srm or SRMParams())
+    raise ValueError(f"neuron_model must be 'lif' or 'srm', got {neuron_model!r}")
+
+
+def build_fig6_network(
+    spec: Fig6Spec = FIG6_PAPER,
+    neuron_model: str = "lif",
+    weight_bits: int | None = 4,
+    lif: LIFParams | None = None,
+    srm: SRMParams | None = None,
+    seed: int = 0,
+) -> Sequential:
+    """Instantiate the Fig. 6 eCNN.
+
+    ``neuron_model='lif'`` with ``weight_bits=4`` is the paper's
+    SNE-LIF-4b deployment configuration; ``neuron_model='srm'`` with
+    ``weight_bits=None`` is the SLAYER-SRM float baseline of Table I.
+    Convolutions use same-padding so the plane sizes follow the pooling
+    chain exactly as the paper's fc dimensions require.
+    """
+    make_dyn = _dynamics(neuron_model, lif, srm)
+    quant = QuantSpec(bits=weight_bits) if weight_bits is not None else None
+    pad = spec.kernel // 2
+    layers: list[Layer] = [
+        EConv2d(
+            spec.in_channels, spec.conv_channels, spec.kernel, padding=pad,
+            dynamics=make_dyn(), quant=quant, seed=seed,
+        ),
+        ESumPool2d(spec.pool1, dynamics=make_dyn()),
+        EConv2d(
+            spec.conv_channels, spec.conv_channels, spec.kernel, padding=pad,
+            dynamics=make_dyn(), quant=quant, seed=seed + 1,
+        ),
+        ESumPool2d(spec.pool2, dynamics=make_dyn()),
+        ESumPool2d(spec.pool3, dynamics=make_dyn()),
+        EFlatten(),
+        EDense(spec.fc_inputs, spec.hidden, dynamics=make_dyn(), quant=quant, seed=seed + 2),
+        EDense(spec.hidden, spec.n_classes, dynamics=make_dyn(), quant=quant, seed=seed + 3),
+    ]
+    return Sequential(layers)
+
+
+def build_small_network(
+    input_size: int = 16,
+    in_channels: int = 2,
+    n_classes: int = 10,
+    channels: int = 8,
+    hidden: int = 64,
+    neuron_model: str = "lif",
+    weight_bits: int | None = 4,
+    lif: LIFParams | None = None,
+    srm: SRMParams | None = None,
+    seed: int = 0,
+) -> Sequential:
+    """A compact conv-pool-fc eCNN for tests and fast training runs.
+
+    Keeps the Fig. 6 structure (conv -> pool -> fc -> fc) at laptop
+    scale; used by the accuracy benchmark's reduced-geometry runs.
+    """
+    if input_size % 2:
+        raise ValueError("input_size must be even for the 2x2 pool")
+    make_dyn = _dynamics(neuron_model, lif, srm)
+    quant = QuantSpec(bits=weight_bits) if weight_bits is not None else None
+    half = input_size // 2
+    layers: list[Layer] = [
+        EConv2d(in_channels, channels, 3, padding=1, dynamics=make_dyn(), quant=quant, seed=seed),
+        ESumPool2d(2, dynamics=make_dyn()),
+        EFlatten(),
+        EDense(channels * half * half, hidden, dynamics=make_dyn(), quant=quant, seed=seed + 1),
+        EDense(hidden, n_classes, dynamics=make_dyn(), quant=quant, seed=seed + 2),
+    ]
+    return Sequential(layers)

@@ -1,0 +1,195 @@
+"""Supervised BPTT training (the SLAYER-style flow of paper §IV-B).
+
+The paper trains its networks "with back-propagation-based training in
+the SLAYER framework" and reads classifications from output spike
+counts.  This module provides the numpy equivalent: a softmax
+cross-entropy on spike-count rates, an Adam optimiser, and a Trainer
+with the usual epoch/validation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..events.datasets import EventDataset
+from .layers import Parameter
+from .network import Sequential
+from .schedule import EarlyStopping, LRSchedule
+
+__all__ = ["softmax_cross_entropy", "Adam", "TrainConfig", "Trainer", "evaluate"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over the batch; returns ``(loss, dlogits)``."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be [B, K], got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must be one integer per row of logits")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    batch = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(batch), labels] + 1e-12).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+class Adam:
+    """Adam optimiser over :class:`Parameter` objects."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        grad_clip: float | None = 5.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.grad_clip is not None:
+                norm = float(np.linalg.norm(g))
+                if norm > self.grad_clip:
+                    g = g * (self.grad_clip / norm)
+            m[...] = self.beta1 * m + (1 - self.beta1) * g
+            v[...] = self.beta2 * v + (1 - self.beta2) * g * g
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run.
+
+    ``schedule`` overrides the constant ``lr`` when set (see
+    :mod:`repro.snn.schedule`); ``early_stopping`` requires a validation
+    set and stops when its accuracy plateaus.
+    """
+
+    epochs: int = 5
+    batch_size: int = 8
+    lr: float = 1e-3
+    seed: int = 0
+    verbose: bool = False
+    target_rate: float | None = None
+    rate_loss_weight: float = 0.0
+    schedule: "LRSchedule | None" = None
+    early_stopping: "EarlyStopping | None" = None
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch metrics collected by the trainer."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+
+def _dense_batches(dataset: EventDataset, batch_size: int, rng: np.random.Generator):
+    """Yield ``(x [T, B, ...], labels [B])`` minibatches in shuffled order."""
+    dense, labels = dataset.to_dense_batch()
+    order = rng.permutation(len(dataset))
+    for start in range(0, len(order), batch_size):
+        idx = order[start : start + batch_size]
+        x = dense[idx].astype(np.float64)
+        # [B, T, C, H, W] -> [T, B, C, H, W]
+        yield np.moveaxis(x, 0, 1), labels[idx]
+
+
+def evaluate(network: Sequential, dataset: EventDataset, batch_size: int = 16) -> float:
+    """Classification accuracy of ``network`` on ``dataset``."""
+    if not len(dataset):
+        raise ValueError("cannot evaluate on an empty dataset")
+    rng = np.random.default_rng(0)
+    correct = 0
+    for x, labels in _dense_batches(dataset, batch_size, rng):
+        correct += int((network.predict(x) == labels).sum())
+    return correct / len(dataset)
+
+
+class Trainer:
+    """Minibatch BPTT trainer with spike-count cross-entropy."""
+
+    def __init__(self, network: Sequential, config: TrainConfig | None = None) -> None:
+        self.network = network
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(network.parameters(), lr=self.config.lr)
+        self.history = TrainHistory()
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+        """One optimisation step; returns ``(loss, batch accuracy)``."""
+        cfg = self.config
+        net = self.network
+        net.zero_grad()
+        out_spikes = net.forward(x)  # [T, B, K]
+        n_steps = out_spikes.shape[0]
+        counts = out_spikes.sum(axis=0)
+        loss, d_counts = softmax_cross_entropy(counts / n_steps, labels)
+        grad_out = np.broadcast_to(d_counts / n_steps, out_spikes.shape).copy()
+        if cfg.rate_loss_weight > 0.0 and cfg.target_rate is not None:
+            # Regularise the output firing rate toward a target: keeps the
+            # network inside the sparse regime the accelerator assumes.
+            rate = counts / n_steps
+            rate_err = rate - cfg.target_rate
+            loss += cfg.rate_loss_weight * float((rate_err**2).mean())
+            grad_out += (
+                cfg.rate_loss_weight * 2.0 * rate_err / (rate_err.size * n_steps)
+            )
+        net.backward(grad_out)
+        self.optimizer.step()
+        accuracy = float((counts.argmax(axis=1) == labels).mean())
+        return loss, accuracy
+
+    def fit(
+        self, train: EventDataset, validation: EventDataset | None = None
+    ) -> TrainHistory:
+        cfg = self.config
+        if cfg.early_stopping is not None and (validation is None or not len(validation)):
+            raise ValueError("early stopping requires a non-empty validation set")
+        rng = np.random.default_rng(cfg.seed)
+        for epoch in range(cfg.epochs):
+            if cfg.schedule is not None:
+                self.optimizer.lr = cfg.schedule.lr_at(epoch)
+            losses, accs = [], []
+            for x, labels in _dense_batches(train, cfg.batch_size, rng):
+                loss, acc = self.train_step(x, labels)
+                losses.append(loss)
+                accs.append(acc)
+            self.history.train_loss.append(float(np.mean(losses)))
+            self.history.train_accuracy.append(float(np.mean(accs)))
+            if validation is not None and len(validation):
+                self.history.val_accuracy.append(evaluate(self.network, validation))
+                if cfg.early_stopping is not None and cfg.early_stopping.update(
+                    self.history.val_accuracy[-1], epoch
+                ):
+                    break
+            if cfg.verbose:
+                val = self.history.val_accuracy[-1] if self.history.val_accuracy else float("nan")
+                print(
+                    f"epoch {epoch + 1}/{cfg.epochs}: "
+                    f"loss={self.history.train_loss[-1]:.4f} "
+                    f"train_acc={self.history.train_accuracy[-1]:.3f} val_acc={val:.3f}"
+                )
+        return self.history

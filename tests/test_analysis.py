@@ -1,0 +1,186 @@
+"""Tests for activity profiling, metrics, table rendering and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ComparisonRow,
+    accuracy,
+    confusion_matrix,
+    dataset_activity_range,
+    profile_network,
+    proportionality_fit,
+    render_comparison,
+    render_table,
+    sweep_activity,
+    to_csv,
+)
+from repro.events import EventDataset, EventSample, EventStream
+from repro.hw import LayerGeometry, LayerKind, LayerProgram, SNEConfig
+from repro.snn import build_small_network
+
+
+class TestAccuracyAndConfusion:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]), 2)
+        assert m[0, 0] == 1 and m[1, 1] == 1 and m[0, 1] == 1
+        assert m.sum() == 3
+
+    def test_confusion_diagonal_equals_accuracy(self):
+        preds = np.array([0, 1, 2, 2, 1])
+        labels = np.array([0, 1, 2, 1, 1])
+        m = confusion_matrix(preds, labels, 3)
+        assert np.trace(m) / m.sum() == pytest.approx(accuracy(preds, labels))
+
+    def test_confusion_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([3]), np.array([0]), 2)
+
+
+class TestProportionalityFit:
+    def test_perfect_line(self):
+        events = np.array([10.0, 20, 30, 40])
+        fit = proportionality_fit(events, 48 * events)
+        assert fit.slope == pytest.approx(48.0)
+        assert fit.intercept == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_fixed_offset_detected(self):
+        events = np.array([10.0, 20, 30])
+        fit = proportionality_fit(events, 5 * events + 100)
+        assert fit.intercept == pytest.approx(100.0)
+        assert fit.intercept_fraction == pytest.approx(100 / 250)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            proportionality_fit(np.array([1.0]), np.array([2.0]))
+
+    def test_constant_cost_r2_one(self):
+        fit = proportionality_fit(np.array([1.0, 2, 3]), np.array([5.0, 5, 5]))
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(0.0)
+
+
+class TestTables:
+    def test_render_table_contains_cells(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", None]])
+        assert "| a" in text and "2.5" in text and "-" in text
+
+    def test_render_table_validates_widths(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_comparison_relative_error(self):
+        row = ComparisonRow("perf", paper=100.0, measured=103.0, unit="GOP/s")
+        assert row.relative_error == pytest.approx(0.03)
+
+    def test_comparison_non_numeric(self):
+        assert ComparisonRow("name", "SNE", "SNE").relative_error is None
+
+    def test_render_comparison(self):
+        text = render_comparison(
+            [ComparisonRow("e/sop", 0.221, 0.2205, "pJ")], title="fig5b"
+        )
+        assert "fig5b" in text and "0.2%" in text
+
+    def test_to_csv(self):
+        csv = to_csv(["x", "y"], [[1, 2], [3, 4]])
+        assert csv.splitlines() == ["x,y", "1,2", "3,4"]
+
+
+class TestActivityProfile:
+    def make_inputs(self, density=0.1, seed=0):
+        rng = np.random.default_rng(seed)
+        return (rng.random((5, 1, 2, 8, 8)) < density).astype(np.float64)
+
+    def test_profile_counts_layers_with_spikes(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        profile = profile_network(net, self.make_inputs())
+        assert len(profile.layers) >= 4
+        assert profile.input_events > 0
+        assert 0.0 <= profile.network_activity <= 1.0
+
+    def test_events_consumed_excludes_final_output(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        profile = profile_network(net, self.make_inputs())
+        expected = profile.input_events + sum(l.events for l in profile.layers[:-1])
+        assert profile.events_consumed == expected
+
+    def test_dataset_activity_range_ordering(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        rng = np.random.default_rng(1)
+        samples = []
+        for density in (0.02, 0.3):
+            dense = (rng.random((5, 2, 8, 8)) < density).astype(np.uint8)
+            samples.append(EventSample(EventStream.from_dense(dense), 0))
+        ds = EventDataset(samples, n_classes=1)
+        low, high = dataset_activity_range(net, ds)
+        assert low.events_consumed <= high.events_consumed
+
+    def test_dataset_activity_range_empty(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        with pytest.raises(ValueError):
+            dataset_activity_range(net, EventDataset([], 1))
+
+
+class TestActivitySweep:
+    def make_program(self):
+        g = LayerGeometry(LayerKind.CONV, 2, 8, 8, 4, 8, 8, kernel=3, padding=1)
+        w = np.random.default_rng(0).integers(-2, 3, (4, 2, 3, 3))
+        return LayerProgram(g, w, threshold=100, leak=0)  # silent outputs
+
+    def make_stream(self, density=0.3):
+        rng = np.random.default_rng(1)
+        return EventStream.from_dense(
+            (rng.random((10, 2, 8, 8)) < density).astype(np.uint8)
+        )
+
+    def test_sweep_cycles_proportional_to_events(self):
+        sweep = sweep_activity(
+            self.make_program(),
+            self.make_stream(),
+            activities=[0.02, 0.05, 0.1, 0.2],
+            config=SNEConfig(n_slices=1),
+        )
+        assert sweep.cycles_fit.r_squared > 0.999
+        assert sweep.cycles_fit.slope == pytest.approx(48, rel=0.05)
+        # fixed bracket (reset + fire scans) is small relative to the top point
+        assert sweep.cycles_fit.intercept_fraction < 0.3
+
+    def test_sweep_energy_monotone(self):
+        sweep = sweep_activity(
+            self.make_program(),
+            self.make_stream(),
+            activities=[0.02, 0.1, 0.2],
+            config=SNEConfig(n_slices=1),
+        )
+        energies = [p.sne_energy_uj for p in sweep.points]
+        assert energies == sorted(energies)
+
+    def test_dense_energy_is_flat(self):
+        sweep = sweep_activity(
+            self.make_program(),
+            self.make_stream(),
+            activities=[0.02, 0.2],
+            config=SNEConfig(n_slices=1),
+        )
+        assert sweep.points[0].dense_energy_uj == sweep.points[1].dense_energy_uj
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError, match="below"):
+            sweep_activity(
+                self.make_program(), self.make_stream(density=0.01), activities=[0.5]
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            sweep_activity(self.make_program(), self.make_stream(), activities=[])

@@ -1,0 +1,134 @@
+"""Tests for the dense engine baseline and the Table II records."""
+
+import pytest
+
+from repro.baselines import (
+    TABLE2_LITERATURE,
+    DenseEngine,
+    DenseEngineConfig,
+    PlatformRecord,
+    improvement_over,
+    sne_record,
+)
+from repro.hw import LayerGeometry, LayerKind, LayerProgram, PAPER_CONFIG
+import numpy as np
+
+
+def conv_program(c_in=2, c_out=4, plane=8, kernel=3):
+    g = LayerGeometry(
+        LayerKind.CONV, c_in, plane, plane, c_out, plane, plane,
+        kernel=kernel, stride=1, padding=kernel // 2,
+    )
+    w = np.zeros((c_out, c_in, kernel, kernel), dtype=np.int64)
+    return LayerProgram(g, w, threshold=1, leak=0)
+
+
+class TestDenseEngine:
+    def test_conv_mac_count(self):
+        g = conv_program(c_in=2, c_out=4, plane=8, kernel=3).geometry
+        # 4 out ch x 64 positions x 2 in ch x 9 taps
+        assert DenseEngine.layer_macs_per_step(g) == 4 * 64 * 2 * 9
+
+    def test_dense_mac_count(self):
+        g = LayerGeometry(LayerKind.DENSE, 2, 4, 4, 10, 1, 1)
+        assert DenseEngine.layer_macs_per_step(g) == 10 * 32
+
+    def test_depthwise_mac_count(self):
+        g = LayerGeometry(LayerKind.DEPTHWISE, 3, 8, 8, 3, 4, 4, kernel=2, stride=2)
+        assert DenseEngine.layer_macs_per_step(g) == 3 * 16 * 4
+
+    def test_network_macs_scale_with_steps(self):
+        engine = DenseEngine()
+        programs = [conv_program()]
+        assert engine.network_macs(programs, 10) == 10 * engine.network_macs(programs, 1)
+        with pytest.raises(ValueError):
+            engine.network_macs(programs, 0)
+
+    def test_estimate_energy_is_activity_independent(self):
+        """The defining property of the dense baseline."""
+        engine = DenseEngine()
+        est = engine.estimate([conv_program()], n_steps=10)
+        assert est.energy_uj > 0 and est.time_s > 0
+        # No activity parameter exists: the estimate is a pure function
+        # of geometry, unlike the SNE cost model.
+
+    def test_crossover_activity(self):
+        engine = DenseEngine()
+        programs = [conv_program()]
+        dense_uj = engine.estimate(programs, 10).energy_uj
+        # If SNE spends dense_uj/100 per event and full activity is 100
+        # events, the crossover sits exactly at activity 1.0.
+        crossover = engine.crossover_activity(
+            programs, 10, sne_energy_per_event_uj=dense_uj / 100, events_at_full_activity=100
+        )
+        assert crossover == pytest.approx(1.0)
+
+    def test_crossover_validation(self):
+        with pytest.raises(ValueError):
+            DenseEngine().crossover_activity([conv_program()], 10, 0.0, 100)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DenseEngineConfig(energy_per_mac_pj=0)
+        with pytest.raises(ValueError):
+            DenseEngineConfig(macs_per_cycle=0)
+        with pytest.raises(ValueError):
+            DenseEngineConfig(idle_power_mw=-1)
+
+
+class TestTable2:
+    def test_literature_rows_present(self):
+        names = {r.name for r in TABLE2_LITERATURE}
+        assert names == {
+            "Tianjic", "Dynapsel", "ODIN", "TrueNorth", "SPOON", "Loihi", "SpiNNaker 2",
+        }
+
+    def test_sne_record_headline_numbers(self):
+        sne = sne_record()
+        assert sne.n_neurons == 8192
+        assert sne.neuron_area_um2 == pytest.approx(19.9, abs=0.1)
+        assert sne.performance_gops == pytest.approx(51.2)
+        assert sne.efficiency_tops_w == pytest.approx(4.54, abs=0.01)
+        assert sne.energy_per_sop_pj == pytest.approx(0.221, abs=0.001)
+        assert sne.power_mw == pytest.approx(11.29, abs=0.01)
+        assert sne.freq_mhz == 400
+        assert sne.weight_bits == "4"
+
+    def test_sne_has_lowest_energy_per_sop(self):
+        """The paper's headline: lowest energy/OP on a digital platform."""
+        sne = sne_record()
+        for record in TABLE2_LITERATURE:
+            if record.energy_per_sop_pj is not None:
+                assert sne.energy_per_sop_pj < record.energy_per_sop_pj
+
+    def test_sne_has_highest_efficiency(self):
+        sne = sne_record()
+        for record in TABLE2_LITERATURE:
+            if record.efficiency_tops_w is not None:
+                assert sne.efficiency_tops_w > record.efficiency_tops_w
+
+    def test_improvement_over_tianjic_is_3_55x(self):
+        tianjic = next(r for r in TABLE2_LITERATURE if r.name == "Tianjic")
+        ratio = improvement_over(sne_record(), tianjic)
+        assert ratio == pytest.approx(3.55, abs=0.01)
+
+    def test_improvement_requires_efficiency(self):
+        loihi = next(r for r in TABLE2_LITERATURE if r.name == "Loihi")
+        with pytest.raises(ValueError, match="efficiency"):
+            improvement_over(sne_record(), loihi)
+
+    def test_smallest_neuron_area(self):
+        """SNE's 19.9 um2/neuron is an order of magnitude below the rest."""
+        sne = sne_record()
+        for record in TABLE2_LITERATURE:
+            if record.neuron_area_um2 is not None:
+                assert sne.neuron_area_um2 < record.neuron_area_um2
+
+    def test_record_is_frozen(self):
+        with pytest.raises(AttributeError):
+            sne_record().name = "other"
+
+    def test_scaled_config_changes_record(self):
+        half = sne_record(PAPER_CONFIG.with_slices(4))
+        assert half.n_neurons == 4096
+        assert half.performance_gops == pytest.approx(25.6)

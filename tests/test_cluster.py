@@ -1,0 +1,130 @@
+"""Tests for the TDM cluster model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        c = Cluster()
+        c.apply_update(0, np.array([3]), np.array([5]), leak=0)
+        c.reset(0)
+        assert c.state[3] == 0
+
+    def test_reset_realigns_tlu(self):
+        c = Cluster()
+        c.reset(7)
+        assert c.tlu == 7
+
+
+class TestUpdate:
+    def test_accumulates_weight(self):
+        c = Cluster()
+        c.apply_update(0, np.array([0]), np.array([3]), leak=0)
+        c.apply_update(0, np.array([0]), np.array([2]), leak=0)
+        assert c.state[0] == 5
+
+    def test_returns_sop_count(self):
+        c = Cluster()
+        n = c.apply_update(0, np.array([0, 1, 2]), np.array([1, 1, 1]), leak=0)
+        assert n == 3 and c.stats.updates == 3
+
+    def test_empty_update_is_free(self):
+        c = Cluster()
+        assert c.apply_update(0, np.array([], dtype=int), np.array([]), leak=0) == 0
+        assert c.stats.events_seen == 0
+
+    def test_per_event_saturation(self):
+        c = Cluster(state_bits=8)
+        c.apply_update(0, np.array([0]), np.array([120]), leak=0)  # wide weights for test
+        c.apply_update(0, np.array([0]), np.array([120]), leak=0)
+        assert c.state[0] == 127  # saturated, not 240
+        c.apply_update(0, np.array([0]), np.array([-120]), leak=0)
+        assert c.state[0] == 7  # saturation is not undone
+
+    def test_rejects_out_of_range_neuron(self):
+        c = Cluster(n_neurons=64)
+        with pytest.raises(ValueError, match="TDM range"):
+            c.apply_update(0, np.array([64]), np.array([1]), leak=0)
+
+    def test_rejects_duplicate_neuron_in_one_event(self):
+        c = Cluster()
+        with pytest.raises(ValueError, match="twice"):
+            c.apply_update(0, np.array([1, 1]), np.array([1, 1]), leak=0)
+
+    def test_rejects_time_going_backwards(self):
+        c = Cluster()
+        c.apply_update(5, np.array([0]), np.array([1]), leak=0)
+        with pytest.raises(ValueError, match="time-sorted"):
+            c.apply_update(4, np.array([0]), np.array([1]), leak=0)
+
+
+class TestLeakAndTLU:
+    def test_catchup_applies_elapsed_decay(self):
+        c = Cluster()
+        c.apply_update(0, np.array([0]), np.array([10]), leak=2)
+        c.apply_update(3, np.array([0]), np.array([1]), leak=2)
+        # 3 elapsed steps * leak 2 = -6, then +1
+        assert c.state[0] == 5
+
+    def test_tlu_skip_statistic(self):
+        c = Cluster()
+        c.apply_update(0, np.array([0]), np.array([10]), leak=1)
+        c.apply_update(10, np.array([0]), np.array([1]), leak=1)
+        # 10 steps elapsed: a TLU-less design walks 10 updates, we do 1.
+        assert c.stats.tlu_skipped_steps == 9
+
+    def test_leak_affects_all_neurons_of_cluster(self):
+        c = Cluster()
+        c.apply_update(0, np.array([0, 5]), np.array([10, 8]), leak=3)
+        c.catch_up(2, leak=3)
+        assert c.state[0] == 4 and c.state[5] == 2
+
+
+class TestFire:
+    def test_fire_returns_and_resets(self):
+        c = Cluster()
+        c.apply_update(0, np.array([1, 2]), np.array([9, 3]), leak=0)
+        fired = c.fire(0, threshold=5, leak=0)
+        assert list(fired) == [1]
+        assert c.state[1] == 0 and c.state[2] == 3
+
+    def test_fire_applies_pending_leak_first(self):
+        c = Cluster()
+        c.apply_update(0, np.array([0]), np.array([6]), leak=2)
+        fired = c.fire(1, threshold=5, leak=2)  # 6 - 2 = 4 < 5
+        assert fired.size == 0
+
+    def test_fire_counts(self):
+        c = Cluster()
+        c.apply_update(0, np.array([0, 1]), np.array([9, 9]), leak=0)
+        c.fire(0, threshold=5, leak=0)
+        assert c.stats.fires == 2
+
+    def test_negative_state_never_fires(self):
+        c = Cluster()
+        c.apply_update(0, np.array([0]), np.array([-5]), leak=0)
+        assert c.fire(0, threshold=1, leak=0).size == 0
+
+
+class TestAccounting:
+    def test_gating_counter(self):
+        c = Cluster()
+        c.note_gated()
+        c.note_gated()
+        assert c.stats.events_gated == 2
+
+    def test_state_bounds_invariant(self):
+        c = Cluster(state_bits=8)
+        rng = np.random.default_rng(0)
+        for t in range(20):
+            idx = rng.choice(64, 5, replace=False)
+            c.apply_update(t, idx, rng.integers(-8, 8, 5), leak=1)
+            c.fire(t, threshold=20, leak=1)
+        c.check_state_bounds()
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cluster(n_neurons=0)

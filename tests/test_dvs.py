@@ -1,0 +1,125 @@
+"""Tests for the DVS sensor simulator and video rendering."""
+
+import numpy as np
+import pytest
+
+from repro.events import DVSConfig, DVSSimulator, render_video
+
+
+class TestDVSConfig:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            DVSConfig(contrast_threshold=0.0)
+
+    def test_rejects_negative_refractory(self):
+        with pytest.raises(ValueError):
+            DVSConfig(refractory_steps=-1)
+
+    def test_rejects_bad_background_rate(self):
+        with pytest.raises(ValueError):
+            DVSConfig(background_rate=1.0)
+
+
+class TestDVSSimulator:
+    def test_static_scene_produces_no_events(self):
+        video = np.full((10, 8, 8), 0.5)
+        stream = DVSSimulator().simulate(video)
+        assert len(stream) == 0
+
+    def test_brightening_pixel_is_on_event(self):
+        video = np.full((3, 4, 4), 0.2)
+        video[1:, 2, 3] = 1.0
+        stream = DVSSimulator(DVSConfig(contrast_threshold=0.3)).simulate(video)
+        assert len(stream) >= 1
+        assert int(stream.ch[0]) == 1  # ON polarity
+        assert int(stream.x[0]) == 3 and int(stream.y[0]) == 2
+
+    def test_darkening_pixel_is_off_event(self):
+        video = np.full((3, 4, 4), 1.0)
+        video[1:, 1, 1] = 0.2
+        stream = DVSSimulator(DVSConfig(contrast_threshold=0.3)).simulate(video)
+        assert int(stream.ch[0]) == 0  # OFF polarity
+
+    def test_first_frame_emits_nothing(self):
+        video = np.zeros((2, 4, 4))
+        video[0] = 1.0  # bright start, then dark
+        stream = DVSSimulator().simulate(video)
+        assert (stream.t >= 1).all()
+
+    def test_subthreshold_change_is_silent(self):
+        video = np.full((5, 4, 4), 0.5)
+        video[2:] = 0.55  # ~10% change < 25% threshold
+        assert len(DVSSimulator(DVSConfig(contrast_threshold=0.25)).simulate(video)) == 0
+
+    def test_refractory_suppresses_consecutive_events(self):
+        # Ramp that crosses threshold every frame.
+        video = np.exp(np.linspace(0, 3, 10))[:, None, None] * np.ones((10, 2, 2))
+        free = DVSSimulator(DVSConfig(contrast_threshold=0.3)).simulate(video)
+        gated = DVSSimulator(
+            DVSConfig(contrast_threshold=0.3, refractory_steps=3)
+        ).simulate(video)
+        assert len(gated) < len(free)
+
+    def test_background_noise_adds_events(self):
+        video = np.full((20, 8, 8), 0.5)
+        noisy = DVSSimulator(
+            DVSConfig(background_rate=0.05, seed=7)
+        ).simulate(video)
+        assert len(noisy) > 0
+
+    def test_deterministic_given_seed(self):
+        video = np.full((10, 6, 6), 0.5)
+        cfg = DVSConfig(background_rate=0.1, seed=3)
+        a = DVSSimulator(cfg).simulate(video)
+        b = DVSSimulator(cfg).simulate(video)
+        assert a == b
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError, match="T, H, W"):
+            DVSSimulator().simulate(np.zeros((4, 4)))
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DVSSimulator().simulate(-np.ones((2, 2, 2)))
+
+    def test_output_shape_has_two_polarity_channels(self):
+        stream = DVSSimulator().simulate(np.full((4, 5, 6), 0.5))
+        assert stream.shape == (4, 2, 5, 6)
+
+    def test_fast_edge_moves_reference_in_steps(self):
+        # A huge jump emits events but the reference catches up in
+        # threshold-sized steps, so the following frame emits again.
+        video = np.full((4, 1, 1), 0.1)
+        video[1:] = 10.0
+        cfg = DVSConfig(contrast_threshold=0.5, max_events_per_step=2)
+        stream = DVSSimulator(cfg).simulate(video)
+        assert len(stream) >= 2  # events on at least two consecutive frames
+
+
+class TestRenderVideo:
+    def test_sprite_raises_intensity(self):
+        sprite = np.ones((2, 2))
+        pos = np.zeros((3, 2), dtype=int)
+        video = render_video(3, 5, 5, sprite, pos, background=0.2, foreground=1.0)
+        assert video[0, 0, 0] == pytest.approx(1.0)
+        assert video[0, 4, 4] == pytest.approx(0.2)
+
+    def test_out_of_frame_sprite_is_clipped(self):
+        sprite = np.ones((3, 3))
+        pos = np.array([[-2, -2], [10, 10]])
+        video = render_video(2, 5, 5, sprite, pos)
+        assert video.shape == (2, 5, 5)
+        assert video[0, 0, 0] == pytest.approx(1.0)  # bottom-right of sprite visible
+        assert video[1].max() == pytest.approx(0.2)  # fully off-frame
+
+    def test_rejects_bad_positions_shape(self):
+        with pytest.raises(ValueError, match="positions"):
+            render_video(3, 5, 5, np.ones((2, 2)), np.zeros((2, 2)))
+
+    def test_moving_sprite_generates_events_along_path(self):
+        sprite = np.ones((2, 2))
+        pos = np.array([[0, c] for c in range(6)])
+        video = render_video(6, 8, 8, sprite, pos)
+        stream = DVSSimulator(DVSConfig(contrast_threshold=0.3)).simulate(video)
+        assert len(stream) > 0
+        assert stream.x.max() > stream.x.min()  # events spread along the motion

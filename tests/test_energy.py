@@ -1,0 +1,204 @@
+"""Tests for the area/power/efficiency models against the paper's numbers."""
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    COMPONENTS,
+    DATASET_EVENT_ANCHORS,
+    FIG4_ANCHORS,
+    FIG4_SLICES,
+    FIG5A_TOTAL_MW,
+    AreaModel,
+    EfficiencyModel,
+    GF22FDX,
+    PowerModel,
+    TechnologyParams,
+)
+from repro.hw import PAPER_CONFIG, SNEConfig, SNEStats
+
+
+class TestTechnology:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(nd2_area_um2=0)
+        with pytest.raises(ValueError):
+            TechnologyParams(nominal_voltage=0)
+        with pytest.raises(ValueError):
+            TechnologyParams(leakage_uw_per_kge=-1)
+
+    def test_energy_scale_identity_at_nominal(self):
+        assert GF22FDX.energy_scale(0.8) == pytest.approx(1.0)
+
+    def test_energy_scale_monotone(self):
+        assert GF22FDX.energy_scale(0.9) > 1.0 > GF22FDX.energy_scale(0.7)
+
+    def test_voltage_validation(self):
+        with pytest.raises(ValueError):
+            GF22FDX.energy_scale(0)
+        with pytest.raises(ValueError):
+            GF22FDX.leakage_scale(-1)
+
+    def test_kge_conversion(self):
+        assert GF22FDX.kge_to_um2(1.0) == pytest.approx(1000 * GF22FDX.nd2_area_um2)
+        with pytest.raises(ValueError):
+            GF22FDX.kge_to_um2(-1)
+
+
+class TestAreaModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return AreaModel()
+
+    @pytest.mark.parametrize("n", FIG4_SLICES)
+    def test_anchor_exact_at_synthesised_configs(self, model, n):
+        breakdown = model.breakdown_kge(n)
+        idx = FIG4_SLICES.index(n)
+        for component in COMPONENTS:
+            assert breakdown[component] == FIG4_ANCHORS[component][idx]
+
+    def test_memory_dominates(self, model):
+        """'Most of the area is occupied by latch-based memories.'"""
+        for n in FIG4_SLICES:
+            breakdown = model.breakdown_kge(n)
+            assert breakdown["memory"] == max(breakdown.values())
+
+    def test_dma_cost_constant(self, model):
+        assert len({model.breakdown_kge(n)["streamers"] for n in FIG4_SLICES}) == 1
+
+    def test_dma_fraction_shrinks(self, model):
+        """'The fixed cost of the DMAs is progressively absorbed.'"""
+        fractions = [model.dma_fraction(n) for n in FIG4_SLICES]
+        assert all(a > b for a, b in zip(fractions, fractions[1:]))
+
+    def test_neuron_area_matches_table2(self, model):
+        assert model.neuron_area_um2() == pytest.approx(19.9, rel=0.01)
+
+    def test_interpolation_for_other_slice_counts(self, model):
+        # 3 slices lies between the 2- and 4-slice anchors.
+        assert model.total_kge(2) < model.total_kge(3) < model.total_kge(4)
+
+    def test_normalized_breakdown_sums_to_one(self, model):
+        assert sum(model.normalized_breakdown(8).values()) == pytest.approx(1.0)
+
+    def test_rejects_bad_slice_count(self, model):
+        with pytest.raises(ValueError):
+            model.breakdown_kge(0)
+
+    def test_total_area_roughly_proportional(self, model):
+        """Slices dominate: doubling slices nearly doubles the area."""
+        ratio = model.total_kge(8) / model.total_kge(4)
+        assert 1.8 < ratio < 2.0  # sub-2x because the DMAs are fixed
+
+
+class TestPowerModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PowerModel()
+
+    @pytest.mark.parametrize("n", FIG4_SLICES)
+    def test_fig5a_totals_anchor_exact(self, model, n):
+        assert model.fig5a_breakdown(n).total_mw == pytest.approx(FIG5A_TOTAL_MW[n])
+
+    def test_total_at_8_slices_matches_table2(self, model):
+        assert model.fig5a_breakdown(8).total_mw == pytest.approx(11.29, rel=0.001)
+
+    def test_dynamic_dominates(self, model):
+        """'Dynamic power significantly dominates' (§IV-A.2)."""
+        for n in FIG4_SLICES:
+            b = model.fig5a_breakdown(n)
+            assert b.dynamic_mw > 10 * b.leakage_mw
+
+    def test_leakage_grows_with_area(self, model):
+        leaks = [model.leakage_mw(n) for n in FIG4_SLICES]
+        assert all(a < b for a, b in zip(leaks, leaks[1:]))
+
+    def test_gating_reduces_dynamic_power(self, model):
+        full = model.dynamic_mw(8, utilization=1.0)
+        idle = model.dynamic_mw(8, utilization=0.0)
+        assert idle < full
+        assert idle > 0  # the gating residual and DMA floor remain
+
+    def test_utilization_validation(self, model):
+        with pytest.raises(ValueError):
+            model.dynamic_mw(8, utilization=1.5)
+
+    def test_voltage_raises_power(self, model):
+        assert model.total_mw(8, 1.0, voltage=0.9) > model.total_mw(8, 1.0, voltage=0.8)
+
+    def test_energy_from_stats(self, model):
+        cfg = SNEConfig(n_slices=8)
+        stats = SNEStats(cycles=400_000, active_cluster_cycles=1, gated_cluster_cycles=0)
+        # 400k cycles at 400 MHz = 1 ms at ~11.29 mW -> ~11.3 uJ
+        energy = model.energy_uj(stats, cfg)
+        assert energy == pytest.approx(11.29, rel=0.02)
+
+
+class TestEfficiencyModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return EfficiencyModel()
+
+    def test_peak_performance_fig5b(self, model):
+        expected = {1: 6.4, 2: 12.8, 4: 25.6, 8: 51.2}
+        for n, gsops in expected.items():
+            assert model.performance_gsops(PAPER_CONFIG.with_slices(n)) == pytest.approx(gsops)
+
+    def test_energy_per_sop_8_slices(self, model):
+        assert model.energy_per_sop_pj(PAPER_CONFIG) == pytest.approx(0.221, abs=0.001)
+
+    def test_energy_per_sop_decreases_with_slices(self, model):
+        values = [
+            model.energy_per_sop_pj(PAPER_CONFIG.with_slices(n)) for n in FIG4_SLICES
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        assert values[0] == pytest.approx(0.235, abs=0.001)
+
+    def test_efficiency_table2(self, model):
+        assert model.efficiency_tsops_w(PAPER_CONFIG) == pytest.approx(4.54, rel=0.01)
+
+    def test_voltage_extrapolation_table2(self, model):
+        """'At 0.9 V SNE would achieve 4.03 TOP/s/W and 0.248 pJ/SOP.'"""
+        assert model.energy_per_sop_pj(PAPER_CONFIG, voltage=0.9) == pytest.approx(
+            0.248, abs=0.002
+        )
+        assert model.efficiency_tsops_w(PAPER_CONFIG, voltage=0.9) == pytest.approx(
+            4.03, rel=0.01
+        )
+
+    def test_gesture_inference_window(self, model):
+        best, worst = model.dataset_range("ibm_dvs_gesture", PAPER_CONFIG)
+        assert best.time_s == pytest.approx(7.1e-3, rel=0.01)
+        assert worst.time_s == pytest.approx(23.12e-3, rel=0.01)
+        assert best.energy_uj == pytest.approx(80, rel=0.01)
+        assert worst.energy_uj == pytest.approx(261, rel=0.01)
+        assert best.rate_inf_s == pytest.approx(141, rel=0.01)
+        assert worst.rate_inf_s == pytest.approx(43, rel=0.01)
+
+    def test_nmnist_inference_window(self, model):
+        best, worst = model.dataset_range("nmnist", PAPER_CONFIG)
+        assert best.energy_uj == pytest.approx(43, rel=0.01)
+        assert worst.energy_uj == pytest.approx(142, rel=0.01)
+        assert best.rate_inf_s == pytest.approx(261, rel=0.01)
+        assert worst.rate_inf_s == pytest.approx(79.5, rel=0.01)
+
+    def test_unknown_dataset_raises(self, model):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            model.dataset_range("cifar", PAPER_CONFIG)
+
+    def test_inference_is_linear_in_events(self, model):
+        a = model.inference(1000, PAPER_CONFIG)
+        b = model.inference(2000, PAPER_CONFIG)
+        assert b.time_s == pytest.approx(2 * a.time_s)
+        assert b.energy_uj == pytest.approx(2 * a.energy_uj)
+
+    def test_zero_events(self, model):
+        est = model.inference(0, PAPER_CONFIG)
+        assert est.time_s == 0 and est.energy_uj == 0
+        with pytest.raises(ValueError):
+            model.inference(-1, PAPER_CONFIG)
+
+    def test_events_from_activity_scaling(self, model):
+        anchors = DATASET_EVENT_ANCHORS["ibm_dvs_gesture"]
+        n = model.events_from_activity(0.024, 0.012, anchors[0])
+        assert n == 2 * anchors[0]

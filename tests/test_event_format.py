@@ -1,0 +1,172 @@
+"""Unit tests for the 32-bit event/weight word formats (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import DEFAULT_FORMAT, Event, EventFormat, EventOp
+
+
+class TestEventFormat:
+    def test_default_partition_totals_32_bits(self):
+        fmt = EventFormat()
+        total = fmt.op_bits + fmt.time_bits + fmt.ch_bits + fmt.x_bits + fmt.y_bits
+        assert total == 32
+
+    def test_rejects_partition_not_summing_to_32(self):
+        with pytest.raises(ValueError, match="32 bits"):
+            EventFormat(op_bits=2, time_bits=8, ch_bits=8, x_bits=8, y_bits=8)
+
+    def test_rejects_zero_width_field(self):
+        with pytest.raises(ValueError):
+            EventFormat(op_bits=2, time_bits=0, ch_bits=14, x_bits=8, y_bits=8)
+
+    def test_rejects_single_bit_op_field(self):
+        with pytest.raises(ValueError, match="op field"):
+            EventFormat(op_bits=1, time_bits=9, ch_bits=6, x_bits=8, y_bits=8)
+
+    def test_capacity_properties(self):
+        fmt = EventFormat()
+        assert fmt.max_time == 255
+        assert fmt.max_ch == 63
+        assert fmt.max_x == 255
+        assert fmt.max_y == 255
+
+    def test_pack_unpack_roundtrip(self):
+        fmt = EventFormat()
+        word = fmt.pack(int(EventOp.UPDATE_OP), t=42, ch=5, x=17, y=200)
+        evt = fmt.unpack(word)
+        assert evt == Event(EventOp.UPDATE_OP, 42, 5, 17, 200)
+
+    def test_pack_is_32_bit(self):
+        fmt = EventFormat()
+        word = fmt.pack(int(EventOp.FIRE_OP), fmt.max_time, fmt.max_ch, fmt.max_x, fmt.max_y)
+        assert 0 <= word < (1 << 32)
+
+    def test_distinct_events_pack_to_distinct_words(self):
+        fmt = EventFormat()
+        a = fmt.pack(1, 1, 2, 3, 4)
+        b = fmt.pack(1, 1, 2, 4, 3)
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(op=5, t=0, ch=0, x=0, y=0),
+            dict(op=1, t=256, ch=0, x=0, y=0),
+            dict(op=1, t=0, ch=64, x=0, y=0),
+            dict(op=1, t=0, ch=0, x=256, y=0),
+            dict(op=1, t=0, ch=0, x=0, y=-1),
+        ],
+    )
+    def test_pack_rejects_out_of_range_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            EventFormat().pack(**kwargs)
+
+    def test_unpack_rejects_invalid_op(self):
+        fmt = EventFormat()
+        bad = 0b11 << 30  # op = 3 is undefined
+        with pytest.raises(ValueError, match="invalid op"):
+            fmt.unpack(bad)
+
+    def test_unpack_rejects_wider_than_32_bits(self):
+        with pytest.raises(ValueError):
+            EventFormat().unpack(1 << 32)
+
+    def test_custom_partition_roundtrip(self):
+        fmt = EventFormat(op_bits=2, time_bits=10, ch_bits=4, x_bits=8, y_bits=8)
+        word = fmt.pack(int(EventOp.UPDATE_OP), t=1000, ch=15, x=3, y=7)
+        evt = fmt.unpack(word)
+        assert (evt.t, evt.ch, evt.x, evt.y) == (1000, 15, 3, 7)
+
+    @given(
+        t=st.integers(0, 255),
+        ch=st.integers(0, 63),
+        x=st.integers(0, 255),
+        y=st.integers(0, 255),
+        op=st.sampled_from([0, 1, 2]),
+    )
+    @settings(max_examples=100)
+    def test_property_roundtrip(self, op, t, ch, x, y):
+        fmt = DEFAULT_FORMAT
+        evt = fmt.unpack(fmt.pack(op, t, ch, x, y))
+        assert (int(evt.op), evt.t, evt.ch, evt.x, evt.y) == (op, t, ch, x, y)
+
+
+class TestVectorisedPacking:
+    def test_pack_array_matches_scalar(self):
+        fmt = DEFAULT_FORMAT
+        rng = np.random.default_rng(0)
+        n = 200
+        op = rng.integers(0, 3, n)
+        t = rng.integers(0, 256, n)
+        ch = rng.integers(0, 64, n)
+        x = rng.integers(0, 256, n)
+        y = rng.integers(0, 256, n)
+        words = fmt.pack_array(op, t, ch, x, y)
+        scalar = np.array(
+            [fmt.pack(int(o), int(a), int(b), int(c), int(d))
+             for o, a, b, c, d in zip(op, t, ch, x, y)],
+            dtype=np.uint32,
+        )
+        assert np.array_equal(words, scalar)
+
+    def test_unpack_array_roundtrip(self):
+        fmt = DEFAULT_FORMAT
+        rng = np.random.default_rng(1)
+        n = 100
+        fields = (
+            rng.integers(0, 3, n),
+            rng.integers(0, 256, n),
+            rng.integers(0, 64, n),
+            rng.integers(0, 256, n),
+            rng.integers(0, 256, n),
+        )
+        words = fmt.pack_array(*fields)
+        out = fmt.unpack_array(words)
+        for got, want in zip(out, fields):
+            assert np.array_equal(got, want)
+
+    def test_pack_array_rejects_overflow(self):
+        fmt = DEFAULT_FORMAT
+        with pytest.raises(ValueError, match="time"):
+            fmt.pack_array([1], [300], [0], [0], [0])
+
+    def test_unpack_array_rejects_invalid_op(self):
+        with pytest.raises(ValueError, match="invalid op"):
+            DEFAULT_FORMAT.unpack_array(np.array([0b11 << 30], dtype=np.uint32))
+
+    def test_pack_array_dtype_is_uint32(self):
+        words = DEFAULT_FORMAT.pack_array([1], [2], [3], [4], [5])
+        assert words.dtype == np.uint32
+
+    def test_empty_arrays(self):
+        fmt = DEFAULT_FORMAT
+        z = np.zeros(0, dtype=np.int64)
+        assert fmt.pack_array(z, z, z, z, z).size == 0
+
+
+class TestEventHelpers:
+    def test_rst_constructor(self):
+        evt = Event.rst()
+        assert evt.op == EventOp.RST_OP
+        assert (evt.t, evt.ch, evt.x, evt.y) == (0, 0, 0, 0)
+
+    def test_fire_constructor_carries_time(self):
+        assert Event.fire(t=9).t == 9
+
+    def test_update_constructor(self):
+        evt = Event.update(t=1, ch=2, x=3, y=4)
+        assert evt.op == EventOp.UPDATE_OP
+        assert (evt.t, evt.ch, evt.x, evt.y) == (1, 2, 3, 4)
+
+    def test_event_pack_uses_its_format(self):
+        fmt = EventFormat(op_bits=2, time_bits=12, ch_bits=2, x_bits=8, y_bits=8)
+        evt = Event.update(t=2049, ch=1, x=0, y=0, fmt=fmt)
+        decoded = fmt.unpack(evt.pack())
+        assert decoded.t == 2049
+
+    def test_op_validity(self):
+        assert EventOp.is_valid(0) and EventOp.is_valid(1) and EventOp.is_valid(2)
+        assert not EventOp.is_valid(3)

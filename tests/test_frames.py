@@ -1,0 +1,104 @@
+"""Tests for event-frame accumulation and time rebinning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventStream
+from repro.events.frames import (
+    accumulate_frames,
+    polarity_difference_frames,
+    rebin_time,
+)
+
+
+def make_stream(seed=0, shape=(12, 2, 6, 6), density=0.15):
+    rng = np.random.default_rng(seed)
+    return EventStream.from_dense((rng.random(shape) < density).astype(np.uint8))
+
+
+class TestAccumulateFrames:
+    def test_frame_count_and_shape(self):
+        frames = accumulate_frames(make_stream(), window=4)
+        assert frames.shape == (3, 2, 6, 6)
+
+    def test_uneven_window_rounds_up(self):
+        frames = accumulate_frames(make_stream(shape=(10, 2, 6, 6)), window=4)
+        assert frames.shape[0] == 3  # 4 + 4 + 2
+
+    def test_total_count_preserved(self):
+        s = make_stream()
+        frames = accumulate_frames(s, window=3)
+        assert int(frames.sum()) == len(s)
+
+    def test_window_one_equals_dense(self):
+        s = make_stream()
+        frames = accumulate_frames(s, window=1)
+        assert np.array_equal(frames, s.to_dense().astype(np.uint16))
+
+    def test_counts_accumulate_within_window(self):
+        s = EventStream([0, 1], [0, 0], [2, 2], [3, 3], (2, 1, 4, 4))
+        frames = accumulate_frames(s, window=2)
+        assert frames[0, 0, 3, 2] == 2
+
+    def test_empty_stream(self):
+        frames = accumulate_frames(EventStream.empty((6, 2, 4, 4)), window=2)
+        assert frames.shape == (3, 2, 4, 4) and frames.sum() == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            accumulate_frames(make_stream(), window=0)
+
+
+class TestRebinTime:
+    def test_downbin_shrinks_envelope(self):
+        s = make_stream()
+        out = rebin_time(s, 4)
+        assert out.n_steps == 4
+        assert len(out) <= len(s)  # collisions collapse
+
+    def test_upbin_preserves_count(self):
+        s = make_stream()
+        out = rebin_time(s, 24)
+        assert len(out) == len(s)  # no collisions when spreading out
+
+    def test_identity_rebin(self):
+        s = make_stream()
+        assert rebin_time(s, s.n_steps) == s
+
+    def test_time_order_preserved(self):
+        s = EventStream([1, 9], [0, 0], [1, 2], [1, 2], (10, 1, 4, 4))
+        out = rebin_time(s, 5)
+        early = out.events_at(0)
+        late = out.events_at(4)
+        assert int(early.x[0]) == 1 and int(late.x[0]) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rebin_time(make_stream(), 0)
+
+    @given(seed=st.integers(0, 2**16), n_new=st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_rebinned_times_in_range(self, seed, n_new):
+        out = rebin_time(make_stream(seed=seed), n_new)
+        assert out.n_steps == n_new
+        if len(out):
+            assert out.t.max() < n_new
+
+
+class TestPolarityDifference:
+    def test_signed_output(self):
+        s = EventStream([0, 0], [1, 0], [1, 2], [1, 1], (1, 2, 4, 4))
+        diff = polarity_difference_frames(s, window=1)
+        assert diff[0, 1, 1] == 1  # ON
+        assert diff[0, 1, 2] == -1  # OFF
+
+    def test_requires_two_channels(self):
+        with pytest.raises(ValueError, match="2-channel"):
+            polarity_difference_frames(EventStream.empty((2, 1, 4, 4)), 1)
+
+    def test_balanced_events_cancel(self):
+        s = EventStream([0, 0], [0, 1], [2, 2], [2, 2], (1, 2, 4, 4))
+        diff = polarity_difference_frames(s, window=1)
+        assert diff[0, 2, 2] == 0

@@ -1,0 +1,271 @@
+"""Tests for the plumbing blocks: FIFO, memory, DMA, crossbar, collector,
+register file."""
+
+import numpy as np
+import pytest
+
+from repro.events import Event, EventOp, EventStream, encode_inference
+from repro.hw import (
+    Collector,
+    Crossbar,
+    DmaStreamer,
+    Fifo,
+    MainMemory,
+    RegisterFile,
+    SNEConfig,
+)
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        f = Fifo(4)
+        for i in range(3):
+            f.push(i)
+        assert [f.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_full_push_rejected_and_counted(self):
+        f = Fifo(2)
+        assert f.push(1) and f.push(2)
+        assert not f.push(3)
+        assert f.stats.rejected_pushes == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            Fifo(1).pop()
+
+    def test_occupancy_tracking(self):
+        f = Fifo(4)
+        f.push(1)
+        f.push(2)
+        f.pop()
+        f.push(3)
+        assert f.stats.max_occupancy == 2
+
+    def test_drain(self):
+        f = Fifo(4)
+        f.push("a")
+        f.push("b")
+        assert f.drain() == ["a", "b"] and f.empty
+
+    def test_peek(self):
+        f = Fifo(2)
+        f.push(7)
+        assert f.peek() == 7 and len(f) == 1
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            Fifo(0)
+
+
+class TestMainMemory:
+    def test_load_and_read(self):
+        m = MainMemory(16, latency=2)
+        m.load_image(4, np.array([11, 22], dtype=np.uint32))
+        data, ready = m.read(4, now=0)
+        assert data == 11 and ready == 2
+
+    def test_load_rejects_overflow(self):
+        m = MainMemory(4)
+        with pytest.raises(ValueError, match="outside"):
+            m.load_image(3, np.array([1, 2], dtype=np.uint32))
+
+    def test_contention_counted(self):
+        m = MainMemory(8, latency=1)
+        m.read(0, now=0)
+        m.read(1, now=0)  # port still busy this cycle
+        assert m.stats.contention_stalls == 1
+
+    def test_write_read_roundtrip(self):
+        m = MainMemory(8, latency=0)
+        m.write(3, 0xDEADBEEF, now=0)
+        assert int(m.words[3]) == 0xDEADBEEF
+
+    def test_address_validation(self):
+        m = MainMemory(4)
+        with pytest.raises(ValueError):
+            m.read(4, 0)
+        with pytest.raises(ValueError):
+            m.write(-1, 0, 0)
+        with pytest.raises(ValueError, match="32-bit"):
+            m.write(0, 1 << 32, 0)
+
+
+class TestDmaStreamer:
+    def make_image(self, n_steps=4, density=0.2, seed=0):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n_steps, 2, 8, 8)) < density).astype(np.uint8)
+        stream = EventStream.from_dense(dense)
+        return stream, encode_inference(stream)
+
+    def test_stream_in_decodes_full_image(self):
+        stream, words = self.make_image()
+        cfg = SNEConfig(n_slices=1)
+        mem = MainMemory(words.size + 8, latency=2)
+        mem.load_image(0, words)
+        dma = DmaStreamer(cfg, mem)
+        events = [e for e, _ in dma.stream_in(0, words.size)]
+        assert len(events) == words.size
+        assert events[0].op == EventOp.RST_OP
+        updates = [e for e in events if e.op == EventOp.UPDATE_OP]
+        assert len(updates) == len(stream)
+
+    def test_fifo_hides_latency_at_event_rate(self):
+        # One event per 48 cycles vs 2-cycle latency: no starvation
+        # beyond the initial fill.
+        _, words = self.make_image(density=0.3)
+        cfg = SNEConfig(n_slices=1, memory_latency=2)
+        mem = MainMemory(words.size, latency=2)
+        mem.load_image(0, words)
+        dma = DmaStreamer(cfg, mem)
+        waits = [w for _, w in dma.stream_in(0, words.size)]
+        assert sum(waits[1:]) == 0
+
+    def test_degenerate_fifo_starves(self):
+        _, words = self.make_image(density=0.3)
+        cfg = SNEConfig(n_slices=1, dma_fifo_depth=1, cycles_per_event=1, cycles_per_fire=1)
+        mem = MainMemory(words.size, latency=10)
+        mem.load_image(0, words)
+        dma = DmaStreamer(cfg, mem)
+        list(dma.stream_in(0, words.size))
+        assert dma.stats.starved_cycles > 0
+
+    def test_stream_out_and_read_back(self):
+        cfg = SNEConfig(n_slices=1)
+        mem = MainMemory(32)
+        dma = DmaStreamer(cfg, mem)
+        events = [Event.update(1, 2, 3, 4), Event.fire(1)]
+        n = dma.stream_out(8, events)
+        assert n == 2
+        back = dma.read_back(8, 2)
+        assert back[0] == Event.update(1, 2, 3, 4)
+        assert back[1].op == EventOp.FIRE_OP
+
+    def test_window_validation(self):
+        cfg = SNEConfig(n_slices=1)
+        dma = DmaStreamer(cfg, MainMemory(4))
+        with pytest.raises(ValueError):
+            list(dma.stream_in(0, 5))
+        with pytest.raises(ValueError):
+            dma.stream_out(3, [Event.rst(), Event.rst()])
+
+
+class _Sink:
+    def __init__(self, accept_after=0):
+        self.items = []
+        self._reject = accept_after
+
+    def accept(self, item):
+        if self._reject > 0:
+            self._reject -= 1
+            return False
+        self.items.append(item)
+        return True
+
+
+class TestCrossbar:
+    def test_point_to_point_routing(self):
+        xb = Crossbar(2, 3)
+        sink = _Sink()
+        xb.attach(1, sink)
+        assert xb.route(0, 1, "evt")
+        assert sink.items == ["evt"]
+        assert xb.stats.point_to_point == 1
+
+    def test_broadcast_reaches_all(self):
+        xb = Crossbar(1, 3)
+        sinks = [_Sink() for _ in range(3)]
+        for i, s in enumerate(sinks):
+            xb.attach(i, s)
+        stalls = xb.broadcast(0, [0, 1, 2], "evt")
+        assert stalls == 0
+        assert all(s.items == ["evt"] for s in sinks)
+
+    def test_broadcast_backpressure_counts_stalls(self):
+        xb = Crossbar(1, 2)
+        xb.attach(0, _Sink())
+        xb.attach(1, _Sink(accept_after=3))
+        stalls = xb.broadcast(0, [0, 1], "evt")
+        assert stalls == 3
+        assert xb.stats.broadcast_stall_cycles == 3
+
+    def test_unattached_slave_raises(self):
+        xb = Crossbar(1, 2)
+        with pytest.raises(RuntimeError, match="no sink"):
+            xb.route(0, 1, "evt")
+
+    def test_index_validation(self):
+        xb = Crossbar(1, 1)
+        with pytest.raises(ValueError):
+            xb.route(1, 0, "x")
+        with pytest.raises(ValueError):
+            xb.broadcast(0, [], "x")
+
+
+class TestCollector:
+    def test_round_robin_fairness(self):
+        fifos = [Fifo(4) for _ in range(3)]
+        for f in fifos:
+            f.push(f"{id(f) % 97}a")
+            f.push(f"{id(f) % 97}b")
+        col = Collector(fifos)
+        out = col.collect_all()
+        assert len(out) == 6
+        # round-robin: first three pops come from three different FIFOs
+        assert len({o[:-1] for o in out[:3]}) == 3
+
+    def test_collect_one_on_empty(self):
+        col = Collector([Fifo(2)])
+        assert col.collect_one() is None
+
+    def test_backlog_stat(self):
+        f = Fifo(4)
+        f.push(1)
+        f.push(2)
+        col = Collector([f])
+        col.collect_all()
+        assert col.stats.max_backlog == 2
+        assert col.stats.collected == 2
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            Collector([])
+
+
+class TestRegisterFile:
+    def test_lif_programming_roundtrip(self):
+        rf = RegisterFile(n_slices=2)
+        rf.program_lif(1, threshold=42, leak=3)
+        assert rf.lif_params(1) == (42, 3)
+        assert rf.lif_params(0) == (0, 0)
+
+    def test_interval_programming(self):
+        rf = RegisterFile(2)
+        rf.program_interval(0, 128, 512)
+        assert rf.interval(0) == (128, 512)
+
+    def test_weight_port_autoincrements(self):
+        rf = RegisterFile(1, n_filter_sets=4, weights_per_set=8)
+        rf.program_weights(0, 2, np.arange(8))
+        assert np.array_equal(rf.weights(0, 2), np.arange(8))
+
+    def test_weight_port_validates_set(self):
+        rf = RegisterFile(1, n_filter_sets=2, weights_per_set=4)
+        rf.write(rf.slice_addr(0, rf.map.FILTER_SET), 5)
+        with pytest.raises(ValueError, match="filter set"):
+            rf.write(rf.slice_addr(0, rf.map.WEIGHT_DATA), 1)
+
+    def test_address_space_bounds(self):
+        rf = RegisterFile(1)
+        with pytest.raises(ValueError, match="register space"):
+            rf.read(rf.map.SLICE_STRIDE * 4)
+
+    def test_value_width_check(self):
+        rf = RegisterFile(1)
+        with pytest.raises(ValueError, match="32 bits"):
+            rf.write(0, 1 << 33)
+
+    def test_access_counters(self):
+        rf = RegisterFile(1)
+        rf.write(0, 1)
+        rf.read(0)
+        assert rf.writes == 1 and rf.reads == 1

@@ -1,0 +1,63 @@
+"""Tests for SNEConfig and its paper-anchored derived quantities."""
+
+import pytest
+
+from repro.hw import PAPER_CONFIG, SNEConfig
+
+
+class TestPaperConfig:
+    def test_total_neurons_matches_table2(self):
+        assert PAPER_CONFIG.total_neurons == 8192
+
+    def test_peak_performance_matches_fig5b(self):
+        assert PAPER_CONFIG.peak_sops_per_s == pytest.approx(51.2e9)
+
+    def test_event_time_matches_text(self):
+        # "an input event is consumed in 120 ns" at 400 MHz
+        assert PAPER_CONFIG.event_time_s == pytest.approx(120e-9)
+
+    def test_reference_geometry(self):
+        assert PAPER_CONFIG.n_slices == 8
+        assert PAPER_CONFIG.clusters_per_slice == 16
+        assert PAPER_CONFIG.neurons_per_cluster == 64
+        assert PAPER_CONFIG.cycles_per_event == 48
+        assert PAPER_CONFIG.weight_bits == 4
+        assert PAPER_CONFIG.state_bits == 8
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n,gsops", [(1, 6.4), (2, 12.8), (4, 25.6), (8, 51.2)])
+    def test_performance_scales_with_slices(self, n, gsops):
+        cfg = PAPER_CONFIG.with_slices(n)
+        assert cfg.peak_sops_per_s / 1e9 == pytest.approx(gsops)
+
+    def test_with_slices_preserves_everything_else(self):
+        cfg = PAPER_CONFIG.with_slices(2)
+        assert cfg.clusters_per_slice == PAPER_CONFIG.clusters_per_slice
+        assert cfg.freq_hz == PAPER_CONFIG.freq_hz
+
+    def test_neurons_per_slice(self):
+        assert SNEConfig(n_slices=1).neurons_per_slice == 1024
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_slices=0),
+            dict(clusters_per_slice=0),
+            dict(cycles_per_event=0),
+            dict(weight_bits=1),
+            dict(weight_bits=9),
+            dict(state_bits=2),
+            dict(memory_latency=-1),
+            dict(freq_hz=0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SNEConfig(**kwargs)
+
+    def test_zero_fire_cycles_allowed(self):
+        # Some analyses ignore fire overhead; that must be expressible.
+        assert SNEConfig(cycles_per_fire=0).cycles_per_fire == 0

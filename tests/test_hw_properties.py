@@ -1,0 +1,177 @@
+"""Cross-cutting hardware invariants (property-based).
+
+These tests pin down relationships *between* subsystems that no single
+unit test sees: SOP conservation against an independent receptive-field
+count, schedule invariance (slices/passes/modes change timing, never
+results), trace/stats consistency, and bit-width safety under random
+traffic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventStream
+from repro.hw import (
+    SNE,
+    ActivityTrace,
+    LayerGeometry,
+    LayerKind,
+    LayerProgram,
+    SNEConfig,
+    random_case,
+    run_case,
+)
+
+
+def random_conv(rng, c_in=2, c_out=4, plane=8):
+    g = LayerGeometry(
+        LayerKind.CONV, c_in, plane, plane, c_out, plane, plane, kernel=3, padding=1
+    )
+    return LayerProgram(
+        g, rng.integers(-2, 3, (c_out, c_in, 3, 3)),
+        threshold=int(rng.integers(2, 10)), leak=int(rng.integers(0, 2)),
+    )
+
+
+def random_stream(rng, shape=(6, 2, 8, 8), density=0.1):
+    return EventStream.from_dense((rng.random(shape) < density).astype(np.uint8))
+
+
+class TestSOPConservation:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_sops_equal_independent_receptive_field_count(self, seed):
+        """SOPs reported by the simulator == sum of per-event receptive
+        field sizes computed directly from the geometry."""
+        rng = np.random.default_rng(seed)
+        program = random_conv(rng)
+        stream = random_stream(rng)
+        _, stats = SNE(SNEConfig(n_slices=2)).run_layer(program, stream)
+        expected = 0
+        for t, ch, x, y in zip(stream.t, stream.ch, stream.x, stream.y):
+            idx, _ = program.geometry.affected_outputs(
+                int(ch), int(x), int(y), program.weights
+            )
+            expected += idx.size
+        assert stats.sops == expected
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_output_events_bounded_by_neuron_steps(self, seed):
+        rng = np.random.default_rng(seed)
+        program = random_conv(rng)
+        stream = random_stream(rng, density=0.2)
+        out, stats = SNE(SNEConfig(n_slices=1)).run_layer(program, stream)
+        # A neuron fires at most once per timestep.
+        assert len(out) <= program.geometry.n_outputs * stream.n_steps
+        assert stats.output_events == len(out)
+
+
+class TestScheduleInvariance:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_fifo_depth_never_changes_outputs(self, seed):
+        rng = np.random.default_rng(seed)
+        program = random_conv(rng)
+        stream = random_stream(rng, density=0.15)
+        outs = [
+            SNE(SNEConfig(n_slices=1, cluster_fifo_depth=d)).run_layer(program, stream)[0]
+            for d in (1, 8, 64)
+        ]
+        assert outs[0] == outs[1] == outs[2]
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None)
+    def test_pipelined_equals_tiled_on_random_two_layer_nets(self, seed):
+        rng = np.random.default_rng(seed)
+        p1 = LayerProgram(
+            LayerGeometry(LayerKind.CONV, 1, 8, 8, 1, 8, 8, kernel=3, padding=1),
+            rng.integers(-2, 4, (1, 1, 3, 3)),
+            threshold=int(rng.integers(2, 6)),
+            leak=int(rng.integers(0, 2)),
+        )
+        n_out = int(rng.integers(2, 12))
+        p2 = LayerProgram(
+            LayerGeometry(LayerKind.DENSE, 1, 8, 8, n_out, 1, 1),
+            rng.integers(-2, 3, (n_out, 64)),
+            threshold=int(rng.integers(2, 8)),
+            leak=0,
+        )
+        stream = random_stream(rng, shape=(5, 1, 8, 8), density=0.15)
+        cfg = SNEConfig(n_slices=2)
+        out_tm, s_tm = SNE(cfg).run_network([p1, p2], stream)
+        out_pl, s_pl = SNE(cfg).run_network_pipelined([p1, p2], stream)
+        assert out_tm == out_pl
+        assert s_tm.sops == s_pl.sops
+        assert s_pl.cycles <= s_tm.cycles
+
+    def test_cycles_per_pass_independent_of_content(self):
+        """Timing depends on event COUNT, never on event VALUES — the
+        data-independence that makes the 48-cycle window a constant."""
+        g = LayerGeometry(LayerKind.CONV, 1, 8, 8, 2, 8, 8, kernel=3, padding=1)
+        rng = np.random.default_rng(0)
+        stream_a = EventStream([0, 1, 2], [0] * 3, [1, 2, 3], [1, 2, 3], (4, 1, 8, 8))
+        stream_b = EventStream([0, 1, 2], [0] * 3, [6, 5, 4], [6, 5, 4], (4, 1, 8, 8))
+        cycles = []
+        for stream in (stream_a, stream_b):
+            prog = LayerProgram(g, rng.integers(-2, 3, (2, 1, 3, 3)), threshold=5, leak=1)
+            _, stats = SNE(SNEConfig(n_slices=1)).run_layer(prog, stream)
+            cycles.append(stats.cycles)
+        assert cycles[0] == cycles[1]
+
+
+class TestTraceConsistency:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_trace_totals_match_stats_on_random_runs(self, seed):
+        rng = np.random.default_rng(seed)
+        program = random_conv(rng)
+        stream = random_stream(rng)
+        trace = ActivityTrace()
+        cfg = SNEConfig(n_slices=1)
+        _, stats = SNE(cfg).run_layer(program, stream, trace=trace)
+        totals = trace.totals()
+        assert totals["sops"] == stats.sops
+        assert totals["output_events"] == stats.output_events
+        assert totals["input_events"] == len(stream)
+        assert totals["cycles"] == stats.cycles - stats.passes * cfg.cycles_per_reset
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_tracing_does_not_perturb_results(self, seed):
+        rng = np.random.default_rng(seed)
+        program = random_conv(rng)
+        stream = random_stream(rng)
+        out_plain, s_plain = SNE(SNEConfig(n_slices=1)).run_layer(program, stream)
+        out_traced, s_traced = SNE(SNEConfig(n_slices=1)).run_layer(
+            program, stream, trace=ActivityTrace()
+        )
+        assert out_plain == out_traced
+        assert s_plain.cycles == s_traced.cycles
+
+
+class TestBitWidthSafety:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_cluster_states_stay_in_register_range(self, seed):
+        """No traffic pattern may escape the 8-bit membrane register."""
+        rng = np.random.default_rng(seed)
+        g = LayerGeometry(LayerKind.DENSE, 1, 2, 2, 16, 1, 1)
+        prog = LayerProgram(
+            g, rng.integers(-8, 8, (16, 4)), threshold=int(rng.integers(1, 127)),
+            leak=int(rng.integers(0, 4)),
+        )
+        stream = random_stream(rng, shape=(20, 1, 2, 2), density=0.6)
+        sne = SNE(SNEConfig(n_slices=1))
+        sne.run_layer(prog, stream)
+        for sl in sne.slices:
+            for cluster in sl.clusters:
+                cluster.check_state_bounds()
+
+    def test_fuzzer_corpus_regression(self):
+        """A fixed fuzz corpus as a cheap regression net for the model."""
+        for seed in range(30, 45):
+            result = run_case(random_case(seed))
+            assert result.matched, f"seed {seed}"

@@ -1,0 +1,91 @@
+"""End-to-end integration: data -> training -> compilation -> hardware.
+
+The deployment promise of the whole repository in one test module:
+a network trained in the float framework, quantised and compiled onto
+the cycle-level accelerator, must classify (nearly) as well as its
+software evaluation, with energy that tracks the input activity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.energy import PowerModel
+from repro.events import SyntheticDVSGesture, polarity_flip, spatial_jitter
+from repro.hw import HardwareEvaluator, SNEConfig, compile_network
+from repro.snn import SNE_LIF_4B, TrainConfig, Trainer, evaluate
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    size, n_steps = 16, 12
+    data = SyntheticDVSGesture(size=size, n_steps=n_steps).generate(n_per_class=5, seed=0)
+    train, _, test = data.split((0.65, 0.10, 0.25), seed=0)
+    net = SNE_LIF_4B.build(
+        small=True, input_size=size, n_classes=11, channels=6, hidden=40, seed=0
+    )
+    trainer = Trainer(net, TrainConfig(epochs=10, batch_size=11, lr=3e-3, seed=0))
+    trainer.fit(train)
+    return net, train, test, size
+
+
+class TestEndToEnd:
+    def test_software_accuracy_above_chance(self, trained_setup):
+        net, _, test, _ = trained_setup
+        assert evaluate(net, test) > 0.3  # chance = 0.09
+
+    def test_hardware_accuracy_tracks_software(self, trained_setup):
+        net, _, test, size = trained_setup
+        sw_acc = evaluate(net, test)
+        programs = compile_network(net, (2, size, size))
+        evaluator = HardwareEvaluator(programs, SNEConfig(n_slices=8))
+        report = evaluator.evaluate(test)
+        # Quantised threshold/leak rounding costs a little; the hardware
+        # must stay within 25 points of the fake-quantised software run
+        # and clearly above chance.
+        assert report.accuracy > 0.25
+        assert abs(report.accuracy - sw_acc) <= 0.25
+
+    def test_hardware_energy_tracks_activity(self, trained_setup):
+        net, _, test, size = trained_setup
+        programs = compile_network(net, (2, size, size))
+        evaluator = HardwareEvaluator(programs, SNEConfig(n_slices=8))
+        report = evaluator.evaluate(test, max_samples=8)
+        assert report.energy_follows_events() > 0.8
+
+    def test_energy_interval_shape_like_table1(self, trained_setup):
+        """Best/worst-case per-inference energy is a genuine interval,
+        like Table I's 80-261 uJ, driven by per-sample activity."""
+        net, _, test, size = trained_setup
+        programs = compile_network(net, (2, size, size))
+        evaluator = HardwareEvaluator(programs, SNEConfig(n_slices=8), PowerModel())
+        report = evaluator.evaluate(test, max_samples=8)
+        lo, hi = report.energy_range_uj
+        assert hi > lo > 0
+
+    def test_augmented_samples_still_classified(self, trained_setup):
+        """Deployment robustness: mild augmentation at inference time
+        should not collapse the hardware predictions to a single class."""
+        net, _, test, size = trained_setup
+        programs = compile_network(net, (2, size, size))
+        evaluator = HardwareEvaluator(programs, SNEConfig(n_slices=8))
+        predictions = []
+        for i, sample in enumerate(test.samples[:6]):
+            stream = spatial_jitter(sample.stream, 1, seed=i)
+            stream = polarity_flip(stream, probability=0.1, seed=i)
+            predictions.append(evaluator.run_sample(stream, sample.label).prediction)
+        assert len(set(predictions)) > 1
+
+    def test_more_slices_same_predictions_less_time(self, trained_setup):
+        """Scaling the accelerator changes schedule, not function."""
+        net, _, test, size = trained_setup
+        programs = compile_network(net, (2, size, size))
+        sample = test.samples[0]
+        r1 = HardwareEvaluator(programs, SNEConfig(n_slices=1)).run_sample(
+            sample.stream, sample.label
+        )
+        r8 = HardwareEvaluator(programs, SNEConfig(n_slices=8)).run_sample(
+            sample.stream, sample.label
+        )
+        assert r1.prediction == r8.prediction
+        assert r1.sops == r8.sops
+        assert r8.cycles <= r1.cycles  # fewer passes with more slices

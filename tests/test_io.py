@@ -1,0 +1,104 @@
+"""Tests for event stream / dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    EventDataset,
+    EventSample,
+    EventStream,
+    load_dataset,
+    load_stream,
+    save_dataset,
+    save_stream,
+)
+
+
+def make_stream(seed=0):
+    rng = np.random.default_rng(seed)
+    return EventStream.from_dense((rng.random((5, 2, 8, 8)) < 0.1).astype(np.uint8))
+
+
+class TestStreamIO:
+    def test_roundtrip(self, tmp_path):
+        s = make_stream()
+        path = str(tmp_path / "stream.npz")
+        save_stream(path, s)
+        assert load_stream(path) == s
+
+    def test_empty_stream_roundtrip(self, tmp_path):
+        s = EventStream.empty((3, 1, 4, 4))
+        path = str(tmp_path / "empty.npz")
+        save_stream(path, s)
+        loaded = load_stream(path)
+        assert loaded == s and loaded.shape == (3, 1, 4, 4)
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="missing"):
+            load_stream(path)
+
+    def test_corrupt_envelope_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(
+            path, t=np.zeros(0), ch=np.zeros(0), x=np.zeros(0), y=np.zeros(0),
+            shape=np.array([3, 1, 4]),
+        )
+        with pytest.raises(ValueError, match="envelope"):
+            load_stream(path)
+
+
+class TestDatasetIO:
+    def make_dataset(self, n=6):
+        samples = [EventSample(make_stream(seed=i), label=i % 3) for i in range(n)]
+        return EventDataset(samples, n_classes=3, name="fixture")
+
+    def test_roundtrip(self, tmp_path):
+        ds = self.make_dataset()
+        path = str(tmp_path / "ds.npz")
+        save_dataset(path, ds)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(ds)
+        assert loaded.n_classes == 3
+        assert loaded.name == "fixture"
+        assert np.array_equal(loaded.labels(), ds.labels())
+        for a, b in zip(loaded.samples, ds.samples):
+            assert a.stream == b.stream
+
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        ds = EventDataset([], n_classes=3, name="empty")
+        path = str(tmp_path / "empty_ds.npz")
+        save_dataset(path, ds)
+        loaded = load_dataset(path)
+        assert len(loaded) == 0 and loaded.n_classes == 3
+
+    def test_truncated_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "trunc.npz")
+        ds = self.make_dataset(2)
+        s0 = ds.samples[0].stream
+        np.savez(
+            path,
+            labels=ds.labels(), n_classes=np.array(3), name=np.array("x"),
+            n_samples=np.array(2),
+            s0_t=s0.t, s0_ch=s0.ch, s0_x=s0.x, s0_y=s0.y,
+            s0_shape=np.array(s0.shape),
+            # sample 1 missing
+        )
+        with pytest.raises(ValueError, match="truncated"):
+            load_dataset(path)
+
+    def test_label_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "mismatch.npz")
+        np.savez(
+            path, labels=np.zeros(3, dtype=np.int64), n_classes=np.array(2),
+            name=np.array("x"), n_samples=np.array(1),
+        )
+        with pytest.raises(ValueError, match="label array"):
+            load_dataset(path)
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, other=np.zeros(2))
+        with pytest.raises(ValueError, match="missing"):
+            load_dataset(path)

@@ -1,0 +1,241 @@
+"""Tests for event layers: im2col plumbing, conv/pool/dense forward+backward."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn import (
+    EConv2d,
+    EDense,
+    EFlatten,
+    ESumPool2d,
+    LIFDynamics,
+    LIFParams,
+    QuantSpec,
+    col2im,
+    im2col,
+)
+
+
+class IdentityDynamics:
+    """Test double: currents pass through, gradients pass through."""
+
+    def forward(self, currents):
+        return currents, {}
+
+    def backward(self, grad, cache):
+        return grad
+
+
+class TestIm2Col:
+    def test_known_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols, (ho, wo) = im2col(x, kernel=3, stride=1, padding=0)
+        assert (ho, wo) == (2, 2)
+        assert cols.shape == (1, 9, 4)
+        # first column = top-left 3x3 patch, row-major
+        assert list(cols[0, :, 0]) == [0, 1, 2, 4, 5, 6, 8, 9, 10]
+
+    def test_padding_adds_zeros(self):
+        x = np.ones((1, 1, 2, 2))
+        cols, (ho, wo) = im2col(x, kernel=3, stride=1, padding=1)
+        assert (ho, wo) == (2, 2)
+        assert cols[0, 0, 0] == 0.0  # padded corner
+
+    def test_stride(self):
+        x = np.arange(25, dtype=np.float64).reshape(1, 1, 5, 5)
+        cols, (ho, wo) = im2col(x, kernel=3, stride=2, padding=0)
+        assert (ho, wo) == (2, 2)
+
+    def test_collapsing_output_raises(self):
+        with pytest.raises(ValueError, match="collapses"):
+            im2col(np.zeros((1, 1, 2, 2)), kernel=3, stride=1, padding=0)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, data):
+        """<im2col(x), c> == <x, col2im(c)> — the defining adjoint identity."""
+        h = data.draw(st.integers(3, 8))
+        w = data.draw(st.integers(3, 8))
+        k = data.draw(st.integers(1, 3))
+        stride = data.draw(st.integers(1, 2))
+        pad = data.draw(st.integers(0, 1))
+        seed = data.draw(st.integers(0, 2**16))
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(2, 3, h, w))
+        try:
+            cols, _ = im2col(x, k, stride, pad)
+        except ValueError:
+            return  # degenerate geometry, nothing to check
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, k, stride, pad)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestEConv2d:
+    def test_forward_shape(self):
+        layer = EConv2d(2, 4, kernel=3, padding=1)
+        x = (np.random.default_rng(0).random((5, 2, 2, 8, 8)) < 0.2).astype(float)
+        out = layer.forward(x)
+        assert out.shape == (5, 2, 4, 8, 8)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_rejects_wrong_rank_and_channels(self):
+        layer = EConv2d(2, 4)
+        with pytest.raises(ValueError, match="T, B, C, H, W"):
+            layer.forward(np.zeros((2, 2, 8, 8)))
+        with pytest.raises(ValueError, match="channels"):
+            layer.forward(np.zeros((1, 1, 3, 8, 8)))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="geometry"):
+            EConv2d(0, 4)
+        with pytest.raises(ValueError, match="geometry"):
+            EConv2d(2, 4, stride=0)
+
+    def test_weight_gradient_exact_with_identity_dynamics(self):
+        """With pass-through dynamics the layer is linear; check dW exactly."""
+        rng = np.random.default_rng(1)
+        layer = EConv2d(2, 3, kernel=3, padding=1, dynamics=IdentityDynamics(), seed=1)
+        x = rng.normal(size=(2, 2, 2, 5, 5))
+        out = layer.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        layer.backward(grad_out)
+        # numerical check on a few weight entries
+        eps = 1e-6
+        for idx in [(0, 0), (1, 5), (2, 17)]:
+            w0 = layer.weight.value[idx]
+            layer.weight.value[idx] = w0 + eps
+            up = float((layer.forward(x) * grad_out).sum())
+            layer.weight.value[idx] = w0 - eps
+            down = float((layer.forward(x) * grad_out).sum())
+            layer.weight.value[idx] = w0
+            numeric = (up - down) / (2 * eps)
+            assert layer.weight.grad[idx] == pytest.approx(numeric, rel=1e-5, abs=1e-7)
+
+    def test_input_gradient_exact_with_identity_dynamics(self):
+        rng = np.random.default_rng(2)
+        layer = EConv2d(1, 2, kernel=3, padding=1, dynamics=IdentityDynamics(), seed=2)
+        x = rng.normal(size=(1, 1, 1, 4, 4))
+        out = layer.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        dx = layer.backward(grad_out)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 1, 2), (0, 0, 0, 3, 3)]:
+            x0 = x[idx]
+            x[idx] = x0 + eps
+            up = float((layer.forward(x) * grad_out).sum())
+            x[idx] = x0 - eps
+            down = float((layer.forward(x) * grad_out).sum())
+            x[idx] = x0
+            numeric = (up - down) / (2 * eps)
+            assert dx[idx] == pytest.approx(numeric, rel=1e-5, abs=1e-7)
+
+    def test_quantised_weights_lie_on_grid(self):
+        layer = EConv2d(2, 3, quant=QuantSpec(4), seed=3)
+        w_eff, mask = layer.effective_weight()
+        from repro.snn import weight_scale
+
+        scale = weight_scale(layer.weight.value, QuantSpec(4))
+        grid = w_eff / scale
+        assert np.allclose(grid, np.round(grid))
+        assert mask is not None
+
+    def test_output_shape_helper(self):
+        layer = EConv2d(2, 8, kernel=3, padding=1)
+        assert layer.output_shape((16, 16)) == (8, 16, 16)
+
+    def test_spikes_recorded_for_analysis(self):
+        layer = EConv2d(1, 1, kernel=3, padding=1)
+        x = np.ones((2, 1, 1, 4, 4))
+        layer.forward(x)
+        assert layer.last_spikes is not None
+
+
+class TestESumPool2d:
+    def test_sum_pooling_arithmetic(self):
+        layer = ESumPool2d(2, pool_weight=0.25, dynamics=IdentityDynamics())
+        x = np.ones((1, 1, 1, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 1, 2, 2)
+        assert np.allclose(out, 1.0)  # 4 ones * 0.25
+
+    def test_rejects_non_tiling_plane(self):
+        layer = ESumPool2d(2)
+        with pytest.raises(ValueError, match="tile"):
+            layer.forward(np.zeros((1, 1, 1, 5, 4)))
+
+    def test_backward_distributes_gradient(self):
+        layer = ESumPool2d(2, pool_weight=0.5, dynamics=IdentityDynamics())
+        x = np.zeros((1, 1, 1, 4, 4))
+        layer.forward(x)
+        grad_out = np.ones((1, 1, 1, 2, 2))
+        dx = layer.backward(grad_out)
+        assert dx.shape == x.shape
+        assert np.allclose(dx, 0.5)
+
+    def test_spiking_pool_emits_binary(self):
+        layer = ESumPool2d(2, dynamics=LIFDynamics(LIFParams(threshold=1.0)))
+        x = np.ones((3, 1, 2, 4, 4))
+        out = layer.forward(x)
+        assert set(np.unique(out)).issubset({0.0, 1.0})
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            ESumPool2d(0)
+
+
+class TestEFlattenAndEDense:
+    def test_flatten_roundtrip(self):
+        layer = EFlatten()
+        x = np.random.default_rng(0).random((2, 3, 4, 5, 6))
+        out = layer.forward(x)
+        assert out.shape == (2, 3, 120)
+        assert np.array_equal(layer.backward(out), x)
+
+    def test_dense_forward_shape(self):
+        layer = EDense(10, 4)
+        x = (np.random.default_rng(0).random((5, 2, 10)) < 0.3).astype(float)
+        out = layer.forward(x)
+        assert out.shape == (5, 2, 4)
+
+    def test_dense_validates_features(self):
+        layer = EDense(10, 4)
+        with pytest.raises(ValueError, match="features"):
+            layer.forward(np.zeros((2, 2, 9)))
+        with pytest.raises(ValueError, match="T, B, F"):
+            layer.forward(np.zeros((2, 9)))
+
+    def test_readout_mode_returns_currents(self):
+        layer = EDense(3, 2, readout=True, seed=0)
+        x = np.ones((2, 1, 3))
+        out = layer.forward(x)
+        expected = x @ layer.weight.value.T
+        assert np.allclose(out, expected)
+
+    def test_readout_gradient_exact(self):
+        rng = np.random.default_rng(4)
+        layer = EDense(6, 3, readout=True, seed=4)
+        x = rng.normal(size=(4, 2, 6))
+        out = layer.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        dx = layer.backward(grad_out)
+        assert np.allclose(dx, grad_out @ layer.weight.value)
+        expected_dw = np.einsum("tbo,tbf->of", grad_out, x)
+        assert np.allclose(layer.weight.grad, expected_dw)
+
+    def test_quantised_dense_grid(self):
+        layer = EDense(8, 4, quant=QuantSpec(4), seed=5)
+        w_eff, _ = layer.effective_weight()
+        from repro.snn import weight_scale
+
+        scale = weight_scale(layer.weight.value, QuantSpec(4))
+        assert np.allclose(w_eff / scale, np.round(w_eff / scale))
+
+    def test_parameters_exposed(self):
+        assert len(EDense(3, 2).parameters()) == 1
+        assert len(EConv2d(1, 1).parameters()) == 1
+        assert EFlatten().parameters() == []
+        assert ESumPool2d(2).parameters() == []

@@ -1,0 +1,106 @@
+"""Tests for the bit-accurate cluster LIF datapath helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import check_weight_range, fire_mask, leak_catchup, sat_add, state_bounds
+
+
+class TestStateBounds:
+    def test_8bit(self):
+        assert state_bounds(8) == (-128, 127)
+
+    def test_4bit(self):
+        assert state_bounds(4) == (-8, 7)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            state_bounds(1)
+
+
+class TestSatAdd:
+    def test_plain_addition(self):
+        assert sat_add(np.array([10]), np.array([5]), 8)[0] == 15
+
+    def test_saturates_high(self):
+        assert sat_add(np.array([125]), np.array([7]), 8)[0] == 127
+
+    def test_saturates_low(self):
+        assert sat_add(np.array([-126]), np.array([-8]), 8)[0] == -128
+
+    @given(
+        v=st.integers(-128, 127),
+        w=st.integers(-8, 7),
+    )
+    @settings(max_examples=100)
+    def test_property_result_in_bounds(self, v, w):
+        out = int(sat_add(np.array([v]), np.array([w]), 8)[0])
+        assert -128 <= out <= 127
+        # Saturating add equals true add when in range.
+        if -128 <= v + w <= 127:
+            assert out == v + w
+
+
+class TestLeakCatchup:
+    def test_single_step(self):
+        assert leak_catchup(np.array([10]), leak=3, dt=1)[0] == 7
+
+    def test_multi_step_telescopes(self):
+        v = np.array([10])
+        stepwise = v
+        for _ in range(4):
+            stepwise = leak_catchup(stepwise, leak=3, dt=1)
+        assert leak_catchup(v, leak=3, dt=4)[0] == stepwise[0]
+
+    def test_saturates_at_zero_positive_and_negative(self):
+        assert leak_catchup(np.array([5]), leak=3, dt=4)[0] == 0
+        assert leak_catchup(np.array([-5]), leak=3, dt=4)[0] == 0
+
+    def test_zero_dt_is_identity(self):
+        v = np.array([42, -17])
+        assert np.array_equal(leak_catchup(v, leak=3, dt=0), v)
+
+    def test_zero_leak_is_identity(self):
+        v = np.array([42, -17])
+        assert np.array_equal(leak_catchup(v, leak=0, dt=100), v)
+
+    def test_rejects_negative_dt_or_leak(self):
+        with pytest.raises(ValueError):
+            leak_catchup(np.array([1]), leak=1, dt=-1)
+        with pytest.raises(ValueError):
+            leak_catchup(np.array([1]), leak=-1, dt=1)
+
+    @given(v=st.integers(-128, 127), leak=st.integers(0, 10), dt=st.integers(0, 50))
+    @settings(max_examples=100)
+    def test_property_telescoping(self, v, leak, dt):
+        """dt one-step decays == one dt-step decay (the TLU identity)."""
+        single = np.array([v])
+        for _ in range(dt):
+            single = leak_catchup(single, leak, 1)
+        assert leak_catchup(np.array([v]), leak, dt)[0] == single[0]
+
+
+class TestFireMask:
+    def test_at_threshold_fires(self):
+        assert fire_mask(np.array([5]), threshold=5)[0]
+
+    def test_below_threshold_silent(self):
+        assert not fire_mask(np.array([4]), threshold=5)[0]
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            fire_mask(np.array([1]), threshold=0)
+
+
+class TestWeightRange:
+    def test_accepts_4bit(self):
+        check_weight_range(np.array([-8, 7]), 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="4-bit"):
+            check_weight_range(np.array([8]), 4)
+
+    def test_empty_ok(self):
+        check_weight_range(np.zeros(0), 4)

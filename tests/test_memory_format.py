@@ -1,0 +1,132 @@
+"""Tests for event memory images and 4-bit weight packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import (
+    DEFAULT_FORMAT,
+    EventOp,
+    EventStream,
+    decode_inference,
+    decode_updates,
+    encode_inference,
+    pack_weights,
+    unpack_weights,
+)
+
+
+def make_stream(seed=0, shape=(5, 2, 8, 8), density=0.1):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density).astype(np.uint8)
+    return EventStream.from_dense(dense)
+
+
+class TestEncodeInference:
+    def test_image_starts_with_reset(self):
+        words = encode_inference(make_stream())
+        first = DEFAULT_FORMAT.unpack(int(words[0]))
+        assert first.op == EventOp.RST_OP
+
+    def test_one_fire_marker_per_step(self):
+        stream = make_stream(shape=(7, 2, 8, 8))
+        _, counts = decode_inference(encode_inference(stream), stream.shape)
+        assert counts["fires"] == 7
+        assert counts["resets"] == 1
+
+    def test_updates_roundtrip(self):
+        stream = make_stream(seed=3)
+        words = encode_inference(stream)
+        assert decode_updates(words, stream.shape) == stream
+
+    def test_word_count(self):
+        stream = make_stream(seed=4)
+        words = encode_inference(stream)
+        assert words.size == 1 + len(stream) + stream.n_steps
+
+    def test_no_reset_option(self):
+        stream = make_stream()
+        _, counts = decode_inference(
+            encode_inference(stream, include_reset=False), stream.shape
+        )
+        assert counts["resets"] == 0
+
+    def test_single_trailing_fire_option(self):
+        stream = make_stream(shape=(6, 2, 8, 8))
+        words = encode_inference(stream, fire_every_step=False)
+        _, counts = decode_inference(words, stream.shape)
+        assert counts["fires"] == 1
+        last = DEFAULT_FORMAT.unpack(int(words[-1]))
+        assert last.op == EventOp.FIRE_OP and last.t == 5
+
+    def test_updates_precede_their_fire_marker(self):
+        stream = make_stream(seed=5)
+        words = encode_inference(stream)
+        ops, ts, *_ = DEFAULT_FORMAT.unpack_array(words)
+        # After each FIRE at step t, no UPDATE with time <= t may appear.
+        last_fire_t = -1
+        for op, t in zip(ops, ts):
+            if op == int(EventOp.FIRE_OP):
+                last_fire_t = t
+            elif op == int(EventOp.UPDATE_OP):
+                assert t > last_fire_t
+
+    def test_rejects_streams_longer_than_time_field(self):
+        stream = EventStream.empty((300, 1, 4, 4))
+        with pytest.raises(ValueError, match="steps"):
+            encode_inference(stream)
+
+    def test_empty_stream_still_brackets(self):
+        stream = EventStream.empty((3, 1, 4, 4))
+        _, counts = decode_inference(encode_inference(stream), stream.shape)
+        assert counts == {"resets": 1, "fires": 3}
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed):
+        stream = make_stream(seed=seed, shape=(6, 3, 10, 10), density=0.15)
+        assert decode_updates(encode_inference(stream), stream.shape) == stream
+
+
+class TestWeightPacking:
+    def test_roundtrip_exact_multiple(self):
+        w = np.arange(-8, 8)  # exactly 16 = 2 words
+        words = pack_weights(w)
+        assert words.size == 2
+        assert np.array_equal(unpack_weights(words, 16), w)
+
+    def test_roundtrip_with_padding(self):
+        w = np.array([1, -2, 3])
+        words = pack_weights(w)
+        assert words.size == 1
+        assert np.array_equal(unpack_weights(words, 3), w)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="4-bit"):
+            pack_weights(np.array([8]))
+        with pytest.raises(ValueError, match="4-bit"):
+            pack_weights(np.array([-9]))
+
+    def test_negative_weights_sign_extend(self):
+        w = np.array([-1, -8, 7, 0])
+        assert np.array_equal(unpack_weights(pack_weights(w), 4), w)
+
+    def test_multidimensional_input_flattens(self):
+        w = np.arange(-8, 8).reshape(4, 4) % 8 - 4
+        out = unpack_weights(pack_weights(w), 16)
+        assert np.array_equal(out, w.reshape(-1))
+
+    def test_unpack_count_validation(self):
+        words = pack_weights(np.zeros(8, dtype=int))
+        with pytest.raises(ValueError, match="cannot unpack"):
+            unpack_weights(words, 9)
+
+    def test_empty_weights(self):
+        assert pack_weights(np.zeros(0, dtype=int)).size == 0
+
+    @given(st.lists(st.integers(-8, 7), min_size=0, max_size=64))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        w = np.array(values, dtype=int)
+        assert np.array_equal(unpack_weights(pack_weights(w), w.size), w)

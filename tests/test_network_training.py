@@ -1,0 +1,218 @@
+"""Tests for Sequential networks, the trainer, and the Fig. 6 topology."""
+
+import numpy as np
+import pytest
+
+from repro.events import EventDataset, EventSample, EventStream
+from repro.snn import (
+    FIG6_PAPER,
+    Adam,
+    Fig6Spec,
+    Parameter,
+    Sequential,
+    SLAYER_SRM,
+    SNE_LIF_4B,
+    TrainConfig,
+    Trainer,
+    build_fig6_network,
+    build_pair,
+    build_small_network,
+    evaluate,
+    softmax_cross_entropy,
+)
+
+
+def toy_dataset(n_per_class=8, size=8, n_steps=6, seed=0):
+    """Two trivially separable classes: events on the left vs right half."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for label in (0, 1):
+        for _ in range(n_per_class):
+            dense = np.zeros((n_steps, 2, size, size), dtype=np.uint8)
+            cols = rng.integers(0, size // 2, 12) + (label * size // 2)
+            rows = rng.integers(0, size, 12)
+            ts = rng.integers(0, n_steps, 12)
+            chs = rng.integers(0, 2, 12)
+            dense[ts, chs, rows, cols] = 1
+            samples.append(EventSample(EventStream.from_dense(dense), label))
+    return EventDataset(samples, n_classes=2, name="toy")
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_gradient_sums_to_zero_per_row(self):
+        logits = np.random.default_rng(0).normal(size=(4, 3))
+        _, grad = softmax_cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    def test_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 3, 0])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for idx in [(0, 1), (2, 2)]:
+            up = logits.copy()
+            up[idx] += eps
+            down = logits.copy()
+            down[idx] -= eps
+            numeric = (
+                softmax_cross_entropy(up, labels)[0]
+                - softmax_cross_entropy(down, labels)[0]
+            ) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = Parameter(np.array([4.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad += 2 * p.value  # d/dx x^2
+            opt.step()
+        assert np.abs(p.value).max() < 1e-2
+
+    def test_grad_clip(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1, grad_clip=1.0)
+        p.grad += np.array([1e6])
+        opt.step()  # must not explode
+        assert abs(p.value[0]) < 1.0
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.0)
+
+
+class TestSequential:
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_predict_shapes(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        x = (np.random.default_rng(0).random((4, 2, 2, 8, 8)) < 0.2).astype(float)
+        out = net.forward(x)
+        assert out.shape == (4, 2, 3)
+        assert net.predict(x).shape == (2,)
+
+    def test_layer_activities_after_forward(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        x = np.ones((4, 1, 2, 8, 8))
+        net.forward(x)
+        acts = net.layer_activities()
+        assert len(acts) == len(net.layers)
+        assert all(0.0 <= a <= 1.0 for a in acts)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        path = str(tmp_path / "weights.npz")
+        net.save(path)
+        net2 = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3, seed=99)
+        net2.load(path)
+        for a, b in zip(net.parameters(), net2.parameters()):
+            assert np.array_equal(a.value, b.value)
+
+    def test_load_rejects_wrong_keys(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        with pytest.raises(ValueError, match="keys"):
+            net.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_load_rejects_wrong_shape(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_zero_grad(self):
+        net = build_small_network(input_size=8, channels=4, hidden=16, n_classes=3)
+        x = np.ones((2, 1, 2, 8, 8))
+        out = net.forward(x)
+        net.backward(np.ones_like(out))
+        net.zero_grad()
+        assert all(np.all(p.grad == 0) for p in net.parameters())
+
+
+class TestTrainer:
+    def test_training_reduces_loss_and_learns_toy_task(self):
+        data = toy_dataset(n_per_class=10)
+        train, _, test = data.split((0.7, 0.0, 0.3), seed=1)
+        net = build_small_network(
+            input_size=8, channels=4, hidden=24, n_classes=2, weight_bits=None
+        )
+        trainer = Trainer(net, TrainConfig(epochs=6, batch_size=7, lr=3e-3, seed=0))
+        history = trainer.fit(train)
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert evaluate(net, test) >= 0.6  # clearly above the 0.5 chance level
+
+    def test_quantised_network_also_learns(self):
+        data = toy_dataset(n_per_class=10, seed=3)
+        train, _, test = data.split((0.7, 0.0, 0.3), seed=1)
+        net = build_small_network(
+            input_size=8, channels=4, hidden=24, n_classes=2, weight_bits=4
+        )
+        trainer = Trainer(net, TrainConfig(epochs=6, batch_size=7, lr=3e-3, seed=0))
+        trainer.fit(train)
+        assert evaluate(net, test) >= 0.6
+
+    def test_validation_history_recorded(self):
+        data = toy_dataset(n_per_class=6)
+        train, val, _ = data.split((0.6, 0.2, 0.2), seed=0)
+        net = build_small_network(input_size=8, channels=3, hidden=12, n_classes=2)
+        trainer = Trainer(net, TrainConfig(epochs=2, batch_size=4))
+        history = trainer.fit(train, validation=val)
+        assert len(history.val_accuracy) == 2
+
+    def test_evaluate_rejects_empty(self):
+        net = build_small_network(input_size=8, channels=3, hidden=12, n_classes=2)
+        with pytest.raises(ValueError):
+            evaluate(net, EventDataset([], 2))
+
+
+class TestFig6Topology:
+    def test_paper_geometry(self):
+        spec = FIG6_PAPER
+        assert spec.fc_plane == 9
+        assert spec.fc_inputs == 9 * 9 * 32  # 2592 as printed in Fig. 6
+
+    def test_rejects_non_tiling_input(self):
+        with pytest.raises(ValueError, match="tile"):
+            Fig6Spec(input_size=100)
+
+    def test_scaled_variant(self):
+        small = FIG6_PAPER.scaled(3)
+        assert small.input_size == 48 and small.fc_plane == 3
+
+    def test_forward_pass_small_variant(self):
+        spec = Fig6Spec(input_size=32, conv_channels=4, hidden=16)
+        net = build_fig6_network(spec, weight_bits=4)
+        x = (np.random.default_rng(0).random((3, 1, 2, 32, 32)) < 0.05).astype(float)
+        out = net.forward(x)
+        assert out.shape == (3, 1, 16) or out.shape == (3, 1, spec.n_classes)
+
+    def test_srm_and_lif_pairs_share_topology(self):
+        srm_net, lif_net = build_pair(small=True, input_size=8, channels=3, hidden=12)
+        assert len(srm_net.layers) == len(lif_net.layers)
+
+    def test_model_config_names_match_table1(self):
+        assert "SRM" in SLAYER_SRM.name
+        assert "4b" in SNE_LIF_4B.name
+        assert SNE_LIF_4B.weight_bits == 4
+        assert SLAYER_SRM.weight_bits is None
+
+    def test_bad_neuron_model_rejected(self):
+        with pytest.raises(ValueError, match="neuron_model"):
+            build_small_network(neuron_model="bogus")

@@ -1,0 +1,249 @@
+"""Tests for LIF (float + integer) and SRM neuron dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn import (
+    LIFDynamics,
+    LIFParams,
+    ResetMode,
+    SRMDynamics,
+    SRMParams,
+    lif_forward_int,
+    linear_decay,
+)
+
+
+class TestLinearDecay:
+    def test_moves_toward_zero(self):
+        assert linear_decay(np.array(2.0), 0.5) == pytest.approx(1.5)
+        assert linear_decay(np.array(-2.0), 0.5) == pytest.approx(-1.5)
+
+    def test_saturates_at_zero(self):
+        assert linear_decay(np.array(0.3), 0.5) == pytest.approx(0.0)
+        assert linear_decay(np.array(-0.3), 0.5) == pytest.approx(0.0)
+
+    def test_zero_leak_is_identity(self):
+        v = np.array([1.0, -2.0, 0.0])
+        assert np.array_equal(linear_decay(v, 0.0), v)
+
+
+class TestLIFForward:
+    def test_fires_when_threshold_crossed(self):
+        dyn = LIFDynamics(LIFParams(threshold=1.0, leak=0.0))
+        currents = np.array([[0.6], [0.6], [0.0]])
+        spikes, _ = dyn.forward(currents)
+        assert list(spikes[:, 0]) == [0.0, 1.0, 0.0]
+
+    def test_reset_to_zero(self):
+        dyn = LIFDynamics(LIFParams(threshold=1.0, leak=0.0, reset=ResetMode.TO_ZERO))
+        currents = np.array([[1.5], [0.4]])
+        spikes, cache = dyn.forward(currents)
+        assert spikes[0, 0] == 1.0
+        assert cache["v_post"][0, 0] == 0.0
+        assert cache["v_pre"][1, 0] == pytest.approx(0.4)
+
+    def test_reset_subtract(self):
+        dyn = LIFDynamics(LIFParams(threshold=1.0, leak=0.0, reset=ResetMode.SUBTRACT))
+        currents = np.array([[1.5]])
+        _, cache = dyn.forward(currents)
+        assert cache["v_post"][0, 0] == pytest.approx(0.5)
+
+    def test_leak_subtracts_each_step(self):
+        dyn = LIFDynamics(LIFParams(threshold=10.0, leak=0.1))
+        currents = np.array([[0.5], [0.0], [0.0]])
+        _, cache = dyn.forward(currents)
+        assert cache["v_pre"][1, 0] == pytest.approx(0.4)
+        assert cache["v_pre"][2, 0] == pytest.approx(0.3)
+
+    def test_membrane_never_oscillates_through_zero(self):
+        dyn = LIFDynamics(LIFParams(threshold=10.0, leak=1.0))
+        currents = np.zeros((5, 1))
+        currents[0, 0] = 0.5
+        _, cache = dyn.forward(currents)
+        assert (cache["v_pre"][1:] >= 0).all()
+
+    def test_v_clip_bounds_membrane(self):
+        dyn = LIFDynamics(LIFParams(threshold=100.0, leak=0.0, v_clip=2.0))
+        currents = np.ones((5, 1)) * 3.0
+        _, cache = dyn.forward(currents)
+        assert cache["v_pre"].max() <= 2.0
+
+    def test_batch_and_spatial_shapes(self):
+        dyn = LIFDynamics()
+        currents = np.random.default_rng(0).random((4, 2, 3, 5, 5))
+        spikes, _ = dyn.forward(currents)
+        assert spikes.shape == currents.shape
+        assert set(np.unique(spikes)).issubset({0.0, 1.0})
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LIFParams(threshold=0.0)
+        with pytest.raises(ValueError):
+            LIFParams(leak=-0.1)
+        with pytest.raises(ValueError):
+            LIFParams(v_clip=0.0)
+
+
+class TestLIFBackward:
+    def test_gradient_shape(self):
+        dyn = LIFDynamics()
+        currents = np.random.default_rng(0).random((6, 2, 4))
+        spikes, cache = dyn.forward(currents)
+        grad = dyn.backward(np.ones_like(spikes), cache)
+        assert grad.shape == currents.shape
+
+    def test_gradient_flows_backward_in_time(self):
+        # A spike at t=2 caused by charge injected at t=0 must send
+        # gradient to the t=0 current.
+        dyn = LIFDynamics(LIFParams(threshold=1.0, leak=0.0))
+        currents = np.array([[0.5], [0.3], [0.3]])
+        spikes, cache = dyn.forward(currents)
+        assert spikes[2, 0] == 1.0
+        grad_out = np.zeros_like(spikes)
+        grad_out[2, 0] = 1.0
+        grad = dyn.backward(grad_out, cache)
+        assert grad[0, 0] > 0.0
+
+    def test_reset_blocks_gradient_across_spike(self):
+        # With reset-to-zero, membrane history before a spike cannot
+        # influence the membrane after it (detached reset).
+        dyn = LIFDynamics(LIFParams(threshold=1.0, leak=0.0))
+        currents = np.array([[1.5], [0.5], [0.6]])  # spike at t=0, spike at t=2
+        spikes, cache = dyn.forward(currents)
+        assert spikes[0, 0] == 1.0 and spikes[2, 0] == 1.0
+        grad_out = np.zeros_like(spikes)
+        grad_out[2, 0] = 1.0
+        grad = dyn.backward(grad_out, cache)
+        # Gradient to t=0 goes only through the (weak) surrogate at t=0's
+        # spike; the direct membrane path is cut by the reset.
+        assert abs(grad[0, 0]) < abs(grad[1, 0])
+
+    def test_quiescent_leaked_membrane_blocks_gradient(self):
+        # If the membrane fully decays to zero between two steps, no
+        # gradient can flow across the gap (the decay saturates).
+        dyn = LIFDynamics(LIFParams(threshold=5.0, leak=1.0))
+        currents = np.array([[0.5], [0.0], [0.0], [3.0]])
+        spikes, cache = dyn.forward(currents)
+        grad_out = np.zeros_like(spikes)
+        grad_out[3, 0] = 1.0
+        grad = dyn.backward(grad_out, cache)
+        assert grad[0, 0] == 0.0
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_upstream_gradient_gives_zero(self, seed):
+        dyn = LIFDynamics()
+        currents = np.random.default_rng(seed).random((5, 3))
+        spikes, cache = dyn.forward(currents)
+        grad = dyn.backward(np.zeros_like(spikes), cache)
+        assert np.all(grad == 0.0)
+
+
+class TestLIFInteger:
+    def test_matches_float_path_on_integer_inputs(self):
+        rng = np.random.default_rng(0)
+        currents = rng.integers(-3, 4, size=(12, 6)).astype(np.int64)
+        spikes_int, _ = lif_forward_int(currents, threshold=5, leak=1, state_bits=8)
+        dyn = LIFDynamics(LIFParams(threshold=5.0, leak=1.0, v_clip=127.0))
+        spikes_f, _ = dyn.forward(currents.astype(np.float64))
+        assert np.array_equal(spikes_int.astype(np.float64), spikes_f)
+
+    def test_state_saturates(self):
+        currents = np.full((60, 1), 5, dtype=np.int64)
+        _, v = lif_forward_int(currents, threshold=1000, leak=0, state_bits=8)
+        # threshold unreachable, state must pin at +127
+        assert v[0] == 127
+
+    def test_state_saturates_negative(self):
+        currents = np.full((60, 1), -5, dtype=np.int64)
+        _, v = lif_forward_int(currents, threshold=100, leak=0, state_bits=8)
+        assert v[0] == -128
+
+    def test_reset_to_zero_after_fire(self):
+        currents = np.array([[10], [0]], dtype=np.int64)
+        spikes, v = lif_forward_int(currents, threshold=8, leak=0)
+        assert spikes[0, 0] == 1 and v[0] == 0
+
+    def test_subtract_reset(self):
+        currents = np.array([[10]], dtype=np.int64)
+        _, v = lif_forward_int(currents, threshold=8, leak=0, reset=ResetMode.SUBTRACT)
+        assert v[0] == 2
+
+    def test_leak_decays_toward_zero_integer(self):
+        currents = np.zeros((4, 1), dtype=np.int64)
+        currents[0, 0] = 5
+        spikes, v = lif_forward_int(currents, threshold=100, leak=2)
+        assert spikes.sum() == 0 and v[0] == 0  # 5 -> 3 -> 1 -> 0 (saturating)
+
+    def test_parameter_validation(self):
+        z = np.zeros((1, 1), dtype=np.int64)
+        with pytest.raises(ValueError):
+            lif_forward_int(z, threshold=0, leak=0)
+        with pytest.raises(ValueError):
+            lif_forward_int(z, threshold=1, leak=-1)
+        with pytest.raises(ValueError):
+            lif_forward_int(z, threshold=1, leak=0, state_bits=1)
+
+    @given(seed=st.integers(0, 2**16), leak=st.integers(0, 3), th=st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_spikes_are_binary_and_state_bounded(self, seed, leak, th):
+        rng = np.random.default_rng(seed)
+        currents = rng.integers(-8, 8, size=(10, 4))
+        spikes, v = lif_forward_int(currents, threshold=th, leak=leak)
+        assert set(np.unique(spikes)).issubset({0, 1})
+        assert v.min() >= -128 and v.max() <= 127
+        # After a FIRE the membrane is below threshold (reset-to-zero).
+        assert (v < th).all() or spikes[-1].any()
+
+
+class TestSRM:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SRMParams(threshold=0)
+        with pytest.raises(ValueError):
+            SRMParams(tau_mem=0)
+
+    def test_fires_on_strong_input(self):
+        dyn = SRMDynamics(SRMParams(threshold=0.5))
+        currents = np.zeros((8, 1))
+        currents[0, 0] = 3.0
+        spikes, _ = dyn.forward(currents)
+        assert spikes.sum() >= 1
+
+    def test_membrane_kernel_is_smooth_rise_and_decay(self):
+        dyn = SRMDynamics(SRMParams(threshold=100.0))  # never fires
+        currents = np.zeros((20, 1))
+        currents[0, 0] = 1.0
+        _, cache = dyn.forward(currents)
+        u = cache["u"][:, 0]
+        peak = u.argmax()
+        assert 0 < peak < 19  # rises then decays (double-exponential shape)
+        assert u[-1] < u[peak]
+
+    def test_refractory_suppresses_immediate_refire(self):
+        params = SRMParams(threshold=0.5, refractory_scale=5.0)
+        dyn = SRMDynamics(params)
+        currents = np.ones((10, 1)) * 0.6
+        spikes, _ = dyn.forward(currents)
+        # strong refractory: cannot fire on consecutive steps
+        s = spikes[:, 0]
+        assert not np.any(s[1:] * s[:-1])
+
+    def test_backward_shapes_and_time_flow(self):
+        dyn = SRMDynamics(SRMParams(threshold=0.8))
+        currents = np.random.default_rng(1).random((6, 2, 3)) * 0.5
+        spikes, cache = dyn.forward(currents)
+        grad_out = np.zeros_like(spikes)
+        grad_out[-1] = 1.0
+        grad = dyn.backward(grad_out, cache)
+        assert grad.shape == currents.shape
+        assert np.abs(grad[0]).sum() > 0.0  # synaptic kernel spans time
+
+    def test_zero_gradient_passthrough(self):
+        dyn = SRMDynamics()
+        currents = np.random.default_rng(2).random((5, 4))
+        spikes, cache = dyn.forward(currents)
+        assert np.all(dyn.backward(np.zeros_like(spikes), cache) == 0.0)

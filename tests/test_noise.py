@@ -1,0 +1,104 @@
+"""Tests for event-stream corruption models."""
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    EventStream,
+    add_background_noise,
+    add_hot_pixels,
+    drop_events,
+    thin_to_activity,
+)
+
+
+def base_stream(seed=0, density=0.1):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((10, 2, 16, 16)) < density).astype(np.uint8)
+    return EventStream.from_dense(dense)
+
+
+class TestBackgroundNoise:
+    def test_zero_rate_is_identity(self):
+        s = base_stream()
+        assert add_background_noise(s, 0.0) is s
+
+    def test_noise_increases_events(self):
+        s = base_stream()
+        noisy = add_background_noise(s, 0.02, seed=1)
+        assert len(noisy) > len(s)
+
+    def test_original_events_survive(self):
+        s = base_stream()
+        noisy = add_background_noise(s, 0.02, seed=1)
+        assert np.array_equal(noisy.merge(s).to_dense(), noisy.to_dense())
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            add_background_noise(base_stream(), 1.0)
+
+    def test_deterministic(self):
+        s = base_stream()
+        a = add_background_noise(s, 0.05, seed=9)
+        b = add_background_noise(s, 0.05, seed=9)
+        assert a == b
+
+
+class TestHotPixels:
+    def test_zero_pixels_is_identity(self):
+        s = base_stream()
+        assert add_hot_pixels(s, 0) is s
+
+    def test_hot_pixels_fire_repeatedly(self):
+        s = EventStream.empty((20, 2, 8, 8))
+        hot = add_hot_pixels(s, n_pixels=1, fire_probability=1.0, seed=0)
+        # One pixel firing every step except possibly duplicates.
+        assert len(hot) == 20
+        assert len(set(zip(hot.x.tolist(), hot.y.tolist()))) == 1
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            add_hot_pixels(base_stream(), -1)
+
+
+class TestDropEvents:
+    def test_zero_drop_is_identity(self):
+        s = base_stream()
+        assert drop_events(s, 0.0) is s
+
+    def test_full_drop_empties_stream(self):
+        assert len(drop_events(base_stream(), 1.0)) == 0
+
+    def test_partial_drop_reduces_count(self):
+        s = base_stream()
+        dropped = drop_events(s, 0.5, seed=2)
+        assert 0 < len(dropped) < len(s)
+
+    def test_dropped_is_subset(self):
+        s = base_stream()
+        dropped = drop_events(s, 0.3, seed=3)
+        assert np.array_equal(s.merge(dropped).to_dense(), s.to_dense())
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            drop_events(base_stream(), 1.5)
+
+
+class TestThinToActivity:
+    def test_already_sparser_is_unchanged(self):
+        s = base_stream(density=0.01)
+        assert thin_to_activity(s, 0.5) is s
+
+    def test_thins_to_near_target(self):
+        s = base_stream(density=0.3)
+        target = 0.05
+        thinned = thin_to_activity(s, target, seed=4)
+        assert thinned.activity() == pytest.approx(target, rel=0.25)
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(ValueError):
+            thin_to_activity(base_stream(), -0.1)
+
+    def test_empty_stream_passthrough(self):
+        s = EventStream.empty((2, 1, 4, 4))
+        assert thin_to_activity(s, 0.1) is s

@@ -1,0 +1,131 @@
+"""Tests for the 4-bit quantisation path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn import (
+    QuantSpec,
+    dequantize,
+    export_layer_quant,
+    fake_quantize,
+    quantize_int,
+    weight_scale,
+)
+
+
+class TestQuantSpec:
+    def test_4bit_range(self):
+        spec = QuantSpec(bits=4)
+        assert spec.q_min == -8 and spec.q_max == 7
+
+    def test_8bit_range(self):
+        spec = QuantSpec(bits=8)
+        assert spec.q_min == -128 and spec.q_max == 127
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            QuantSpec(bits=1)
+        with pytest.raises(ValueError):
+            QuantSpec(bits=17)
+
+
+class TestScaleAndRoundtrip:
+    def test_scale_maps_max_to_qmax(self):
+        w = np.array([0.1, -0.7, 0.35])
+        spec = QuantSpec(4)
+        scale = weight_scale(w, spec)
+        q = quantize_int(w, scale, spec)
+        assert q.min() >= -8 and q.max() <= 7
+        assert abs(q).max() == 7
+
+    def test_zero_weights_scale_is_one(self):
+        assert weight_scale(np.zeros(5), QuantSpec(4)) == 1.0
+
+    def test_quantize_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            quantize_int(np.ones(2), 0.0, QuantSpec(4))
+
+    def test_dequantize_inverts_grid(self):
+        spec = QuantSpec(4)
+        q = np.arange(-8, 8)
+        w = dequantize(q, 0.25)
+        assert np.array_equal(quantize_int(w, 0.25, spec), q)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=30)
+    def test_quantisation_error_bounded_by_half_step(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(0, 0.5, 32)
+        spec = QuantSpec(4)
+        scale = weight_scale(w, spec)
+        w_hat = dequantize(quantize_int(w, scale, spec), scale)
+        # inside the clip range, error <= scale/2 (+ eps for fp rounding)
+        inside = np.abs(w) <= spec.q_max * scale
+        assert np.all(np.abs(w - w_hat)[inside] <= scale / 2 + 1e-12)
+
+
+class TestFakeQuantize:
+    def test_output_lies_on_grid(self):
+        w = np.random.default_rng(0).normal(0, 1, 64)
+        spec = QuantSpec(4)
+        w_fq, _ = fake_quantize(w, spec)
+        scale = weight_scale(w, spec)
+        grid = np.round(w_fq / scale)
+        assert np.allclose(grid * scale, w_fq)
+        assert grid.min() >= -8 and grid.max() <= 7
+
+    def test_ste_mask_blocks_clipped_weights(self):
+        spec = QuantSpec(4)
+        w = np.array([0.1, 5.0])
+        _, mask = fake_quantize(w, spec, scale=0.1)  # 5.0/0.1 = 50 >> 7 clips
+        assert mask[0] == 1.0 and mask[1] == 0.0
+
+    def test_idempotent(self):
+        w = np.random.default_rng(1).normal(0, 1, 16)
+        spec = QuantSpec(4)
+        scale = weight_scale(w, spec)
+        w1, _ = fake_quantize(w, spec, scale)
+        w2, _ = fake_quantize(w1, spec, scale)
+        assert np.allclose(w1, w2)
+
+
+class TestExportLayerQuant:
+    def test_threshold_and_leak_rescaled(self):
+        w = np.array([0.7, -0.7])
+        out = export_layer_quant(w, threshold=1.0, leak=0.1)
+        assert out["weights_int"].max() == 7
+        assert out["threshold_int"] == round(1.0 / out["scale"])
+        assert out["leak_int"] == round(0.1 / out["scale"])
+
+    def test_threshold_at_least_one(self):
+        w = np.array([0.7])
+        out = export_layer_quant(w, threshold=1e-6, leak=0.0)
+        assert out["threshold_int"] == 1
+
+    def test_unreachable_threshold_raises(self):
+        w = np.array([0.001, -0.001])  # tiny weights -> tiny scale -> huge th_int
+        with pytest.raises(ValueError, match="ceiling"):
+            export_layer_quant(w, threshold=10.0, leak=0.0)
+
+    def test_integer_dynamics_approximate_float(self):
+        # The exported integer LIF must track the float LIF up to
+        # quantisation error: same spike count on a smooth input.
+        from repro.snn import LIFDynamics, LIFParams, lif_forward_int
+
+        rng = np.random.default_rng(3)
+        w = rng.normal(0, 0.4, 8)
+        spikes_in = (rng.random((30, 8)) < 0.3).astype(np.float64)
+        currents_f = spikes_in @ w
+        out = export_layer_quant(w, threshold=0.8, leak=0.05)
+        currents_i = (spikes_in @ out["weights_int"]).astype(np.int64)
+        s_float, _ = LIFDynamics(LIFParams(threshold=0.8, leak=0.05)).forward(
+            currents_f[:, None]
+        )
+        s_int, _ = lif_forward_int(
+            currents_i[:, None], out["threshold_int"], out["leak_int"]
+        )
+        # Not bit-identical (quantisation), but within 30% spike count.
+        n_f, n_i = s_float.sum(), s_int.sum()
+        assert abs(n_f - n_i) <= max(3, 0.3 * max(n_f, n_i))

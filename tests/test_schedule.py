@@ -1,0 +1,129 @@
+"""Tests for learning-rate schedules and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.snn import (
+    ConstantLR,
+    CosineLR,
+    EarlyStopping,
+    StepDecayLR,
+    TrainConfig,
+    Trainer,
+    build_small_network,
+)
+from tests.test_network_training import toy_dataset
+
+
+class TestConstantLR:
+    def test_constant(self):
+        sched = ConstantLR(lr=0.01)
+        assert sched.lr_at(0) == sched.lr_at(100) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(lr=0)
+
+
+class TestStepDecayLR:
+    def test_decay_steps(self):
+        sched = StepDecayLR(lr=1.0, step_epochs=2, gamma=0.5)
+        assert sched.lr_at(0) == 1.0
+        assert sched.lr_at(1) == 1.0
+        assert sched.lr_at(2) == 0.5
+        assert sched.lr_at(5) == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecayLR(gamma=0)
+        with pytest.raises(ValueError):
+            StepDecayLR(step_epochs=0)
+        with pytest.raises(ValueError):
+            StepDecayLR(lr=1.0).lr_at(-1)
+
+
+class TestCosineLR:
+    def test_endpoints(self):
+        sched = CosineLR(lr=1.0, lr_min=0.1, total_epochs=11)
+        assert sched.lr_at(0) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(0.1)
+
+    def test_monotone_decrease(self):
+        sched = CosineLR(lr=1.0, lr_min=0.0, total_epochs=10)
+        values = [sched.lr_at(e) for e in range(10)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_clamps_past_horizon(self):
+        sched = CosineLR(lr=1.0, lr_min=0.2, total_epochs=5)
+        assert sched.lr_at(50) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineLR(lr=0.1, lr_min=0.2)
+        with pytest.raises(ValueError):
+            CosineLR(total_epochs=0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(0.5, 0)
+        assert not stopper.update(0.5, 1)  # no improvement, 1/2
+        assert stopper.update(0.5, 2)  # no improvement, 2/2 -> stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 0)
+        stopper.update(0.5, 1)
+        assert not stopper.update(0.6, 2)  # improvement resets
+        assert not stopper.update(0.6, 3)
+        assert stopper.update(0.6, 4)
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.05)
+        stopper.update(0.50, 0)
+        assert stopper.update(0.52, 1)  # +0.02 < min_delta: not an improvement
+
+    def test_best_tracking(self):
+        stopper = EarlyStopping(patience=3)
+        stopper.update(0.4, 0)
+        stopper.update(0.7, 1)
+        stopper.update(0.6, 2)
+        assert stopper.best == 0.7 and stopper.best_epoch == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1)
+
+
+class TestTrainerIntegration:
+    def test_schedule_changes_optimizer_lr(self):
+        data = toy_dataset(n_per_class=4)
+        net = build_small_network(input_size=8, channels=3, hidden=12, n_classes=2)
+        sched = StepDecayLR(lr=1e-2, step_epochs=1, gamma=0.1)
+        trainer = Trainer(net, TrainConfig(epochs=3, batch_size=4, schedule=sched))
+        trainer.fit(data)
+        assert trainer.optimizer.lr == pytest.approx(1e-4)
+
+    def test_early_stopping_truncates_history(self):
+        data = toy_dataset(n_per_class=6)
+        train, val, _ = data.split((0.6, 0.2, 0.2), seed=0)
+        net = build_small_network(input_size=8, channels=3, hidden=12, n_classes=2)
+        trainer = Trainer(
+            net,
+            TrainConfig(epochs=20, batch_size=4, lr=1e-5,  # tiny lr: no progress
+                        early_stopping=EarlyStopping(patience=2)),
+        )
+        history = trainer.fit(train, validation=val)
+        assert len(history.val_accuracy) < 20
+
+    def test_early_stopping_requires_validation(self):
+        data = toy_dataset(n_per_class=4)
+        net = build_small_network(input_size=8, channels=3, hidden=12, n_classes=2)
+        trainer = Trainer(
+            net, TrainConfig(epochs=2, early_stopping=EarlyStopping(patience=1))
+        )
+        with pytest.raises(ValueError, match="validation"):
+            trainer.fit(data)

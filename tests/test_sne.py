@@ -1,0 +1,178 @@
+"""Tests for the SNE top level: layer runs, passes, modes, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.events import EventStream
+from repro.hw import (
+    SNE,
+    LayerGeometry,
+    LayerKind,
+    LayerProgram,
+    SNEConfig,
+    compile_network,
+)
+from repro.snn import LIFDynamics, LIFParams, build_small_network
+
+
+def conv_program(c_in=2, c_out=4, plane=8, threshold=4, leak=1, seed=0):
+    rng = np.random.default_rng(seed)
+    g = LayerGeometry(
+        LayerKind.CONV, c_in, plane, plane, c_out, plane, plane,
+        kernel=3, stride=1, padding=1,
+    )
+    w = rng.integers(-3, 4, (c_out, c_in, 3, 3))
+    return LayerProgram(g, w, threshold=threshold, leak=leak)
+
+
+def sparse_stream(shape=(6, 2, 8, 8), density=0.06, seed=0):
+    rng = np.random.default_rng(seed)
+    return EventStream.from_dense((rng.random(shape) < density).astype(np.uint8))
+
+
+class TestRunLayer:
+    def test_envelope_validation(self):
+        sne = SNE(SNEConfig(n_slices=1))
+        with pytest.raises(ValueError, match="envelope"):
+            sne.run_layer(conv_program(), sparse_stream(shape=(6, 3, 8, 8)))
+
+    def test_output_envelope(self):
+        sne = SNE(SNEConfig(n_slices=1))
+        out, _ = sne.run_layer(conv_program(), sparse_stream())
+        assert out.shape == (6, 4, 8, 8)
+
+    def test_cycle_accounting_identity(self):
+        """cycles = passes * (reset + events*48 + steps*fire)."""
+        cfg = SNEConfig(n_slices=1)
+        sne = SNE(cfg)
+        stream = sparse_stream()
+        _, stats = sne.run_layer(conv_program(), stream)
+        expected = stats.passes * (
+            cfg.cycles_per_reset
+            + len(stream) * cfg.cycles_per_event
+            + stream.n_steps * cfg.cycles_per_fire
+        )
+        assert stats.cycles == expected
+
+    def test_empty_stream_still_runs_brackets(self):
+        sne = SNE(SNEConfig(n_slices=1))
+        stream = EventStream.empty((4, 2, 8, 8))
+        out, stats = sne.run_layer(conv_program(), stream)
+        assert len(out) == 0
+        assert stats.fire_events == 4
+        assert stats.sops == 0
+
+    def test_energy_proportionality_of_cycles(self):
+        """The title claim: cycles scale linearly with event count."""
+        cfg = SNEConfig(n_slices=1)
+        prog = conv_program(threshold=100)  # keep outputs silent
+        cycles = []
+        for density in (0.02, 0.04, 0.08):
+            stream = sparse_stream(density=density, seed=1)
+            _, stats = SNE(cfg).run_layer(prog, stream)
+            cycles.append((len(stream), stats.cycles))
+        # Remove the constant bracket overhead, then ratios must match.
+        overhead = cfg.cycles_per_reset + 6 * cfg.cycles_per_fire
+        for n_events, cyc in cycles:
+            assert cyc - overhead == n_events * cfg.cycles_per_event
+
+    def test_multi_pass_when_layer_overflows(self):
+        cfg = SNEConfig(n_slices=1)  # 1024 neurons
+        prog = conv_program(c_out=32, plane=8)  # 2048 outputs -> 2 passes
+        stream = sparse_stream()
+        _, stats = SNE(cfg).run_layer(prog, stream)
+        assert stats.passes == 2
+        assert stats.dma_words_in == 2 * (1 + len(stream) + stream.n_steps)
+
+    def test_multi_pass_output_equals_single_pass_output(self):
+        """Passes partition the neurons; results must not depend on it."""
+        prog = conv_program(c_out=32, plane=8, seed=3)
+        stream = sparse_stream(seed=4)
+        out_small, _ = SNE(SNEConfig(n_slices=1)).run_layer(prog, stream)
+        out_big, _ = SNE(SNEConfig(n_slices=8)).run_layer(prog, stream)
+        assert out_small == out_big
+
+    def test_more_slices_fewer_passes_same_cycles_per_pass(self):
+        prog = conv_program(c_out=32, plane=8)
+        stream = sparse_stream()
+        _, s1 = SNE(SNEConfig(n_slices=1)).run_layer(prog, stream)
+        _, s2 = SNE(SNEConfig(n_slices=2)).run_layer(prog, stream)
+        assert s1.passes == 2 and s2.passes == 1
+        assert s1.cycles == 2 * s2.cycles
+        assert s1.sops == s2.sops  # same total work, different schedule
+
+    def test_sops_equal_active_cluster_cycles(self):
+        _, stats = SNE(SNEConfig(n_slices=1)).run_layer(conv_program(), sparse_stream())
+        assert stats.sops == stats.active_cluster_cycles
+
+    def test_registers_reflect_programming(self):
+        cfg = SNEConfig(n_slices=2)
+        sne = SNE(cfg)
+        prog = conv_program()
+        sne.run_layer(prog, sparse_stream())
+        assert sne.registers.lif_params(0) == (prog.threshold, prog.leak)
+
+
+class TestRunNetwork:
+    def make_net_and_stream(self, seed=0):
+        net = build_small_network(
+            input_size=8, channels=4, hidden=16, n_classes=5,
+            lif=LIFParams(threshold=1.0, leak=0.05),
+        )
+        programs = compile_network(net, (2, 8, 8))
+        return programs, sparse_stream(seed=seed)
+
+    def test_chained_execution(self):
+        programs, stream = self.make_net_and_stream()
+        sne = SNE(SNEConfig(n_slices=2))
+        out, stats = sne.run_network(programs, stream)
+        assert out.shape == (6, 5, 1, 1)
+        assert len(stats.per_layer) == len(programs)
+        assert stats.cycles == sum(s.cycles for _, s in stats.per_layer)
+
+    def test_rejects_empty_program_list(self):
+        with pytest.raises(ValueError):
+            SNE().run_network([], sparse_stream())
+
+    def test_stats_utilization_bounded(self):
+        programs, stream = self.make_net_and_stream()
+        _, stats = SNE(SNEConfig(n_slices=2)).run_network(programs, stream)
+        assert 0.0 <= stats.utilization() <= 1.0
+
+    def test_time_and_rate_helpers(self):
+        cfg = SNEConfig(n_slices=2)
+        programs, stream = self.make_net_and_stream()
+        _, stats = SNE(cfg).run_network(programs, stream)
+        assert stats.time_s(cfg) == pytest.approx(stats.cycles / cfg.freq_hz)
+        if stats.cycles:
+            assert stats.sops_per_second(cfg) <= cfg.peak_sops_per_s * 1.001
+
+
+class TestPipelinedMode:
+    def make_small_programs(self):
+        # Two layers, each fitting one slice (64 + 64 outputs).
+        p1 = conv_program(c_in=1, c_out=1, plane=8, threshold=2, leak=0, seed=1)
+        g2 = LayerGeometry(LayerKind.DENSE, 1, 8, 8, 10, 1, 1)
+        w2 = np.random.default_rng(2).integers(-3, 4, (10, 64))
+        p2 = LayerProgram(g2, w2, threshold=3, leak=0)
+        return [p1, p2]
+
+    def test_pipelined_matches_time_multiplexed_output(self):
+        programs = self.make_small_programs()
+        stream = sparse_stream(shape=(5, 1, 8, 8), density=0.1, seed=5)
+        out_tm, _ = SNE(SNEConfig(n_slices=2)).run_network(programs, stream)
+        out_pl, _ = SNE(SNEConfig(n_slices=2)).run_network_pipelined(programs, stream)
+        assert out_tm == out_pl
+
+    def test_pipelined_cycles_take_the_max_group(self):
+        programs = self.make_small_programs()
+        stream = sparse_stream(shape=(5, 1, 8, 8), density=0.1, seed=6)
+        _, s_tm = SNE(SNEConfig(n_slices=2)).run_network(programs, stream)
+        _, s_pl = SNE(SNEConfig(n_slices=2)).run_network_pipelined(programs, stream)
+        assert s_pl.cycles <= s_tm.cycles  # layers overlap in time
+
+    def test_pipelined_rejects_oversubscription(self):
+        programs = self.make_small_programs()
+        stream = sparse_stream(shape=(5, 1, 8, 8))
+        with pytest.raises(ValueError, match="slices"):
+            SNE(SNEConfig(n_slices=1)).run_network_pipelined(programs, stream)

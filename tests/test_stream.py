@@ -1,0 +1,185 @@
+"""Unit and property tests for EventStream."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import Event, EventOp, EventStream
+
+
+def small_stream():
+    return EventStream(
+        t=[3, 0, 1, 1], ch=[0, 1, 0, 1], x=[2, 0, 3, 1], y=[1, 0, 2, 2],
+        shape=(4, 2, 4, 4),
+    )
+
+
+class TestConstruction:
+    def test_events_are_time_sorted(self):
+        s = small_stream()
+        assert list(s.t) == sorted(s.t)
+
+    def test_len_counts_events(self):
+        assert len(small_stream()) == 4
+
+    def test_rejects_mismatched_field_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            EventStream([0, 1], [0], [0], [0], (2, 1, 2, 2))
+
+    def test_rejects_out_of_bounds_time(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            EventStream([5], [0], [0], [0], (4, 1, 2, 2))
+
+    def test_rejects_out_of_bounds_xy(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            EventStream([0], [0], [4], [0], (4, 1, 2, 4))
+        with pytest.raises(ValueError, match="out of bounds"):
+            EventStream([0], [0], [0], [2], (4, 1, 2, 4))
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            EventStream([0], [0], [-1], [0], (4, 1, 2, 2))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            EventStream([], [], [], [], (0, 1, 2, 2))
+
+    def test_empty_constructor(self):
+        s = EventStream.empty((3, 2, 5, 5))
+        assert len(s) == 0 and s.shape == (3, 2, 5, 5)
+
+    def test_from_events_skips_control_ops(self):
+        events = [Event.rst(), Event.update(0, 0, 1, 1), Event.fire(0)]
+        s = EventStream.from_events(events, (1, 1, 2, 2))
+        assert len(s) == 1
+
+
+class TestDenseConversion:
+    def test_roundtrip_dense_sparse_dense(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((5, 3, 6, 7)) < 0.2).astype(np.uint8)
+        s = EventStream.from_dense(dense)
+        assert np.array_equal(s.to_dense(), dense)
+
+    def test_from_dense_counts_nonzeros(self):
+        dense = np.zeros((2, 1, 3, 3))
+        dense[0, 0, 1, 2] = 1
+        dense[1, 0, 0, 0] = 5  # non-binary entries become single events
+        s = EventStream.from_dense(dense)
+        assert len(s) == 2
+
+    def test_from_dense_rejects_wrong_rank(self):
+        with pytest.raises(ValueError, match="T, C, H, W"):
+            EventStream.from_dense(np.zeros((2, 3, 4)))
+
+    def test_coordinate_convention_y_is_row(self):
+        dense = np.zeros((1, 1, 4, 4), dtype=np.uint8)
+        dense[0, 0, 2, 3] = 1  # row y=2, column x=3
+        s = EventStream.from_dense(dense)
+        assert int(s.y[0]) == 2 and int(s.x[0]) == 3
+
+
+class TestStatistics:
+    def test_activity_fraction(self):
+        s = small_stream()
+        assert s.activity() == pytest.approx(4 / (4 * 2 * 4 * 4))
+
+    def test_counts_per_step(self):
+        counts = small_stream().counts_per_step()
+        assert list(counts) == [1, 2, 0, 1]
+
+    def test_counts_per_channel(self):
+        counts = small_stream().counts_per_channel()
+        assert list(counts) == [2, 2]
+
+    def test_n_sites(self):
+        assert small_stream().n_sites == 4 * 2 * 4 * 4
+
+
+class TestTransformations:
+    def test_events_at_isolates_one_step(self):
+        sub = small_stream().events_at(1)
+        assert len(sub) == 2 and set(sub.t.tolist()) == {1}
+
+    def test_iter_steps_visits_nonempty_steps_in_order(self):
+        steps = [step for step, *_ in small_stream().iter_steps()]
+        assert steps == [0, 1, 3]
+
+    def test_iter_steps_on_empty_stream(self):
+        assert list(EventStream.empty((2, 1, 2, 2)).iter_steps()) == []
+
+    def test_merge_collapses_duplicates(self):
+        s = small_stream()
+        merged = s.merge(s)
+        assert merged == s
+
+    def test_merge_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            small_stream().merge(EventStream.empty((4, 2, 4, 5)))
+
+    def test_shift_time_forward(self):
+        s = small_stream().shift_time(2)
+        assert s.n_steps == 6 and s.t.min() == 2
+
+    def test_shift_time_rejects_underflow(self):
+        with pytest.raises(ValueError, match="below t=0"):
+            small_stream().shift_time(-1)
+
+    def test_crop_time(self):
+        s = small_stream().crop_time(2)
+        assert s.n_steps == 2 and len(s) == 3
+
+    def test_select_channels_reindexes(self):
+        s = small_stream().select_channels([1])
+        assert s.shape[1] == 1 and set(s.ch.tolist()) == {0} and len(s) == 2
+
+    def test_pad_spatial_centres(self):
+        s = EventStream([0], [0], [0], [0], (1, 1, 2, 2)).pad_spatial(6, 6)
+        assert s.shape[2:] == (6, 6)
+        assert int(s.x[0]) == 2 and int(s.y[0]) == 2
+
+    def test_pad_spatial_rejects_shrink(self):
+        with pytest.raises(ValueError, match="shrink"):
+            small_stream().pad_spatial(2, 2)
+
+    def test_downsample_spatial_merges_collisions(self):
+        s = EventStream([0, 0], [0, 0], [0, 1], [0, 1], (1, 1, 4, 4))
+        d = s.downsample_spatial(2)
+        assert d.shape[2:] == (2, 2) and len(d) == 1
+
+    def test_equality(self):
+        assert small_stream() == small_stream()
+        assert small_stream() != EventStream.empty((4, 2, 4, 4))
+
+
+class TestPropertyBased:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_dense_roundtrip_property(self, data):
+        t = data.draw(st.integers(1, 6))
+        c = data.draw(st.integers(1, 3))
+        h = data.draw(st.integers(1, 8))
+        w = data.draw(st.integers(1, 8))
+        seed = data.draw(st.integers(0, 2**16))
+        dense = (np.random.default_rng(seed).random((t, c, h, w)) < 0.3).astype(np.uint8)
+        assert np.array_equal(EventStream.from_dense(dense).to_dense(), dense)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_idempotent_and_commutative(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (4, 2, 5, 5)
+        a = EventStream.from_dense((rng.random(shape) < 0.2).astype(np.uint8))
+        b = EventStream.from_dense((rng.random(shape) < 0.2).astype(np.uint8))
+        assert a.merge(b) == b.merge(a)
+        assert a.merge(a) == a
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_activity_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((3, 2, 6, 6)) < 0.5).astype(np.uint8)
+        s = EventStream.from_dense(dense)
+        assert 0.0 <= s.activity() <= 1.0
+        assert s.counts_per_step().sum() == len(s)

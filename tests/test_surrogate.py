@@ -1,0 +1,73 @@
+"""Tests for surrogate spike-derivative functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn import FastSigmoid, SlayerPdf, Triangle
+
+ALL_SURROGATES = [FastSigmoid(), Triangle(), SlayerPdf()]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("surr", ALL_SURROGATES, ids=lambda s: type(s).__name__)
+    def test_peak_at_threshold(self, surr):
+        v = np.linspace(-3, 3, 601)
+        d = surr.derivative(v)
+        assert d.argmax() == 300  # v = 0, i.e. membrane exactly at threshold
+
+    @pytest.mark.parametrize("surr", ALL_SURROGATES, ids=lambda s: type(s).__name__)
+    def test_non_negative(self, surr):
+        v = np.linspace(-10, 10, 101)
+        assert (surr.derivative(v) >= 0).all()
+
+    @pytest.mark.parametrize("surr", ALL_SURROGATES, ids=lambda s: type(s).__name__)
+    def test_symmetric(self, surr):
+        v = np.linspace(0.1, 5, 50)
+        assert np.allclose(surr.derivative(v), surr.derivative(-v))
+
+    @pytest.mark.parametrize("surr", ALL_SURROGATES, ids=lambda s: type(s).__name__)
+    @given(v=st.floats(-100, 100))
+    @settings(max_examples=30)
+    def test_bounded_by_peak(self, surr, v):
+        peak = float(surr.derivative(np.array(0.0)))
+        assert float(surr.derivative(np.array(v))) <= peak + 1e-12
+
+    def test_shapes_preserved(self):
+        v = np.zeros((3, 4, 5))
+        for surr in ALL_SURROGATES:
+            assert surr.derivative(v).shape == v.shape
+
+
+class TestParameterValidation:
+    def test_fast_sigmoid_alpha(self):
+        with pytest.raises(ValueError):
+            FastSigmoid(alpha=0)
+
+    def test_triangle_width(self):
+        with pytest.raises(ValueError):
+            Triangle(width=-1)
+
+    def test_slayer_params(self):
+        with pytest.raises(ValueError):
+            SlayerPdf(alpha=0)
+        with pytest.raises(ValueError):
+            SlayerPdf(beta=-1)
+
+
+class TestSpecificShapes:
+    def test_triangle_has_compact_support(self):
+        surr = Triangle(width=1.0)
+        assert surr.derivative(np.array(1.5)) == 0.0
+        assert surr.derivative(np.array(0.5)) == pytest.approx(0.5)
+
+    def test_fast_sigmoid_tail(self):
+        surr = FastSigmoid(alpha=10.0)
+        assert surr.derivative(np.array(0.0)) == pytest.approx(1.0)
+        assert surr.derivative(np.array(1.0)) == pytest.approx(1 / 121)
+
+    def test_slayer_exponential_decay(self):
+        surr = SlayerPdf(alpha=2.0, beta=1.0)
+        assert surr.derivative(np.array(0.0)) == pytest.approx(2.0)
+        assert surr.derivative(np.array(1.0)) == pytest.approx(2.0 * np.exp(-1))

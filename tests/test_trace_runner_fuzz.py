@@ -1,0 +1,203 @@
+"""Tests for activity tracing, the hardware evaluator, and the fuzzer."""
+
+import numpy as np
+import pytest
+
+from repro.energy import PowerModel
+from repro.events import EventDataset, EventSample, EventStream
+from repro.hw import (
+    SNE,
+    ActivityTrace,
+    HardwareEvaluator,
+    LayerGeometry,
+    LayerKind,
+    LayerProgram,
+    SNEConfig,
+    StepTrace,
+    dump_trace_text,
+    fuzz,
+    power_waveform,
+    random_case,
+    run_case,
+    trace_energy_uj,
+)
+from repro.hw import compile_network
+from repro.snn import LIFParams, build_small_network
+
+
+def conv_program(threshold=4, leak=1, seed=0):
+    rng = np.random.default_rng(seed)
+    g = LayerGeometry(LayerKind.CONV, 2, 8, 8, 4, 8, 8, kernel=3, padding=1)
+    return LayerProgram(g, rng.integers(-2, 3, (4, 2, 3, 3)), threshold=threshold, leak=leak)
+
+
+def sparse_stream(seed=0, density=0.08, n_steps=6):
+    rng = np.random.default_rng(seed)
+    return EventStream.from_dense(
+        (rng.random((n_steps, 2, 8, 8)) < density).astype(np.uint8)
+    )
+
+
+class TestActivityTrace:
+    def run_traced(self, config=None):
+        config = config or SNEConfig(n_slices=1)
+        trace = ActivityTrace()
+        stream = sparse_stream()
+        _, stats = SNE(config).run_layer(conv_program(), stream, trace=trace)
+        return trace, stats, stream, config
+
+    def test_one_entry_per_timestep(self):
+        trace, _, stream, _ = self.run_traced()
+        assert len(trace) == stream.n_steps
+
+    def test_trace_totals_match_run_stats(self):
+        trace, stats, stream, _ = self.run_traced()
+        totals = trace.totals()
+        assert totals["sops"] == stats.sops
+        assert totals["input_events"] == len(stream)
+        assert totals["output_events"] == stats.output_events
+        # per-step cycles exclude only the reset bracket
+        assert totals["cycles"] == stats.cycles - 1
+
+    def test_trace_energy_close_to_scalar_energy(self):
+        trace, stats, _, config = self.run_traced()
+        power = PowerModel()
+        waveform_energy = trace_energy_uj(trace, config, power)
+        scalar_energy = power.energy_uj(stats, config)
+        # The waveform resolves utilisation per step; the scalar uses the
+        # run average.  They agree within the gating nonlinearity.
+        assert waveform_energy == pytest.approx(scalar_energy, rel=0.05)
+
+    def test_power_waveform_shapes(self):
+        trace, _, stream, config = self.run_traced()
+        times, watts = power_waveform(trace, config)
+        assert times.shape == watts.shape == (stream.n_steps,)
+        assert (np.diff(times) >= 0).all()
+        assert (watts > 0).all()
+
+    def test_busiest_step(self):
+        trace, *_ = self.run_traced()
+        busiest = trace.busiest_step()
+        assert busiest.sops == max(s.sops for s in trace.steps)
+
+    def test_monotonic_step_enforced(self):
+        trace = ActivityTrace()
+        entry = StepTrace(0, 0, 1, 0, 0, 0, 16)
+        trace.record(entry)
+        with pytest.raises(ValueError, match="increasing"):
+            trace.record(entry)
+
+    def test_multipass_uses_global_indices(self):
+        cfg = SNEConfig(n_slices=1)
+        prog = conv_program()
+        # 4 x 64 = 256 outputs fit one slice; force 2 passes with a big layer
+        rng = np.random.default_rng(5)
+        g = LayerGeometry(LayerKind.CONV, 2, 8, 8, 32, 8, 8, kernel=3, padding=1)
+        big = LayerProgram(g, rng.integers(-2, 3, (32, 2, 3, 3)), threshold=10, leak=0)
+        trace = ActivityTrace()
+        stream = sparse_stream(n_steps=4)
+        _, stats = SNE(cfg).run_layer(big, stream, trace=trace)
+        assert stats.passes == 2
+        assert len(trace) == 8
+        assert [s.step for s in trace.steps] == list(range(8))
+
+    def test_dump_text_format(self):
+        trace, *_ = self.run_traced()
+        text = dump_trace_text(trace)
+        assert text.startswith("#step")
+        assert len(text.splitlines()) == len(trace) + 1
+
+    def test_empty_trace_busiest_raises(self):
+        with pytest.raises(ValueError):
+            ActivityTrace().busiest_step()
+
+
+class TestHardwareEvaluator:
+    @pytest.fixture(scope="class")
+    def evaluator_and_data(self):
+        net = build_small_network(
+            input_size=8, channels=4, hidden=16, n_classes=3,
+            lif=LIFParams(threshold=0.8, leak=0.05),
+        )
+        programs = compile_network(net, (2, 8, 8))
+        rng = np.random.default_rng(0)
+        samples = [
+            EventSample(
+                EventStream.from_dense((rng.random((6, 2, 8, 8)) < d).astype(np.uint8)),
+                label=i % 3,
+            )
+            for i, d in enumerate([0.02, 0.05, 0.08, 0.12, 0.16, 0.20])
+        ]
+        dataset = EventDataset(samples, n_classes=3)
+        return HardwareEvaluator(programs, SNEConfig(n_slices=2)), dataset
+
+    def test_report_shape(self, evaluator_and_data):
+        evaluator, dataset = evaluator_and_data
+        report = evaluator.evaluate(dataset)
+        assert len(report.results) == len(dataset)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.mean_energy_uj > 0
+        assert report.mean_time_s > 0
+
+    def test_energy_follows_events(self, evaluator_and_data):
+        """Across samples of increasing density, energy must correlate
+        with the input event count — the chip-level proportionality."""
+        evaluator, dataset = evaluator_and_data
+        report = evaluator.evaluate(dataset)
+        assert report.energy_follows_events() > 0.95
+
+    def test_energy_range(self, evaluator_and_data):
+        evaluator, dataset = evaluator_and_data
+        report = evaluator.evaluate(dataset)
+        lo, hi = report.energy_range_uj
+        assert lo < hi
+
+    def test_max_samples(self, evaluator_and_data):
+        evaluator, dataset = evaluator_and_data
+        report = evaluator.evaluate(dataset, max_samples=2)
+        assert len(report.results) == 2
+
+    def test_predictions_in_range(self, evaluator_and_data):
+        evaluator, dataset = evaluator_and_data
+        report = evaluator.evaluate(dataset, max_samples=3)
+        assert all(0 <= r.prediction < 3 for r in report.results)
+
+    def test_rejects_empty(self, evaluator_and_data):
+        evaluator, _ = evaluator_and_data
+        with pytest.raises(ValueError):
+            evaluator.evaluate(EventDataset([], 3))
+
+    def test_requires_classifier_tail(self):
+        prog = conv_program()  # 8x8 output plane, not a classifier
+        with pytest.raises(ValueError, match="classifier"):
+            HardwareEvaluator([prog])
+
+    def test_requires_programs(self):
+        with pytest.raises(ValueError):
+            HardwareEvaluator([])
+
+
+class TestFuzzer:
+    def test_random_case_is_deterministic(self):
+        a, b = random_case(42), random_case(42)
+        assert a.program.geometry == b.program.geometry
+        assert np.array_equal(a.program.weights, b.program.weights)
+        assert a.stream == b.stream
+
+    def test_cases_cover_all_kinds(self):
+        kinds = {random_case(seed).program.geometry.kind for seed in range(40)}
+        assert kinds == {LayerKind.CONV, LayerKind.DEPTHWISE, LayerKind.DENSE}
+
+    def test_run_case_matches(self):
+        for seed in range(10):
+            result = run_case(random_case(seed))
+            assert result.matched, f"co-simulation mismatch at seed {seed}"
+
+    def test_fuzz_batch(self):
+        results = fuzz(25, seed0=100)
+        assert len(results) == 25
+        assert all(r.matched for r in results)
+
+    def test_fuzz_validation(self):
+        with pytest.raises(ValueError):
+            fuzz(0)

@@ -1,0 +1,53 @@
+"""Tests for the ASCII event visualisers."""
+
+import pytest
+
+from repro.events import EventStream, render_raster, render_timeline
+
+
+class TestRenderRaster:
+    def test_polarity_symbols(self):
+        s = EventStream([0, 0, 0, 1], [1, 0, 1, 0], [0, 1, 2, 2], [0, 0, 0, 0],
+                        (2, 2, 1, 4))
+        art = render_raster(s)
+        # col0: ON only -> '+', col1: OFF only -> '-', col2: both -> '#'
+        assert art.splitlines()[0] == "+-#."
+
+    def test_single_channel(self):
+        s = EventStream([0], [0], [1], [0], (1, 1, 1, 3))
+        assert render_raster(s).splitlines()[0] == ".-."
+
+    def test_dimensions(self):
+        s = EventStream.empty((1, 2, 3, 5))
+        lines = render_raster(s).splitlines()
+        assert len(lines) == 3 and all(len(l) == 5 for l in lines)
+
+    def test_rejects_many_channels(self):
+        with pytest.raises(ValueError, match="2 channels"):
+            render_raster(EventStream.empty((1, 3, 2, 2)))
+
+    def test_rejects_overwide(self):
+        with pytest.raises(ValueError, match="max_width"):
+            render_raster(EventStream.empty((1, 1, 2, 200)))
+
+
+class TestRenderTimeline:
+    def test_one_line_per_step(self):
+        s = EventStream([0, 0, 2], [0] * 3, [0, 1, 0], [0, 0, 0], (4, 1, 2, 2))
+        lines = render_timeline(s).splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith(" 2")
+        assert lines[1].endswith(" 0")
+
+    def test_peak_fills_width(self):
+        s = EventStream([0, 0], [0, 0], [0, 1], [0, 0], (1, 1, 2, 2))
+        line = render_timeline(s, width=10).splitlines()[0]
+        assert "#" * 10 in line
+
+    def test_empty_stream(self):
+        out = render_timeline(EventStream.empty((3, 1, 2, 2)))
+        assert len(out.splitlines()) == 3
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline(EventStream.empty((1, 1, 2, 2)), width=0)
