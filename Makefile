@@ -1,0 +1,31 @@
+# Exercise the full stack in one command each.
+#
+#   make test        - tier-1 test suite (the roadmap's verify command)
+#   make bench-smoke - one fast benchmark: runtime scaling (parity + cache)
+#   make sweep-smoke - tiny 2-point design-space sweep through the CLI,
+#                      run twice to demonstrate the cache-hit path
+#   make bench       - the full benchmark suite (slow)
+#   make clean-cache - drop the CLI's default on-disk result cache
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke sweep-smoke bench clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_runtime_scaling.py -q
+
+sweep-smoke:
+	$(PYTHON) -m repro sweep --slices 4,8 --workers 2 --cache-dir .repro_cache_smoke
+	$(PYTHON) -m repro sweep --slices 4,8 --cache-dir .repro_cache_smoke
+	$(PYTHON) -m repro cache stats --cache-dir .repro_cache_smoke
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+clean-cache:
+	$(PYTHON) -m repro cache clear
+	rm -rf .repro_cache_smoke

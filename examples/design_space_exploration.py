@@ -1,45 +1,48 @@
 """Figs. 4 + 5 in one sweep: the SNE design space over the slice count.
 
-For each configuration (1-8 slices) prints the area breakdown, the
-power split, the peak performance and the energy per operation —
-the complete §IV-A exploration — plus a non-synthesised interpolation
-point to show the models generalise beyond the paper's four anchors.
+Runs the complete §IV-A exploration — area breakdown, power split, peak
+performance and energy per operation for 1-8 slices, plus
+non-synthesised interpolation points — through the ``repro.runtime``
+orchestration stack: the grid compiles to hashed jobs, results are
+memoised in the on-disk cache (re-running this script is served from
+disk), and ``--workers N`` fans the points out over processes.
 
-Usage: ``python examples/design_space_exploration.py``
+Usage: ``python examples/design_space_exploration.py [--workers N]``
+(equivalently: ``python -m repro sweep --slices 1,2,3,4,6,8``).
 """
 
-from repro.analysis import render_table
+import argparse
+
 from repro.baselines import sne_record
-from repro.energy import AreaModel, EfficiencyModel, PowerModel
-from repro.hw import PAPER_CONFIG
+from repro.runtime import (
+    ConsoleProgress,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    default_cache_dir,
+    dse_point_job,
+    run_dse_sweep,
+    run_jobs,
+)
 
 
 def main() -> None:
-    area = AreaModel()
-    power = PowerModel(area=area)
-    eff = EfficiencyModel(power=power)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
 
-    rows = []
-    for n in (1, 2, 3, 4, 6, 8):
-        cfg = PAPER_CONFIG.with_slices(n)
-        breakdown = power.fig5a_breakdown(n)
-        rows.append([
-            n,
-            "yes" if n in (1, 2, 4, 8) else "interp.",
-            f"{area.total_kge(n):.0f}",
-            f"{area.total_mm2(n):.3f}",
-            f"{breakdown.dynamic_mw:.2f}",
-            f"{breakdown.leakage_mw:.3f}",
-            f"{eff.performance_gsops(cfg):.1f}",
-            f"{eff.energy_per_sop_pj(cfg):.4f}",
-            f"{eff.efficiency_tsops_w(cfg):.2f}",
-        ])
-    print(render_table(
-        ["slices", "synthesised", "area [kGE]", "area [mm2]", "dyn [mW]",
-         "leak [mW]", "perf [GSOP/s]", "E/SOP [pJ]", "eff [TSOP/s/W]"],
-        rows,
-        title="SNE design space (Figs. 4 + 5): anchors exact, rest interpolated",
+    executor = ProcessExecutor(args.workers) if args.workers > 1 else SerialExecutor()
+    cache = ResultCache(default_cache_dir())
+    report = run_dse_sweep(
+        slices=(1, 2, 3, 4, 6, 8),
+        executor=executor,
+        cache=cache,
+        progress=ConsoleProgress(),
+    )
+    print(report.render(
+        title="SNE design space (Figs. 4 + 5): anchors exact, rest interpolated"
     ))
+    print(f"run: {report.run.stats.summary()}")
 
     print("\nTable II row computed from the models:")
     sne = sne_record()
@@ -49,8 +52,9 @@ def main() -> None:
           f"{sne.power_mw} mW @ {sne.freq_mhz:.0f} MHz / 0.8 V")
 
     print("\n0.9 V extrapolation (paper: 4.03 TOP/s/W, 0.248 pJ/SOP):")
-    print(f"  {eff.efficiency_tsops_w(PAPER_CONFIG, voltage=0.9):.2f} TSOP/s/W, "
-          f"{eff.energy_per_sop_pj(PAPER_CONFIG, voltage=0.9):.3f} pJ/SOP")
+    point = run_jobs([dse_point_job(8, voltage=0.9)], cache=cache).results[0].unwrap()
+    print(f"  {point['efficiency_tsops_w']:.2f} TSOP/s/W, "
+          f"{point['energy_per_sop_pj']:.3f} pJ/SOP")
 
 
 if __name__ == "__main__":

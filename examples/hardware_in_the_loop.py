@@ -6,8 +6,14 @@ arithmetic), prints per-sample energy, and dumps the power waveform of
 one inference — the Python analogue of the paper's VCD-based power
 flow.  Also renders one input recording as ASCII for a quick look.
 
-Usage: ``python examples/hardware_in_the_loop.py``
+The test set runs through the ``repro.runtime`` stack: one hashed job
+per sample, fanned out over worker processes and memoised in the
+on-disk result cache (a second run of this script replays from disk).
+
+Usage: ``python examples/hardware_in_the_loop.py [--workers N]``
 """
+
+import argparse
 
 from repro.analysis import render_table
 from repro.energy import PowerModel
@@ -19,12 +25,18 @@ from repro.hw import (
     SNEConfig,
     compile_network,
     dump_trace_text,
+    report_from_job_results,
     trace_energy_uj,
 )
+from repro.runtime import ConsoleProgress, ProcessExecutor, ResultCache, default_cache_dir, run_jobs
 from repro.snn import SNE_LIF_4B, TrainConfig, Trainer, evaluate
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
     size, n_steps = 16, 12
     data = SyntheticDVSGesture(size=size, n_steps=n_steps).generate(n_per_class=5, seed=0)
     train, _, test = data.split((0.65, 0.10, 0.25), seed=0)
@@ -40,7 +52,13 @@ def main() -> None:
     config = SNEConfig(n_slices=8)
     programs = compile_network(net, (2, size, size))
     evaluator = HardwareEvaluator(programs, config)
-    report = evaluator.evaluate(test)
+    run = run_jobs(
+        evaluator.sample_jobs(test),
+        executor=ProcessExecutor(workers=args.workers),
+        cache=ResultCache(default_cache_dir()),
+        progress=ConsoleProgress(),
+    )
+    report = report_from_job_results(run.results)
 
     rows = [
         [i, r.label, r.prediction, "Y" if r.correct else "n",
@@ -55,7 +73,8 @@ def main() -> None:
     print(f"software accuracy: {sw_acc:.3f}   hardware accuracy: {report.accuracy:.3f}")
     print(f"per-inference energy: {lo:.3f} - {hi:.3f} uJ "
           f"(Table I shape: an activity-driven interval)")
-    print(f"energy-events correlation: {report.energy_follows_events():.3f}\n")
+    print(f"energy-events correlation: {report.energy_follows_events():.3f}")
+    print(f"runtime: {run.stats.summary()}\n")
 
     # Power waveform of the first layer of one inference.
     trace = ActivityTrace()

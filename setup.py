@@ -1,2 +1,45 @@
-from setuptools import setup
-setup()
+"""Packaging for the SNE reproduction (src/ layout).
+
+The version is read from ``src/repro/__init__.py`` so the package and
+``python -m repro --version`` can never disagree.
+"""
+
+import pathlib
+import re
+
+from setuptools import find_packages, setup
+
+ROOT = pathlib.Path(__file__).parent
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"',
+    (ROOT / "src" / "repro" / "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-sne",
+    version=VERSION,
+    description=(
+        "Reproduction of SNE, an energy-proportional digital accelerator "
+        "for sparse event-based convolutions (DATE 2022), with a parallel "
+        "simulation-orchestration runtime"
+    ),
+    # ROADMAP.md is absent when building from an sdist (no MANIFEST.in).
+    long_description=(
+        (ROOT / "ROADMAP.md").read_text()
+        if (ROOT / "ROADMAP.md").exists()
+        else "Reproduction of the SNE accelerator (DATE 2022)."
+    ),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.runtime.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -8,7 +8,10 @@ Subpackages:
 * :mod:`repro.hw` -- the cycle-level SNE hardware model and mapper;
 * :mod:`repro.energy` -- calibrated area/power/efficiency models;
 * :mod:`repro.baselines` -- dense CNN engine and Table II platforms;
-* :mod:`repro.analysis` -- activity profiling, metrics, table rendering.
+* :mod:`repro.analysis` -- activity profiling, metrics, table rendering;
+* :mod:`repro.runtime` -- parallel simulation orchestration: job specs,
+  on-disk result cache, serial/multiprocessing executors, sweep engine
+  and the ``python -m repro`` CLI.
 
 Quick start::
 
@@ -16,12 +19,23 @@ Quick start::
     from repro.snn import build_small_network, Trainer, TrainConfig
     from repro.hw import SNE, SNEConfig, compile_network
     from repro.energy import EfficiencyModel
+    from repro.runtime import ProcessExecutor, ResultCache, run_dse_sweep
 
-See ``examples/quickstart.py`` for the end-to-end flow.
+See ``examples/quickstart.py`` for the end-to-end flow and
+``python -m repro sweep`` for the orchestrated one.
 """
 
-from . import analysis, baselines, energy, events, hw, snn
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+from . import analysis, baselines, energy, events, hw, runtime, snn
 
-__all__ = ["analysis", "baselines", "energy", "events", "hw", "snn", "__version__"]
+__all__ = [
+    "analysis",
+    "baselines",
+    "energy",
+    "events",
+    "hw",
+    "runtime",
+    "snn",
+    "__version__",
+]

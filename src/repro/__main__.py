@@ -1,0 +1,8 @@
+"""``python -m repro`` — the runtime orchestration CLI."""
+
+import sys
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,7 +47,12 @@ from .trace import (
     power_waveform,
     trace_energy_uj,
 )
-from .runner import EvaluationReport, HardwareEvaluator, SampleResult
+from .runner import (
+    EvaluationReport,
+    HardwareEvaluator,
+    SampleResult,
+    report_from_job_results,
+)
 from .fuzz import FuzzCase, FuzzResult, fuzz, random_case, run_case
 
 __all__ = [
@@ -92,6 +97,7 @@ __all__ = [
     "EvaluationReport",
     "HardwareEvaluator",
     "SampleResult",
+    "report_from_job_results",
     "FuzzCase",
     "FuzzResult",
     "fuzz",

@@ -6,6 +6,12 @@ channel), cycles, time, energy — the numbers a deployment study needs.
 This closes the loop the paper opens: accuracy is measured *on the
 accelerator's arithmetic* (4-bit weights, 8-bit saturating state,
 per-event updates), not on the float training graph.
+
+Each sample is an independent simulation, so the evaluator exposes a
+per-sample job API (:meth:`HardwareEvaluator.sample_jobs`) that the
+:mod:`repro.runtime` executors fan out across worker processes and
+memoise in the on-disk result cache; ``evaluate(..., executor=...)``
+is the one-call version of that flow.
 """
 
 from __future__ import annotations
@@ -20,7 +26,12 @@ from .config import SNEConfig
 from .mapper import LayerProgram
 from .sne import SNE
 
-__all__ = ["SampleResult", "EvaluationReport", "HardwareEvaluator"]
+__all__ = [
+    "SampleResult",
+    "EvaluationReport",
+    "HardwareEvaluator",
+    "report_from_job_results",
+]
 
 
 @dataclass(frozen=True)
@@ -112,11 +123,103 @@ class HardwareEvaluator:
             energy_uj=self.power.energy_uj(stats, self.config),
         )
 
-    def evaluate(self, dataset: EventDataset, max_samples: int | None = None) -> EvaluationReport:
+    def _select(self, dataset: EventDataset, max_samples: int | None):
         if not len(dataset):
             raise ValueError("dataset is empty")
-        samples = dataset.samples[:max_samples] if max_samples else dataset.samples
-        results = tuple(
-            self.run_sample(sample.stream, sample.label) for sample in samples
+        if max_samples is None:
+            return dataset.samples
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        return dataset.samples[:max_samples]
+
+    def sample_jobs(self, dataset: EventDataset, max_samples: int | None = None) -> list:
+        """One runtime :class:`~repro.runtime.jobs.JobSpec` per sample.
+
+        Each job is independently executable in a worker process and
+        hashes the full deployment identity (config, program weights,
+        stream content), so repeated evaluations of the same deployment
+        are served from the result cache.
+        """
+        from ..runtime.jobs import deployment_fingerprint, sample_eval_job
+
+        deployment = deployment_fingerprint(self.programs, self.config, self.power)
+        return [
+            sample_eval_job(
+                self.programs, self.config, sample.stream, sample.label,
+                power=self.power, deployment=deployment,
+            )
+            for sample in self._select(dataset, max_samples)
+        ]
+
+    def evaluate(
+        self,
+        dataset: EventDataset,
+        max_samples: int | None = None,
+        executor=None,
+        cache=None,
+        progress=None,
+    ) -> EvaluationReport:
+        """Evaluate ``dataset``, optionally through the runtime stack.
+
+        With the default arguments this is the original in-process loop;
+        a bare ``progress`` callback keeps that loop (no job hashing)
+        and reports per-sample completions.  Passing an ``executor``
+        (e.g. ``repro.runtime.ProcessExecutor``) and/or a ``cache``
+        dispatches one job per sample through
+        :func:`repro.runtime.executor.run_jobs`; results are identical
+        to the serial path and come back in dataset order.
+        """
+        if executor is None and cache is None:
+            samples = self._select(dataset, max_samples)
+            if progress is None:
+                return EvaluationReport(results=tuple(
+                    self.run_sample(sample.stream, sample.label)
+                    for sample in samples
+                ))
+            return self._evaluate_inline(samples, progress)
+        from ..runtime.executor import run_jobs
+
+        run = run_jobs(
+            self.sample_jobs(dataset, max_samples),
+            executor=executor, cache=cache, progress=progress,
         )
-        return EvaluationReport(results=results)
+        return report_from_job_results(run.results)
+
+    def _evaluate_inline(self, samples, progress) -> EvaluationReport:
+        """The plain serial loop, narrated through a progress sink.
+
+        Deliberately does NOT delegate to ``run_jobs``: building job
+        specs would SHA-256 every program weight and stream content,
+        which a progress-only caller gets no benefit from.
+        """
+        import time
+
+        from ..runtime.executor import JobResult, RunStats
+
+        stats = RunStats(total=len(samples), executor="inline", workers=1)
+        start = time.perf_counter()
+        progress.on_start(len(samples))
+        results = []
+        for i, sample in enumerate(samples):
+            t0 = time.perf_counter()
+            result = self.run_sample(sample.stream, sample.label)
+            results.append(result)
+            stats.misses += 1
+            progress.on_job(i + 1, len(samples), JobResult(
+                job_hash="", kind="sample_eval", ok=True, value=None,
+                error=None, duration_s=time.perf_counter() - t0,
+            ))
+        stats.elapsed_s = time.perf_counter() - start
+        progress.on_finish(stats)
+        return EvaluationReport(results=tuple(results))
+
+
+def report_from_job_results(results) -> EvaluationReport:
+    """Rehydrate an :class:`EvaluationReport` from runtime job results.
+
+    Raises on the first failed job (a failed sample invalidates the
+    accuracy aggregate, unlike a failed sweep point).
+    """
+    return EvaluationReport(
+        results=tuple(SampleResult(**r.unwrap()) for r in results)
+    )

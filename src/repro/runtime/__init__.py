@@ -1,0 +1,110 @@
+"""Parallel simulation-orchestration runtime.
+
+This subsystem turns the repository's single-shot simulations into
+fan-out-able, memoised workloads.  The flow is a straight pipeline::
+
+    JobSpec  ──▶  ResultCache  ──▶  Executor  ──▶  Sweep/aggregation
+    (jobs.py)     (cache.py)        (executor.py)  (sweep.py)
+
+1. **Jobs** (:mod:`.jobs`).  A :class:`~repro.runtime.jobs.JobSpec`
+   describes one unit of work — a design-space point, a Table I energy
+   query, a Table II baseline comparison, or one hardware-in-the-loop
+   sample inference — as a canonical JSON key hashing everything that
+   determines the result: ``SNEConfig`` fields, compiled layer-program
+   weights, event-stream content, dataset identity and seeds.  Equal
+   hash ⇒ equal result, by construction.
+
+2. **Cache** (:mod:`.cache`).  :class:`~repro.runtime.cache.ResultCache`
+   stores one validated JSON envelope per job hash on disk.  Lookups
+   that fail schema/kind/key/hash validation are treated as corruption:
+   the entry is deleted and the job recomputed.  Hit/miss/store/corrupt
+   counters feed every run report.
+
+3. **Executors** (:mod:`.executor`).  ``SerialExecutor`` and the
+   ``multiprocessing``-pool ``ProcessExecutor`` run job lists with
+   chunked dispatch, per-job timing and structured failure capture;
+   results always come back in input order, so parallel runs are
+   bit-identical to serial ones.  :func:`~repro.runtime.executor.run_jobs`
+   layers the cache over an executor and reports
+   :class:`~repro.runtime.executor.RunStats`.
+
+4. **Sweeps** (:mod:`.sweep`).  :class:`~repro.runtime.sweep.SweepGrid`
+   builds cartesian products over design axes (slice count, supply
+   voltage, utilisation, …), compiles them to job lists, and aggregates
+   results into :mod:`repro.analysis.tables`-compatible rows.
+
+:mod:`.progress` provides the callback protocol the executors report
+through; :mod:`.cli` exposes the whole pipeline as ``python -m repro
+sweep|eval|cache`` (also installed as the ``repro`` console script).
+Later scaling work (dataset sharding, async serving, multi-backend
+dispatch) plugs in as new executors and job kinds without touching the
+simulation layers.
+"""
+
+from .jobs import (
+    SCHEMA_VERSION,
+    JobSpec,
+    baseline_compare_job,
+    calibration_fingerprint,
+    canonical_json,
+    deployment_fingerprint,
+    dse_point_job,
+    execute_job,
+    inference_energy_job,
+    register_runner,
+    sample_eval_job,
+)
+from .cache import CachedResult, CacheStats, ResultCache, default_cache_dir
+from .executor import (
+    JobResult,
+    ProcessExecutor,
+    RunReport,
+    RunStats,
+    SerialExecutor,
+    run_jobs,
+)
+from .progress import ConsoleProgress, JobEvent, Progress, TelemetryCollector
+from .sweep import (
+    DSE_HEADERS,
+    SweepAxis,
+    SweepGrid,
+    SweepReport,
+    dse_grid,
+    dse_jobs,
+    run_dse_sweep,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobSpec",
+    "canonical_json",
+    "dse_point_job",
+    "inference_energy_job",
+    "baseline_compare_job",
+    "sample_eval_job",
+    "calibration_fingerprint",
+    "deployment_fingerprint",
+    "execute_job",
+    "register_runner",
+    "CachedResult",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "JobResult",
+    "RunStats",
+    "RunReport",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "run_jobs",
+    "Progress",
+    "ConsoleProgress",
+    "TelemetryCollector",
+    "JobEvent",
+    "SweepAxis",
+    "SweepGrid",
+    "SweepReport",
+    "dse_grid",
+    "dse_jobs",
+    "run_dse_sweep",
+    "DSE_HEADERS",
+]

@@ -1,0 +1,180 @@
+"""On-disk result cache keyed by job hash.
+
+One JSON file per result under the cache root, named
+``<job_hash>.json`` and carrying a versioned envelope::
+
+    {"schema": 1, "kind": ..., "key": ..., "job_hash": ...,
+     "value": {...}, "duration_s": ...}
+
+A lookup validates the envelope against the requesting spec — schema
+version, kind, hash *and* the full canonical key must all match — so a
+truncated write, a hand-edited file, a hash collision across schema
+versions or a partially-copied cache directory degrades to a miss (the
+offending file is deleted and the job recomputed), never to a wrong
+result.  Writes go through a temp file + ``os.replace`` so a crashed
+run cannot leave a half-written entry behind.
+
+Hit/miss/store/corrupt counters accumulate in :class:`CacheStats`;
+the sweep engine and CLI report them after every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+
+from .jobs import SCHEMA_VERSION, JobSpec
+
+__all__ = ["CacheStats", "CachedResult", "ResultCache", "default_cache_dir"]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return pathlib.Path(env) if env else pathlib.Path(".repro_cache")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """A value served from disk, with its original compute time."""
+
+    job_hash: str
+    kind: str
+    value: dict
+    duration_s: float
+
+
+@dataclass
+class ResultCache:
+    """A directory of job results, validated on every read."""
+
+    root: pathlib.Path
+    schema_version: int = SCHEMA_VERSION
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, job_hash: str) -> pathlib.Path:
+        return self.root / f"{job_hash}.json"
+
+    # -- lookup -----------------------------------------------------------
+    def get(self, spec: JobSpec) -> CachedResult | None:
+        """The stored result for ``spec``, or None (miss / corruption)."""
+        path = self.path(spec.job_hash)
+        entry = self._load(path)
+        if entry is not None and not self._valid_for(entry, spec):
+            self.stats.corrupt += 1
+            self._evict(path)
+            entry = None
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return CachedResult(
+            job_hash=spec.job_hash,
+            kind=entry["kind"],
+            value=entry["value"],
+            duration_s=float(entry["duration_s"]),
+        )
+
+    def _load(self, path: pathlib.Path) -> dict | None:
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
+            self.stats.corrupt += 1
+            self._evict(path)
+            return None
+        # Signal "present but needs validation" vs "absent" to get().
+        return entry if isinstance(entry, dict) else {}
+
+    @staticmethod
+    def _evict(path: pathlib.Path) -> None:
+        """Best-effort removal: an unwritable cache (read-only mount,
+        shared CI directory) degrades to recomputation, not a crash."""
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def _valid_for(self, entry: dict, spec: JobSpec) -> bool:
+        return (
+            entry.get("schema") == self.schema_version
+            and entry.get("kind") == spec.kind
+            and entry.get("key") == spec.key
+            and entry.get("job_hash") == spec.job_hash
+            and isinstance(entry.get("value"), dict)
+            and isinstance(entry.get("duration_s"), (int, float))
+        )
+
+    # -- store ------------------------------------------------------------
+    def put(self, spec: JobSpec, value: dict, duration_s: float) -> None:
+        """Persist one successful result atomically."""
+        entry = {
+            "schema": self.schema_version,
+            "kind": spec.kind,
+            "key": spec.key,
+            "job_hash": spec.job_hash,
+            "value": value,
+            "duration_s": float(duration_s),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, self.path(spec.job_hash))
+        except BaseException:
+            pathlib.Path(tmp).unlink(missing_ok=True)
+            raise
+        self.stats.stores += 1
+
+    # -- maintenance -------------------------------------------------------
+    def invalidate(self, spec: JobSpec) -> bool:
+        """Drop one entry; True if something was removed."""
+        path = self.path(spec.job_hash)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def clear(self) -> int:
+        """Remove every entry, returning how many were deleted."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*.json"))

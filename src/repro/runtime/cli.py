@@ -1,0 +1,241 @@
+"""Command-line front end: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+* ``repro sweep`` — run a design-space sweep (slice counts × voltages ×
+  utilisations) through the executor + cache stack and print the table;
+* ``repro eval``  — hardware-in-the-loop evaluation of a synthetic
+  dataset on the cycle-level SNE model, parallelised per sample;
+* ``repro cache`` — inspect or clear the on-disk result cache;
+* ``repro --version`` — the package version.
+
+Every command prints the run's cache/executor statistics so scripted
+callers (the Makefile smoke targets, the scaling benchmark) can verify
+hit rates and worker counts from the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .cache import ResultCache, default_cache_dir
+from .executor import ProcessExecutor, SerialExecutor
+from .progress import ConsoleProgress, Progress
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> list[int]:
+    try:
+        return [int(tok) for tok in text.split(",") if tok]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def _voltage_list(text: str) -> list[float | None]:
+    out: list[float | None] = []
+    for tok in text.split(","):
+        if not tok:
+            continue
+        if tok in ("nom", "nominal", "-"):
+            out.append(None)
+        else:
+            try:
+                out.append(float(tok))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"voltages are floats or 'nom', got {tok!r}"
+                )
+    return out
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _float_list(text: str) -> list[float]:
+    try:
+        return [float(tok) for tok in text.split(",") if tok]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated floats, got {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNE reproduction runtime: parallel sweeps, cached simulation.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=_positive_int, default=1,
+                       help="worker processes (1 = serial, default)")
+        p.add_argument("--cache-dir", default=None,
+                       help=f"result cache directory (default {default_cache_dir()})")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache entirely")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress output")
+
+    p_sweep = sub.add_parser("sweep", help="run a design-space sweep")
+    p_sweep.add_argument("--slices", type=_int_list, default=[1, 2, 4, 8],
+                         help="comma-separated slice counts (default 1,2,4,8)")
+    p_sweep.add_argument("--voltages", type=_voltage_list, default=[None],
+                         help="comma-separated supply voltages; 'nom' = 0.8 V")
+    p_sweep.add_argument("--utilizations", type=_float_list, default=[1.0],
+                         help="comma-separated cluster utilisations in [0,1]")
+    p_sweep.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    add_common(p_sweep)
+
+    p_eval = sub.add_parser("eval", help="hardware-in-the-loop dataset evaluation")
+    p_eval.add_argument("--dataset", choices=("gesture", "nmnist"), default="gesture")
+    p_eval.add_argument("--size", type=int, default=16, help="sensor plane size")
+    p_eval.add_argument("--steps", type=int, default=12, help="timesteps per recording")
+    p_eval.add_argument("--per-class", type=int, default=2, help="recordings per class")
+    p_eval.add_argument("--epochs", type=int, default=0,
+                        help="training epochs before deployment (0 = untrained weights)")
+    p_eval.add_argument("--slices", type=int, default=8, help="SNE slice count")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--max-samples", type=int, default=None)
+    add_common(p_eval)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--cache-dir", default=None)
+    return parser
+
+
+def _make_executor(args) -> SerialExecutor | ProcessExecutor:
+    if args.workers > 1:
+        return ProcessExecutor(workers=args.workers)
+    return SerialExecutor()
+
+
+def _make_cache(args) -> ResultCache | None:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _make_progress(args) -> Progress:
+    return Progress() if args.quiet else ConsoleProgress()
+
+
+def _cmd_sweep(args) -> int:
+    from .sweep import run_dse_sweep
+
+    cache = _make_cache(args)
+    report = run_dse_sweep(
+        slices=args.slices,
+        voltages=args.voltages,
+        utilizations=args.utilizations,
+        executor=_make_executor(args),
+        cache=cache,
+        progress=_make_progress(args),
+    )
+    if args.csv:
+        sys.stdout.write(report.to_csv())
+    else:
+        print(report.render(title="SNE design-space sweep (Figs. 4 + 5 axes)"))
+    print(f"run: {report.run.stats.summary()}")
+    if cache is not None:
+        s = cache.stats
+        print(f"cache: {s.hits} hit(s), {s.misses} miss(es), "
+              f"{s.stores} stored, {s.corrupt} corrupt @ {cache.root}")
+    return 0 if report.ok else 1
+
+
+def _cmd_eval(args) -> int:
+    # Local imports keep the command functions self-documenting about
+    # their dependencies (the repro package itself loads eagerly anyway).
+    from ..analysis.tables import render_table
+    from ..events.datasets import SyntheticDVSGesture, SyntheticNMNIST
+    from ..hw.config import PAPER_CONFIG
+    from ..hw.mapper import compile_network
+    from ..hw.runner import HardwareEvaluator, report_from_job_results
+    from ..snn.topology import build_small_network
+    from ..snn.training import TrainConfig, Trainer
+    from .executor import run_jobs
+
+    if args.dataset == "gesture":
+        maker = SyntheticDVSGesture(size=args.size, n_steps=args.steps)
+    else:
+        # Largest glyph magnification whose 7x5 bitmap (+2px margin) fits.
+        scale = max(1, min((args.size - 2) // 7, 3))
+        maker = SyntheticNMNIST(size=args.size, n_steps=args.steps, scale=scale)
+    data = maker.generate(n_per_class=args.per_class, seed=args.seed)
+    net = build_small_network(
+        input_size=maker.size, n_classes=data.n_classes, channels=6, hidden=32,
+        seed=args.seed,
+    )
+    if args.epochs > 0:
+        Trainer(net, TrainConfig(epochs=args.epochs, batch_size=min(8, len(data)),
+                                 seed=args.seed)).fit(data)
+    programs = compile_network(net, (2, maker.size, maker.size))
+    evaluator = HardwareEvaluator(programs, PAPER_CONFIG.with_slices(args.slices))
+
+    jobs = evaluator.sample_jobs(data, max_samples=args.max_samples)
+    run = run_jobs(jobs, executor=_make_executor(args), cache=_make_cache(args),
+                   progress=_make_progress(args))
+    if run.failures():
+        print(f"run: {run.stats.summary()}")
+        print(run.failures()[0].error, file=sys.stderr)
+        return 1
+    report = report_from_job_results(run.results)
+
+    rows = [
+        [i, r.label, r.prediction, "Y" if r.correct else "n",
+         r.input_events, r.cycles, f"{r.energy_uj:.3f}"]
+        for i, r in enumerate(report.results[:10])
+    ]
+    print(render_table(
+        ["#", "label", "pred", "ok", "events", "cycles", "energy [uJ]"],
+        rows, title=f"hardware-in-the-loop: {data.name} (first 10 of {len(report.results)})",
+    ))
+    lo, hi = report.energy_range_uj
+    print(f"hardware accuracy: {report.accuracy:.3f}   "
+          f"per-inference energy: {lo:.3f} - {hi:.3f} uJ")
+    print(f"run: {run.stats.summary()}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache: removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        return 0
+    print(f"cache: {len(cache)} entr{'y' if len(cache) == 1 else 'ies'}, "
+          f"{cache.size_bytes()} bytes @ {cache.root}")
+    return 0
+
+
+_COMMANDS = {"sweep": _cmd_sweep, "eval": _cmd_eval, "cache": _cmd_cache}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as exc:
+        # Domain validation (slice counts, dataset geometry, an unusable
+        # --cache-dir, ...) surfaces as a clean usage error; executor-level
+        # job failures are already captured as structured records and
+        # never reach here.
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,270 @@
+"""Serial and multiprocessing job executors with failure capture.
+
+Both executors take a list of :class:`~repro.runtime.jobs.JobSpec` and
+return one :class:`JobResult` per spec **in input order**, regardless
+of completion order — parallel runs are bit-identical to serial runs.
+A job that raises produces a structured error record (``ok=False`` with
+the traceback text) instead of crashing the sweep; healthy jobs in the
+same batch are unaffected.
+
+:func:`run_jobs` is the orchestration entry point layering the result
+cache over an executor: cache hits short-circuit execution, misses are
+dispatched (chunked, per-job timed), and fresh successes are written
+back.  Its :class:`RunReport` carries the hit/miss/failure statistics
+every CLI command and benchmark reports.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from .cache import ResultCache
+from .jobs import JobSpec, execute_job
+from .progress import Progress
+
+__all__ = [
+    "JobResult",
+    "RunStats",
+    "RunReport",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "run_jobs",
+]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job: a value or a captured failure."""
+
+    job_hash: str
+    kind: str
+    ok: bool
+    value: dict | None
+    error: str | None
+    duration_s: float
+    cached: bool = False
+
+    def unwrap(self) -> dict:
+        """The value, raising if the job failed."""
+        if not self.ok or self.value is None:
+            raise RuntimeError(f"job {self.kind} ({self.job_hash[:12]}) failed:\n{self.error}")
+        return self.value
+
+
+def _execute_one(spec: JobSpec) -> JobResult:
+    """Run one spec, capturing any exception as a structured record."""
+    start = time.perf_counter()
+    try:
+        value = execute_job(spec)
+    except Exception as exc:
+        return JobResult(
+            job_hash=spec.job_hash,
+            kind=spec.kind,
+            ok=False,
+            value=None,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            duration_s=time.perf_counter() - start,
+        )
+    return JobResult(
+        job_hash=spec.job_hash,
+        kind=spec.kind,
+        ok=True,
+        value=value,
+        error=None,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+def _execute_chunk(specs: list[JobSpec]) -> list[JobResult]:
+    """Worker-side entry point: run one chunk, preserving order."""
+    return [_execute_one(s) for s in specs]
+
+
+class SerialExecutor:
+    """In-process execution — the reference for result equivalence."""
+
+    name = "serial"
+    workers = 1
+
+    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        out = []
+        for spec in specs:
+            result = _execute_one(spec)
+            out.append(result)
+            if on_result is not None:
+                on_result(result)
+        return out
+
+
+class ProcessExecutor:
+    """Chunked dispatch over a ``multiprocessing`` pool.
+
+    Jobs are split into ``workers * chunks_per_worker`` chunks (or
+    fixed-size ``chunk_size`` chunks) and streamed through
+    ``Pool.imap``, which preserves chunk order — so the flattened
+    result list is always in input order.  ``workers=1`` degrades to
+    the serial path with no pool overhead.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        chunks_per_worker: int = 4,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be positive")
+        self.chunk_size = chunk_size
+        self.chunks_per_worker = chunks_per_worker
+        self.start_method = start_method
+
+    def _chunks(self, specs: list[JobSpec]) -> list[list[JobSpec]]:
+        size = self.chunk_size or max(
+            1, math.ceil(len(specs) / (self.workers * self.chunks_per_worker))
+        )
+        return [specs[i : i + size] for i in range(0, len(specs), size)]
+
+    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers == 1 or len(specs) == 1:
+            return SerialExecutor().run(specs, on_result=on_result)
+        ctx = multiprocessing.get_context(self.start_method)
+        out: list[JobResult] = []
+        with ctx.Pool(processes=self.workers) as pool:
+            for chunk_results in pool.imap(_execute_chunk, self._chunks(specs)):
+                out.extend(chunk_results)
+                if on_result is not None:
+                    for result in chunk_results:
+                        on_result(result)
+        return out
+
+
+@dataclass
+class RunStats:
+    """Counters for one :func:`run_jobs` invocation."""
+
+    total: int = 0
+    hits: int = 0
+    misses: int = 0
+    failures: int = 0
+    cache_errors: int = 0
+    elapsed_s: float = 0.0
+    executor: str = "serial"
+    workers: int = 1
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        text = (
+            f"{self.total} job(s) via {self.executor}x{self.workers} in "
+            f"{self.elapsed_s:.3f}s — {self.hits} cache hit(s), "
+            f"{self.misses} computed, {self.failures} failed "
+            f"(hit rate {self.hit_rate:.0%})"
+        )
+        if self.cache_errors:
+            text += f"; {self.cache_errors} result(s) could not be cached"
+        return text
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Ordered results plus the run's statistics."""
+
+    results: tuple[JobResult, ...]
+    stats: RunStats
+
+    def values(self) -> list[dict]:
+        """All result values in job order; raises on any failure."""
+        return [r.unwrap() for r in self.results]
+
+    def failures(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+
+def run_jobs(
+    specs: list[JobSpec],
+    executor: SerialExecutor | ProcessExecutor | None = None,
+    cache: ResultCache | None = None,
+    progress: Progress | None = None,
+) -> RunReport:
+    """Execute ``specs`` through ``executor``, layered over ``cache``.
+
+    Results come back in input order.  With a cache, previously-computed
+    jobs are served from disk without dispatch, and newly computed
+    successes are stored for the next run; failures are never cached.
+    """
+    specs = list(specs)
+    executor = executor or SerialExecutor()
+    progress = progress or Progress()
+    stats = RunStats(
+        total=len(specs),
+        executor=getattr(executor, "name", type(executor).__name__),
+        workers=getattr(executor, "workers", 1),
+    )
+    start = time.perf_counter()
+    progress.on_start(len(specs))
+
+    slots: list[JobResult | None] = [None] * len(specs)
+    pending: list[tuple[int, JobSpec]] = []
+    done = 0
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            slots[i] = JobResult(
+                job_hash=hit.job_hash,
+                kind=hit.kind,
+                ok=True,
+                value=hit.value,
+                error=None,
+                duration_s=hit.duration_s,
+                cached=True,
+            )
+            stats.hits += 1
+            done += 1
+            progress.on_job(done, len(specs), slots[i])
+        else:
+            pending.append((i, spec))
+
+    if pending:
+        counter = {"done": done}
+
+        def on_result(result: JobResult) -> None:
+            counter["done"] += 1
+            progress.on_job(counter["done"], len(specs), result)
+
+        computed = executor.run([spec for _, spec in pending], on_result=on_result)
+        for (i, spec), result in zip(pending, computed):
+            slots[i] = result
+            if result.ok:
+                stats.misses += 1
+                if cache is not None:
+                    # A write failure (disk full, read-only directory, a
+                    # custom runner returning non-JSON values) costs the
+                    # memoisation, never the already-computed results.
+                    try:
+                        cache.put(spec, result.value, result.duration_s)
+                    except (OSError, TypeError, ValueError):
+                        stats.cache_errors += 1
+            else:
+                stats.failures += 1
+
+    stats.elapsed_s = time.perf_counter() - start
+    progress.on_finish(stats)
+    return RunReport(results=tuple(slots), stats=stats)

@@ -1,0 +1,403 @@
+"""Job specifications: hashable units of simulation work.
+
+A :class:`JobSpec` names one unit of work — a design-space point, a
+Table I energy query, a Table II baseline comparison, or one
+hardware-in-the-loop sample evaluation — through a *canonical key*: a
+sorted-key JSON document derived from everything that determines the
+result (``SNEConfig`` fields, layer-program weights, event-stream
+content, dataset identity, seeds).  The SHA-256 of that key is the
+job's identity for the on-disk result cache
+(:mod:`repro.runtime.cache`): two specs with the same hash are
+guaranteed to compute the same value, so a cached result can be reused
+across runs and processes.
+
+Heavyweight in-memory objects (compiled programs, event streams) ride
+along in ``JobSpec.payload``; the payload is *excluded* from hashing
+and equality — only content digests of it enter the key — so a spec
+stays cheap to compare while remaining executable in a worker process.
+
+:func:`execute_job` dispatches a spec to its registered runner and
+returns a JSON-serialisable result dict, which is what the executors
+ship back from workers and the cache persists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..hw.config import SNEConfig
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobSpec",
+    "canonical_json",
+    "calibration_fingerprint",
+    "dse_point_job",
+    "inference_energy_job",
+    "baseline_compare_job",
+    "sample_eval_job",
+    "deployment_fingerprint",
+    "execute_job",
+    "register_runner",
+]
+
+#: Bumped whenever a runner's result layout changes; part of every job
+#: hash, so stale cache entries from an older schema can never be hit.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(obj: Any) -> Any:
+    """Reduce ``obj`` to plain JSON types, deterministically."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(repr(obj)) if obj == obj else "nan"
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, np.generic):
+        return _jsonable(obj.item())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for a job key")
+
+
+def canonical_json(obj: Any) -> str:
+    """Sorted-key, separator-free JSON: the stable identity encoding."""
+    return json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def _digest_array(a: np.ndarray) -> str:
+    """Content digest of an array (dtype + shape + bytes)."""
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One hashable unit of work.
+
+    ``kind`` selects the registered runner; ``key`` is the canonical
+    JSON identity document; ``payload`` optionally carries live objects
+    the runner needs (never hashed, never compared, never cached).
+    """
+
+    kind: str
+    key: str
+    payload: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def job_hash(self) -> str:
+        """Stable SHA-256 identity: schema version + kind + key."""
+        material = f"v{SCHEMA_VERSION}:{self.kind}:{self.key}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    @property
+    def params(self) -> dict:
+        """The decoded key document."""
+        return json.loads(self.key)
+
+
+# -- spec factories ---------------------------------------------------------
+
+def calibration_fingerprint() -> str:
+    """Digest of every constant the analytic models are calibrated on.
+
+    Folded into the analytic job keys so that editing a calibration
+    anchor (Fig. 5a totals, Fig. 4 areas, technology parameters, the
+    gating residual) invalidates cached sweep results instead of
+    silently serving the old model's numbers.
+    """
+    from .. import __version__
+    from ..energy.area import COMPONENTS, FIG4_ANCHORS
+    from ..energy.power import FIG5A_TOTAL_MW, FIG5B_PJ_PER_SOP, PowerModel
+    from ..energy.technology import GF22FDX
+
+    material = canonical_json(
+        {
+            "version": __version__,
+            "tech": dataclasses.asdict(GF22FDX),
+            "gating_residual": float(PowerModel.gating_residual),
+            "fig5a_total_mw": FIG5A_TOTAL_MW,
+            "fig5b_pj_per_sop": FIG5B_PJ_PER_SOP,
+            "fig4_anchors": FIG4_ANCHORS,
+            "area_components": COMPONENTS,
+        }
+    )
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+def dse_point_job(
+    n_slices: int,
+    voltage: float | None = None,
+    utilization: float = 1.0,
+) -> JobSpec:
+    """One design-space point: area/power/efficiency at a configuration.
+
+    ``voltage=None`` means the paper's nominal 0.8 V operating point
+    (anchor-exact at the synthesised slice counts via Fig. 5a).
+    """
+    if n_slices < 1:
+        raise ValueError("n_slices must be positive")
+    key = canonical_json(
+        {
+            "n_slices": n_slices,
+            "voltage": voltage,
+            "utilization": utilization,
+            "calibration": calibration_fingerprint(),
+        }
+    )
+    return JobSpec(kind="dse_point", key=key)
+
+
+def inference_energy_job(
+    dataset: str, n_slices: int = 8, voltage: float | None = None
+) -> JobSpec:
+    """Table I energy/timing interval query for an anchored dataset."""
+    key = canonical_json(
+        {
+            "dataset": dataset,
+            "n_slices": n_slices,
+            "voltage": voltage,
+            "calibration": calibration_fingerprint(),
+        }
+    )
+    return JobSpec(kind="inference_energy", key=key)
+
+
+def baseline_compare_job(platform: str, n_slices: int = 8) -> JobSpec:
+    """Efficiency comparison of SNE against one Table II platform."""
+    key = canonical_json(
+        {
+            "platform": platform,
+            "n_slices": n_slices,
+            "calibration": calibration_fingerprint(),
+        }
+    )
+    return JobSpec(kind="baseline_compare", key=key)
+
+
+def _program_digest(program) -> dict:
+    """Identity document of one compiled :class:`LayerProgram`."""
+    g = program.geometry
+    return {
+        "kind": g.kind.value,
+        "geometry": (
+            g.in_channels, g.in_height, g.in_width,
+            g.out_channels, g.out_height, g.out_width,
+            g.kernel, g.stride, g.padding,
+        ),
+        "weights": _digest_array(np.asarray(program.weights)),
+        "threshold": int(program.threshold),
+        "leak": int(program.leak),
+        "spiking": bool(program.spiking),
+    }
+
+
+def _stream_digest(stream) -> dict:
+    """Identity document of one :class:`EventStream`."""
+    return {
+        "shape": stream.shape if isinstance(stream.shape, tuple) else tuple(stream.shape),
+        "events": _digest_array(
+            np.stack([stream.t, stream.ch, stream.x, stream.y])
+            if len(stream)
+            else np.zeros((4, 0), dtype=np.int32)
+        ),
+    }
+
+
+def _power_fingerprint(power) -> dict | None:
+    if power is None:
+        return None
+    return {
+        "tech": dataclasses.asdict(power.tech),
+        "gating_residual": float(power.gating_residual),
+    }
+
+
+def deployment_fingerprint(programs: list, config: SNEConfig, power=None) -> dict:
+    """The sample-independent part of a ``sample_eval`` key.
+
+    Digesting the program weights is O(model size); when building one
+    job per sample of a dataset, compute this once and pass it to
+    :func:`sample_eval_job` instead of re-hashing per sample.
+    """
+    return {
+        "config": dataclasses.asdict(config),
+        "programs": [_program_digest(p) for p in programs],
+        "power": _power_fingerprint(power),
+    }
+
+
+def sample_eval_job(
+    programs: list,
+    config: SNEConfig,
+    stream,
+    label: int,
+    power=None,
+    deployment: dict | None = None,
+) -> JobSpec:
+    """One hardware-in-the-loop inference: a stream through a network.
+
+    The key hashes the *content* of the compiled programs, the hardware
+    configuration, the power model calibration and the event stream, so
+    re-evaluating the same sample on the same deployment is a cache hit
+    even in a fresh process.  The live objects travel in the payload.
+    ``deployment`` takes a precomputed :func:`deployment_fingerprint`
+    for the programs/config/power triple.
+    """
+    key = canonical_json(
+        {
+            **(deployment or deployment_fingerprint(programs, config, power)),
+            "stream": _stream_digest(stream),
+            "label": int(label),
+        }
+    )
+    payload = {
+        "programs": list(programs),
+        "config": config,
+        "stream": stream,
+        "label": int(label),
+        "power": power,
+    }
+    return JobSpec(kind="sample_eval", key=key, payload=payload)
+
+
+# -- runners ----------------------------------------------------------------
+
+_RUNNERS: dict[str, Callable[[dict, Any], dict]] = {}
+
+
+def register_runner(kind: str):
+    """Register the execution function for a job kind.
+
+    Register at module import time (decorator on a top-level function),
+    not inside ``main()``: under the ``spawn`` start method each worker
+    process re-imports modules from scratch, so runners registered only
+    at runtime exist in the parent and every job of that kind comes
+    back as a structured KeyError failure.  The default ``fork`` start
+    method on Linux inherits runtime registrations.
+    """
+
+    def deco(fn: Callable[[dict, Any], dict]):
+        _RUNNERS[kind] = fn
+        return fn
+
+    return deco
+
+
+def execute_job(spec: JobSpec) -> dict:
+    """Run one spec to completion and return its JSON-able result dict."""
+    try:
+        runner = _RUNNERS[spec.kind]
+    except KeyError:
+        raise KeyError(
+            f"no runner registered for job kind {spec.kind!r}; "
+            f"known: {sorted(_RUNNERS)}"
+        ) from None
+    return runner(spec.params, spec.payload)
+
+
+@functools.lru_cache(maxsize=1)
+def _models():
+    """Shared calibrated model stack (cheap to build, built once)."""
+    from ..energy.area import AreaModel
+    from ..energy.efficiency import EfficiencyModel
+    from ..energy.power import PowerModel
+
+    area = AreaModel()
+    power = PowerModel(area=area)
+    return area, power, EfficiencyModel(power=power)
+
+
+@register_runner("dse_point")
+def _run_dse_point(params: dict, payload: Any) -> dict:
+    from ..energy.area import FIG4_SLICES
+    from ..hw.config import PAPER_CONFIG
+
+    n = int(params["n_slices"])
+    voltage = params["voltage"]
+    utilization = float(params["utilization"])
+    area, power, eff = _models()
+    cfg = PAPER_CONFIG.with_slices(n)
+    if voltage is None and utilization == 1.0:
+        breakdown = power.fig5a_breakdown(n)
+    else:
+        breakdown = power.breakdown(n, utilization, voltage)
+    return {
+        "n_slices": n,
+        "voltage": voltage,
+        "utilization": utilization,
+        "synthesised": n in FIG4_SLICES,
+        "area_kge": area.total_kge(n),
+        "area_mm2": area.total_mm2(n),
+        "dynamic_mw": breakdown.dynamic_mw,
+        "leakage_mw": breakdown.leakage_mw,
+        "total_mw": breakdown.total_mw,
+        "performance_gsops": eff.performance_gsops(cfg),
+        "energy_per_sop_pj": eff.energy_per_sop_pj(cfg, voltage=voltage),
+        "efficiency_tsops_w": eff.efficiency_tsops_w(cfg, voltage=voltage),
+    }
+
+
+@register_runner("inference_energy")
+def _run_inference_energy(params: dict, payload: Any) -> dict:
+    from ..hw.config import PAPER_CONFIG
+
+    _, _, eff = _models()
+    cfg = PAPER_CONFIG.with_slices(int(params["n_slices"]))
+    best, worst = eff.dataset_range(params["dataset"], cfg)
+    return {
+        "dataset": params["dataset"],
+        "n_slices": cfg.n_slices,
+        "best": dataclasses.asdict(best),
+        "worst": dataclasses.asdict(worst),
+    }
+
+
+@register_runner("baseline_compare")
+def _run_baseline_compare(params: dict, payload: Any) -> dict:
+    from ..baselines.soa import TABLE2_LITERATURE, improvement_over, sne_record
+
+    name = params["platform"]
+    others = {p.name: p for p in TABLE2_LITERATURE}
+    if name not in others:
+        raise KeyError(f"unknown Table II platform {name!r}; known: {sorted(others)}")
+    sne = sne_record()
+    other = others[name]
+    return {
+        "platform": name,
+        "sne_efficiency_tsops_w": sne.efficiency_tops_w,
+        "platform_efficiency_tsops_w": other.efficiency_tops_w,
+        "improvement_x": improvement_over(sne, other),
+    }
+
+
+@register_runner("sample_eval")
+def _run_sample_eval(params: dict, payload: Any) -> dict:
+    if payload is None:
+        raise RuntimeError(
+            "sample_eval jobs need their in-memory payload (programs, "
+            "stream); they can be cache-served but not rebuilt from the key"
+        )
+    from ..hw.runner import HardwareEvaluator
+
+    evaluator = HardwareEvaluator(
+        payload["programs"], payload["config"], payload["power"]
+    )
+    result = evaluator.run_sample(payload["stream"], payload["label"])
+    return dataclasses.asdict(result)

@@ -1,0 +1,107 @@
+"""Progress and telemetry callbacks for job execution.
+
+The executors report through a tiny three-hook protocol so callers can
+plug in anything from silence (:class:`Progress`, the no-op base) to a
+console ticker (:class:`ConsoleProgress`) to a recording collector
+(:class:`TelemetryCollector`) that the benchmarks and tests inspect.
+Callbacks always run in the parent process, in deterministic completion
+order, so they are free to keep state without locks.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+__all__ = ["Progress", "ConsoleProgress", "TelemetryCollector", "JobEvent"]
+
+
+class Progress:
+    """No-op base progress sink; subclass and override what you need."""
+
+    def on_start(self, total: int) -> None:  # pragma: no cover - trivial
+        """Called once before the first job with the total job count."""
+
+    def on_job(self, done: int, total: int, result) -> None:
+        """Called after each job completes (``result`` is a JobResult)."""
+
+    def on_finish(self, stats) -> None:  # pragma: no cover - trivial
+        """Called once after the last job with the run's RunStats."""
+
+
+class ConsoleProgress(Progress):
+    """Prints a line every ``every`` jobs (and on every failure).
+
+    ``every=None`` picks roughly ten updates per run.
+    """
+
+    def __init__(self, every: int | None = None, stream=None) -> None:
+        self.every = every
+        self.stream = stream if stream is not None else sys.stderr
+        self._every = 1
+
+    def on_start(self, total: int) -> None:
+        self._every = self.every or max(1, total // 10)
+        print(f"[runtime] {total} job(s) queued", file=self.stream)
+
+    def on_job(self, done: int, total: int, result) -> None:
+        if not result.ok:
+            first_line = (result.error or "").splitlines()[0] if result.error else "?"
+            print(
+                f"[runtime] {done}/{total} FAILED {result.kind}: {first_line}",
+                file=self.stream,
+            )
+        elif done % self._every == 0 or done == total:
+            origin = "cache" if result.cached else f"{result.duration_s:.3f}s"
+            print(
+                f"[runtime] {done}/{total} {result.kind} ({origin})",
+                file=self.stream,
+            )
+
+    def on_finish(self, stats) -> None:
+        print(f"[runtime] done: {stats.summary()}", file=self.stream)
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One recorded job completion."""
+
+    kind: str
+    ok: bool
+    cached: bool
+    duration_s: float
+
+
+@dataclass
+class TelemetryCollector(Progress):
+    """Records every completion for later inspection."""
+
+    events: list[JobEvent] = field(default_factory=list)
+    totals: list[int] = field(default_factory=list)
+
+    def on_start(self, total: int) -> None:
+        self.totals.append(total)
+
+    def on_job(self, done: int, total: int, result) -> None:
+        self.events.append(
+            JobEvent(
+                kind=result.kind,
+                ok=result.ok,
+                cached=result.cached,
+                duration_s=result.duration_s,
+            )
+        )
+
+    def summary(self) -> dict:
+        """Aggregate view of everything recorded so far."""
+        by_kind: dict[str, int] = {}
+        for e in self.events:
+            by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+        return {
+            "jobs": len(self.events),
+            "ok": sum(e.ok for e in self.events),
+            "failed": sum(not e.ok for e in self.events),
+            "cached": sum(e.cached for e in self.events),
+            "compute_s": sum(e.duration_s for e in self.events if not e.cached),
+            "by_kind": by_kind,
+        }

@@ -1,0 +1,95 @@
+"""CLI surface: ``python -m repro sweep|eval|cache`` and ``--version``."""
+
+import pytest
+
+from repro import __version__
+from repro.runtime.cli import main
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_command_is_required():
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_sweep_prints_table_and_stats(tmp_path, capsys):
+    argv = ["sweep", "--slices", "1,8", "--cache-dir", str(tmp_path), "--quiet"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "eff [TSOP/s/W]" in out
+    assert "2 computed" in out
+    # Second invocation is served from the cache.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2 cache hit(s), 0 computed" in out
+    assert "hit rate 100%" in out
+
+
+def test_sweep_csv_output(capsys):
+    assert main(["sweep", "--slices", "1,8", "--no-cache", "--csv", "--quiet"]) == 0
+    lines = [
+        l for l in capsys.readouterr().out.splitlines()
+        if "," in l and not l.startswith("run:")
+    ]
+    assert lines[0].startswith("slices,")
+    assert len(lines) == 3
+
+
+def test_sweep_rejects_bad_axis_values():
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--slices", "1,banana", "--no-cache", "--quiet"])
+    assert exc.value.code == 2
+
+
+def test_nonpositive_workers_rejected():
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--slices", "8", "--workers", "0", "--no-cache", "--quiet"])
+    assert exc.value.code == 2
+
+
+def test_domain_errors_exit_cleanly(capsys):
+    assert main(["sweep", "--slices", "0,8", "--no-cache", "--quiet"]) == 2
+    assert "n_slices must be positive" in capsys.readouterr().err
+    assert main(["sweep", "--slices", "8", "--cache-dir", "/dev/null/x", "--quiet"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_eval_runs_tiny_dataset(capsys):
+    argv = [
+        "eval", "--size", "16", "--steps", "6", "--per-class", "1",
+        "--max-samples", "3", "--no-cache", "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "hardware accuracy" in out
+    assert "3 job(s)" in out
+
+
+def test_eval_uses_cache_on_second_run(tmp_path, capsys):
+    argv = [
+        "eval", "--size", "16", "--steps", "6", "--per-class", "1",
+        "--max-samples", "2", "--cache-dir", str(tmp_path), "--quiet",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    assert "2 cache hit(s), 0 computed" in capsys.readouterr().out
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    main(["sweep", "--slices", "1,8", "--cache-dir", cache_dir, "--quiet"])
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "2 entries" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "0 entries" in capsys.readouterr().out
