@@ -1,26 +1,32 @@
 # Exercise the full stack in one command each.
 #
 #   make test        - tier-1 test suite (the roadmap's verify command)
+#   make test-parity - cross-backend parity + store eviction suites only
 #   make bench-smoke - one fast benchmark: runtime scaling (parity + cache)
 #   make sweep-smoke - tiny 2-point design-space sweep through the CLI,
-#                      run twice to demonstrate the cache-hit path
+#                      run once per backend to demonstrate bit-identical
+#                      tables and the shared-store hit path
 #   make bench       - the full benchmark suite (slow)
-#   make clean-cache - drop the CLI's default on-disk result cache
+#   make clean-cache - drop the CLI's default on-disk result store
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke sweep-smoke bench clean-cache
+.PHONY: test test-parity bench-smoke sweep-smoke bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-parity:
+	$(PYTHON) -m pytest tests/test_backend_parity.py tests/test_store_eviction.py -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_runtime_scaling.py -q
 
 sweep-smoke:
-	$(PYTHON) -m repro sweep --slices 4,8 --workers 2 --cache-dir .repro_cache_smoke
-	$(PYTHON) -m repro sweep --slices 4,8 --cache-dir .repro_cache_smoke
+	$(PYTHON) -m repro sweep --slices 4,8 --backend process --workers 2 --cache-dir .repro_cache_smoke
+	$(PYTHON) -m repro sweep --slices 4,8 --backend thread --cache-dir .repro_cache_smoke
+	$(PYTHON) -m repro sweep --slices 4,8 --backend serial --cache-dir .repro_cache_smoke
 	$(PYTHON) -m repro cache stats --cache-dir .repro_cache_smoke
 
 bench:

@@ -1,13 +1,17 @@
-"""Runtime scaling — parallel dispatch parity and cache-hit speedup.
+"""Runtime scaling — backend parity, cache-hit speedup, backend sweep.
 
-Two claims the orchestration layer must uphold before any later
+Three claims the orchestration layer must uphold before any later
 scaling work builds on it:
 
-1. the multiprocessing executor is a pure speedup: a parallel sweep is
-   bit-identical to the serial reference, in the same order;
-2. the result cache turns repeat invocations into near-free replays:
+1. every registered execution backend (serial / thread / process / …)
+   is a pure speedup: its sweep is bit-identical to the serial
+   reference, in the same order;
+2. the result store turns repeat invocations into near-free replays:
    a second identical run is served >= 90 % from disk (here: 100 %) and
-   its wall-clock collapses accordingly.
+   its wall-clock collapses accordingly;
+3. the backend registry scales: the three shipped backends all complete
+   the same 64-point sweep, and their wall-clocks are reported side by
+   side.
 
 Machine-dependent wall-clock (worker count, core count) is *reported*,
 not asserted; determinism and hit rates are asserted.
@@ -23,9 +27,12 @@ from repro.hw import PAPER_CONFIG, HardwareEvaluator, compile_network, report_fr
 from repro.runtime import (
     ProcessExecutor,
     ResultCache,
+    ResultStore,
     SerialExecutor,
+    available_backends,
     dse_grid,
     dse_jobs,
+    make_backend,
     run_jobs,
 )
 from repro.snn import build_small_network
@@ -79,6 +86,48 @@ def test_sweep_parallel_parity_and_cache_hits(benchmark, report, tmp_path):
                 "runtime scaling — 64-point DSE sweep "
                 f"(warm hit rate {warm.stats.hit_rate:.0%})"
             ),
+        )
+    )
+
+
+def test_three_backend_scaling_comparison(benchmark, report, tmp_path):
+    """The same 64-point sweep through every registered backend.
+
+    Asserts bit-identical ordered values everywhere; reports each
+    backend's cold wall-clock plus a shared-store warm replay, which is
+    the deployment shape: one collaborator computes, everyone replays.
+    """
+    reference = run_jobs(SWEEP_JOBS, executor="serial")
+    rows = []
+    for name in available_backends():
+        backend = make_backend(name, workers=2 if name != "serial" else None)
+        run, elapsed = _timed(lambda b=backend: run_jobs(SWEEP_JOBS, executor=b))
+        assert [r.job_hash for r in run.results] == [
+            r.job_hash for r in reference.results
+        ], f"backend {name!r} reordered results"
+        assert [r.value for r in run.results] == [
+            r.value for r in reference.results
+        ], f"backend {name!r} diverged from serial"
+        rows.append([name, run.stats.workers, run.stats.total, f"{elapsed:.4f}"])
+
+    # One backend fills the shared store; every other backend replays it.
+    store = ResultStore(tmp_path / "shared")
+    run_jobs(SWEEP_JOBS, executor="serial", cache=store)
+    for name in available_backends():
+        warm, elapsed = _timed(
+            lambda n=name: run_jobs(SWEEP_JOBS, executor=n, cache=store)
+        )
+        assert warm.stats.hit_rate == 1.0, f"backend {name!r} missed the shared store"
+        assert [r.value for r in warm.results] == [r.value for r in reference.results]
+        rows.append([f"{name} (warm store)", warm.stats.workers,
+                     warm.stats.total, f"{elapsed:.4f}"])
+    benchmark(lambda: run_jobs(SWEEP_JOBS, executor="serial", cache=store))
+
+    report.add(
+        render_table(
+            ["backend", "workers", "jobs", "time [s]"],
+            rows,
+            title="runtime scaling — 64-point DSE sweep across backends",
         )
     )
 

@@ -4,11 +4,15 @@ Runs the complete §IV-A exploration — area breakdown, power split, peak
 performance and energy per operation for 1-8 slices, plus
 non-synthesised interpolation points — through the ``repro.runtime``
 orchestration stack: the grid compiles to hashed jobs, results are
-memoised in the on-disk cache (re-running this script is served from
-disk), and ``--workers N`` fans the points out over processes.
+memoised in the shared on-disk result store (re-running this script —
+or anyone else's sweep against the same store — is served from disk),
+and ``--backend {serial,thread,process} --workers N`` fans the points
+out through any registered execution backend; every backend produces
+the identical table.
 
-Usage: ``python examples/design_space_exploration.py [--workers N]``
-(equivalently: ``python -m repro sweep --slices 1,2,3,4,6,8``).
+Usage: ``python examples/design_space_exploration.py [--backend NAME]
+[--workers N]`` (equivalently: ``python -m repro sweep --slices
+1,2,3,4,6,8 --backend NAME``).
 """
 
 import argparse
@@ -16,11 +20,11 @@ import argparse
 from repro.baselines import sne_record
 from repro.runtime import (
     ConsoleProgress,
-    ProcessExecutor,
-    ResultCache,
-    SerialExecutor,
-    default_cache_dir,
+    available_backends,
+    default_backend_name,
     dse_point_job,
+    make_backend,
+    open_store,
     run_dse_sweep,
     run_jobs,
 )
@@ -28,11 +32,15 @@ from repro.runtime import (
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--backend", default=None, choices=available_backends())
+    parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args()
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be positive")
 
-    executor = ProcessExecutor(args.workers) if args.workers > 1 else SerialExecutor()
-    cache = ResultCache(default_cache_dir())
+    backend = args.backend or default_backend_name(args.workers)
+    executor = make_backend(backend, workers=args.workers)
+    cache = open_store()
     report = run_dse_sweep(
         slices=(1, 2, 3, 4, 6, 8),
         executor=executor,

@@ -7,10 +7,13 @@ one inference — the Python analogue of the paper's VCD-based power
 flow.  Also renders one input recording as ASCII for a quick look.
 
 The test set runs through the ``repro.runtime`` stack: one hashed job
-per sample, fanned out over worker processes and memoised in the
-on-disk result cache (a second run of this script replays from disk).
+per sample, fanned out through a chosen execution backend
+(``--backend serial|thread|process``) and memoised in the shared
+on-disk result store (a second run of this script — from any backend —
+replays from disk).
 
-Usage: ``python examples/hardware_in_the_loop.py [--workers N]``
+Usage: ``python examples/hardware_in_the_loop.py [--backend NAME]
+[--workers N]``
 """
 
 import argparse
@@ -28,14 +31,17 @@ from repro.hw import (
     report_from_job_results,
     trace_energy_uj,
 )
-from repro.runtime import ConsoleProgress, ProcessExecutor, ResultCache, default_cache_dir, run_jobs
+from repro.runtime import ConsoleProgress, available_backends, make_backend, open_store, run_jobs
 from repro.snn import SNE_LIF_4B, TrainConfig, Trainer, evaluate
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="process", choices=available_backends())
     parser.add_argument("--workers", type=int, default=2)
     args = parser.parse_args()
+    if args.workers < 1:
+        parser.error("--workers must be positive")
 
     size, n_steps = 16, 12
     data = SyntheticDVSGesture(size=size, n_steps=n_steps).generate(n_per_class=5, seed=0)
@@ -54,8 +60,8 @@ def main() -> None:
     evaluator = HardwareEvaluator(programs, config)
     run = run_jobs(
         evaluator.sample_jobs(test),
-        executor=ProcessExecutor(workers=args.workers),
-        cache=ResultCache(default_cache_dir()),
+        executor=make_backend(args.backend, workers=args.workers),
+        cache=open_store(),
         progress=ConsoleProgress(),
     )
     report = report_from_job_results(run.results)

@@ -163,11 +163,13 @@ class HardwareEvaluator:
 
         With the default arguments this is the original in-process loop;
         a bare ``progress`` callback keeps that loop (no job hashing)
-        and reports per-sample completions.  Passing an ``executor``
-        (e.g. ``repro.runtime.ProcessExecutor``) and/or a ``cache``
-        dispatches one job per sample through
-        :func:`repro.runtime.executor.run_jobs`; results are identical
-        to the serial path and come back in dataset order.
+        and reports per-sample completions.  Passing an ``executor`` —
+        a backend instance (``repro.runtime.ProcessExecutor``) or a
+        registered backend name (``"serial"``, ``"thread"``,
+        ``"process"``) — and/or a ``cache`` (e.g. a shared
+        ``repro.runtime.ResultStore``) dispatches one job per sample
+        through :func:`repro.runtime.executor.run_jobs`; results are
+        identical to the serial path and come back in dataset order.
         """
         if executor is None and cache is None:
             samples = self._select(dataset, max_samples)

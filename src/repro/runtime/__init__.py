@@ -14,18 +14,27 @@ fan-out-able, memoised workloads.  The flow is a straight pipeline::
    weights, event-stream content, dataset identity and seeds.  Equal
    hash ⇒ equal result, by construction.
 
-2. **Cache** (:mod:`.cache`).  :class:`~repro.runtime.cache.ResultCache`
-   stores one validated JSON envelope per job hash on disk.  Lookups
-   that fail schema/kind/key/hash validation are treated as corruption:
-   the entry is deleted and the job recomputed.  Hit/miss/store/corrupt
+2. **Cache/store** (:mod:`.cache`, :mod:`.store`).
+   :class:`~repro.runtime.cache.ResultCache` stores one validated JSON
+   envelope per job hash on disk.  Lookups that fail
+   schema/kind/key/hash validation are treated as corruption: the
+   entry is deleted and the job recomputed.  Hit/miss/store/corrupt
    counters feed every run report.
+   :class:`~repro.runtime.store.ResultStore` promotes the cache to a
+   *shared* store: content-addressed two-level layout (``ab/abcd….json``),
+   an append-only recency index, and LRU eviction under a size cap, so
+   concurrent sweeps, CI jobs and collaborators can reuse one
+   directory safely.
 
-3. **Executors** (:mod:`.executor`).  ``SerialExecutor`` and the
-   ``multiprocessing``-pool ``ProcessExecutor`` run job lists with
-   chunked dispatch, per-job timing and structured failure capture;
-   results always come back in input order, so parallel runs are
-   bit-identical to serial ones.  :func:`~repro.runtime.executor.run_jobs`
-   layers the cache over an executor and reports
+3. **Backends** (:mod:`.backends`).  A registry of execution backends
+   — in-process ``serial``, thread-pool ``thread`` for IO-bound jobs,
+   ``multiprocessing`` ``process`` for CPU-bound sweeps — behind one
+   contract: per-job timing, structured failure capture, and results
+   **in input order**, so every backend is bit-identical to serial
+   (``tests/test_backend_parity.py`` enforces this differentially).
+   :func:`~repro.runtime.backends.register_backend` adds new ones;
+   :func:`~repro.runtime.executor.run_jobs` layers the cache over a
+   backend (instance or registered name) and reports
    :class:`~repro.runtime.executor.RunStats`.
 
 4. **Sweeps** (:mod:`.sweep`).  :class:`~repro.runtime.sweep.SweepGrid`
@@ -35,10 +44,12 @@ fan-out-able, memoised workloads.  The flow is a straight pipeline::
 
 :mod:`.progress` provides the callback protocol the executors report
 through; :mod:`.cli` exposes the whole pipeline as ``python -m repro
-sweep|eval|cache`` (also installed as the ``repro`` console script).
-Later scaling work (dataset sharding, async serving, multi-backend
-dispatch) plugs in as new executors and job kinds without touching the
-simulation layers.
+sweep|eval|cache`` (also installed as the ``repro`` console script),
+with ``--backend`` selecting any registered backend and ``repro cache
+stats|evict|clear`` administering the shared store.  Later scaling
+work (dataset sharding, async serving, a cluster/queue backend) plugs
+in as new backends and job kinds without touching the simulation
+layers.
 """
 
 from .jobs import (
@@ -54,6 +65,16 @@ from .jobs import (
     register_runner,
     sample_eval_job,
 )
+from .backends import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    default_backend_name,
+    make_backend,
+    register_backend,
+)
 from .cache import CachedResult, CacheStats, ResultCache, default_cache_dir
 from .executor import (
     JobResult,
@@ -61,8 +82,10 @@ from .executor import (
     RunReport,
     RunStats,
     SerialExecutor,
+    ThreadExecutor,
     run_jobs,
 )
+from .store import MAX_BYTES_ENV, ResultStore, default_max_bytes, open_store
 from .progress import ConsoleProgress, JobEvent, Progress, TelemetryCollector
 from .sweep import (
     DSE_HEADERS,
@@ -90,10 +113,23 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "default_cache_dir",
+    "ResultStore",
+    "open_store",
+    "default_max_bytes",
+    "MAX_BYTES_ENV",
+    "Backend",
+    "register_backend",
+    "make_backend",
+    "available_backends",
+    "default_backend_name",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "JobResult",
     "RunStats",
     "RunReport",
     "SerialExecutor",
+    "ThreadExecutor",
     "ProcessExecutor",
     "run_jobs",
     "Progress",

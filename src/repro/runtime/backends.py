@@ -1,0 +1,295 @@
+"""Execution backends: a registry of interchangeable job runners.
+
+A *backend* is anything that turns an ordered list of
+:class:`~repro.runtime.jobs.JobSpec` into the same-length, same-order
+list of :class:`JobResult` — the contract :func:`~repro.runtime.executor.run_jobs`
+is built on.  Three ship with the package:
+
+* ``serial``  — in-process loop, the reference for result equivalence;
+* ``thread``  — a ``ThreadPoolExecutor`` fan-out for IO-bound jobs
+  (dataset generation, event-file replay) that release the GIL or wait
+  on disk;
+* ``process`` — the chunked ``multiprocessing`` pool for CPU-bound
+  simulation sweeps.
+
+All three uphold the same invariants, enforced by
+``tests/test_backend_parity.py``:
+
+1. results come back **in input order**, regardless of completion
+   order, so any backend is bit-identical to ``serial``;
+2. a raising job becomes a structured ``ok=False`` record carrying the
+   traceback text — never a crashed sweep — and failure positions are
+   identical across backends;
+3. ``on_result`` callbacks fire in the parent, in input order, so
+   progress sinks need no locks.
+
+:func:`register_backend` adds new backends (a cluster/queue dispatcher,
+a mock for tests) under a name the CLI's ``--backend`` flag and
+:func:`make_backend` resolve; registration at import time makes the
+name available in every worker process under any start method.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from .jobs import JobSpec, execute_job
+
+__all__ = [
+    "JobResult",
+    "Backend",
+    "register_backend",
+    "make_backend",
+    "available_backends",
+    "default_backend_name",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job: a value or a captured failure."""
+
+    job_hash: str
+    kind: str
+    ok: bool
+    value: dict | None
+    error: str | None
+    duration_s: float
+    cached: bool = False
+
+    def unwrap(self) -> dict:
+        """The value, raising if the job failed."""
+        if not self.ok or self.value is None:
+            raise RuntimeError(f"job {self.kind} ({self.job_hash[:12]}) failed:\n{self.error}")
+        return self.value
+
+
+def _execute_one(spec: JobSpec) -> JobResult:
+    """Run one spec, capturing any exception as a structured record."""
+    start = time.perf_counter()
+    try:
+        value = execute_job(spec)
+    except Exception as exc:
+        return JobResult(
+            job_hash=spec.job_hash,
+            kind=spec.kind,
+            ok=False,
+            value=None,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            duration_s=time.perf_counter() - start,
+        )
+    return JobResult(
+        job_hash=spec.job_hash,
+        kind=spec.kind,
+        ok=True,
+        value=value,
+        error=None,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+def _execute_chunk(specs: list[JobSpec]) -> list[JobResult]:
+    """Worker-side entry point: run one chunk, preserving order."""
+    return [_execute_one(s) for s in specs]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The execution contract every backend implements."""
+
+    name: str
+    workers: int
+
+    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        """Execute ``specs``, returning one result per spec in input order."""
+        ...
+
+
+# -- registry ---------------------------------------------------------------
+
+_BACKENDS: dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(name: str, *, override: bool = False):
+    """Register a backend factory (usually the class itself) under ``name``.
+
+    The factory is called as ``factory(workers=..., **kwargs)`` by
+    :func:`make_backend`; apply the decorator at module import time so
+    the name exists in spawn-started worker processes too.  Reusing a
+    taken name raises unless ``override=True`` — silently hijacking a
+    shipped backend would break the cross-backend parity guarantee
+    with no diagnostic.
+    """
+
+    def deco(factory: Callable[..., Backend]):
+        if not override and name in _BACKENDS:
+            raise ValueError(
+                f"backend {name!r} is already registered "
+                f"(pass override=True to replace it)"
+            )
+        _BACKENDS[name] = factory
+        return factory
+
+    return deco
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted for stable CLI/help output."""
+    return sorted(_BACKENDS)
+
+
+def default_backend_name(workers: int | None) -> str:
+    """The pre-registry implicit choice: bare ``--workers N > 1`` meant
+    the process pool, anything else the serial reference.  The CLI and
+    examples share this so the fallback policy cannot drift."""
+    return "process" if (workers or 1) > 1 else "serial"
+
+
+def make_backend(name: str, workers: int | None = None, **kwargs) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    ``workers=None`` leaves the backend's own default (serial ignores
+    it; thread/process size themselves from ``os.cpu_count()``).
+    """
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    if workers is not None:
+        kwargs["workers"] = workers
+    return factory(**kwargs)
+
+
+# -- shipped backends -------------------------------------------------------
+
+
+@register_backend("serial")
+class SerialBackend:
+    """In-process execution — the reference for result equivalence."""
+
+    name = "serial"
+    workers = 1
+
+    def __init__(self, workers: int | None = None) -> None:
+        # ``workers`` is accepted (and ignored) so ``--backend serial
+        # --workers N`` and ``make_backend(name, workers=N)`` work
+        # uniformly across every registered backend.
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be positive")
+
+    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        out = []
+        for spec in specs:
+            result = _execute_one(spec)
+            out.append(result)
+            if on_result is not None:
+                on_result(result)
+        return out
+
+
+@register_backend("thread")
+class ThreadBackend:
+    """Fan-out over a thread pool, for IO-bound job kinds.
+
+    CPU-bound simulation jobs gain little under the GIL; jobs that wait
+    on disk or sockets (event-file replay, dataset downloads) overlap
+    their waits.  Futures are submitted all at once but *consumed* in
+    input order, so results and ``on_result`` callbacks keep the serial
+    ordering even when later jobs finish first.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers if workers is not None else min(32, (os.cpu_count() or 1) + 4)
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+
+    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers == 1 or len(specs) == 1:
+            return SerialBackend().run(specs, on_result=on_result)
+        out: list[JobResult] = []
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            futures = [pool.submit(_execute_one, spec) for spec in specs]
+            for future in futures:
+                result = future.result()
+                out.append(result)
+                if on_result is not None:
+                    on_result(result)
+        except BaseException:
+            # Ctrl-C must abandon the queue, not hang until every
+            # already-submitted job has run to completion.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
+        return out
+
+
+@register_backend("process")
+class ProcessBackend:
+    """Chunked dispatch over a ``multiprocessing`` pool.
+
+    Jobs are split into ``workers * chunks_per_worker`` chunks (or
+    fixed-size ``chunk_size`` chunks) and streamed through
+    ``Pool.imap``, which preserves chunk order — so the flattened
+    result list is always in input order.  ``workers=1`` degrades to
+    the serial path with no pool overhead.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        chunks_per_worker: int = 4,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be positive")
+        self.chunk_size = chunk_size
+        self.chunks_per_worker = chunks_per_worker
+        self.start_method = start_method
+
+    def _chunks(self, specs: list[JobSpec]) -> list[list[JobSpec]]:
+        size = self.chunk_size or max(
+            1, math.ceil(len(specs) / (self.workers * self.chunks_per_worker))
+        )
+        return [specs[i : i + size] for i in range(0, len(specs), size)]
+
+    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers == 1 or len(specs) == 1:
+            return SerialBackend().run(specs, on_result=on_result)
+        ctx = multiprocessing.get_context(self.start_method)
+        out: list[JobResult] = []
+        with ctx.Pool(processes=self.workers) as pool:
+            for chunk_results in pool.imap(_execute_chunk, self._chunks(specs)):
+                out.extend(chunk_results)
+                if on_result is not None:
+                    for result in chunk_results:
+                        on_result(result)
+        return out

@@ -138,7 +138,12 @@ class ResultCache:
 
     # -- store ------------------------------------------------------------
     def put(self, spec: JobSpec, value: dict, duration_s: float) -> None:
-        """Persist one successful result atomically."""
+        """Persist one successful result atomically.
+
+        The temp file lives in the target's own directory so the final
+        ``os.replace`` stays on one filesystem and is atomic even for
+        sharded layouts (:class:`~repro.runtime.store.ResultStore`).
+        """
         entry = {
             "schema": self.schema_version,
             "kind": spec.kind,
@@ -147,11 +152,13 @@ class ResultCache:
             "value": value,
             "duration_s": float(duration_s),
         }
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        target = self.path(spec.job_hash)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(entry, fh)
-            os.replace(tmp, self.path(spec.job_hash))
+            os.replace(tmp, target)
         except BaseException:
             pathlib.Path(tmp).unlink(missing_ok=True)
             raise
@@ -165,16 +172,29 @@ class ResultCache:
         path.unlink(missing_ok=True)
         return existed
 
+    def _iter_entries(self):
+        """Every entry file currently on disk (layout-specific)."""
+        return self.root.glob("*.json")
+
     def clear(self) -> int:
         """Remove every entry, returning how many were deleted."""
         n = 0
-        for path in self.root.glob("*.json"):
+        for path in self._iter_entries():
             path.unlink(missing_ok=True)
             n += 1
         return n
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for _ in self._iter_entries())
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.root.glob("*.json"))
+        # Stat each globbed path defensively: on a shared store another
+        # process may evict an entry between the directory scan and the
+        # stat (TOCTOU), which must read as "0 bytes", not crash.
+        total = 0
+        for p in self._iter_entries():
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+        return total

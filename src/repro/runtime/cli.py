@@ -3,11 +3,19 @@
 Subcommands:
 
 * ``repro sweep`` — run a design-space sweep (slice counts × voltages ×
-  utilisations) through the executor + cache stack and print the table;
+  utilisations) through a chosen execution backend + the shared result
+  store and print the table;
 * ``repro eval``  — hardware-in-the-loop evaluation of a synthetic
   dataset on the cycle-level SNE model, parallelised per sample;
-* ``repro cache`` — inspect or clear the on-disk result cache;
+* ``repro cache`` — inspect (``stats``), size-cap (``evict
+  --max-bytes N``) or ``clear`` the shared on-disk result store;
 * ``repro --version`` — the package version.
+
+``--backend {serial,thread,process}`` selects the execution backend on
+every run command (any backend registered via
+:func:`repro.runtime.backends.register_backend` is accepted); results
+are bit-identical across backends.  The store location and size cap
+default from ``$REPRO_CACHE_DIR`` and ``$REPRO_CACHE_MAX_BYTES``.
 
 Every command prints the run's cache/executor statistics so scripted
 callers (the Makefile smoke targets, the scaling benchmark) can verify
@@ -20,9 +28,10 @@ import argparse
 import sys
 from typing import Sequence
 
-from .cache import ResultCache, default_cache_dir
-from .executor import ProcessExecutor, SerialExecutor
+from .backends import available_backends, default_backend_name, make_backend
+from .cache import default_cache_dir
 from .progress import ConsoleProgress, Progress
+from .store import ResultStore, open_store
 
 __all__ = ["main", "build_parser"]
 
@@ -79,12 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--workers", type=_positive_int, default=1,
-                       help="worker processes (1 = serial, default)")
+        p.add_argument("--backend", default=None, metavar="NAME",
+                       help="execution backend: "
+                            f"{', '.join(available_backends())} "
+                            "(default: serial, or process when --workers > 1)")
+        p.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker threads/processes (default: 1, or the "
+                            "backend's own sizing when --backend is given)")
         p.add_argument("--cache-dir", default=None,
-                       help=f"result cache directory (default {default_cache_dir()})")
+                       help=f"result store directory (default {default_cache_dir()})")
+        p.add_argument("--max-bytes", type=int, default=None,
+                       help="store size cap in bytes, LRU-evicted "
+                            "(default $REPRO_CACHE_MAX_BYTES or uncapped)")
         p.add_argument("--no-cache", action="store_true",
-                       help="bypass the result cache entirely")
+                       help="bypass the result store entirely")
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress output")
 
@@ -110,22 +127,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--max-samples", type=int, default=None)
     add_common(p_eval)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache = sub.add_parser("cache", help="inspect, evict or clear the result store")
+    p_cache.add_argument("action", choices=("stats", "evict", "clear"))
     p_cache.add_argument("--cache-dir", default=None)
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="size target for evict (default "
+                              "$REPRO_CACHE_MAX_BYTES)")
     return parser
 
 
-def _make_executor(args) -> SerialExecutor | ProcessExecutor:
-    if args.workers > 1:
-        return ProcessExecutor(workers=args.workers)
-    return SerialExecutor()
+def _make_executor(args):
+    name = args.backend or default_backend_name(args.workers)
+    return make_backend(name, workers=args.workers)
 
 
-def _make_cache(args) -> ResultCache | None:
+def _make_cache(args) -> ResultStore | None:
     if getattr(args, "no_cache", False):
         return None
-    return ResultCache(args.cache_dir or default_cache_dir())
+    return open_store(args.cache_dir, max_bytes=args.max_bytes)
 
 
 def _make_progress(args) -> Progress:
@@ -146,13 +165,16 @@ def _cmd_sweep(args) -> int:
     )
     if args.csv:
         sys.stdout.write(report.to_csv())
+        stats_out = sys.stderr  # keep redirected CSV files valid
     else:
         print(report.render(title="SNE design-space sweep (Figs. 4 + 5 axes)"))
-    print(f"run: {report.run.stats.summary()}")
+        stats_out = sys.stdout
+    print(f"run: {report.run.stats.summary()}", file=stats_out)
     if cache is not None:
         s = cache.stats
         print(f"cache: {s.hits} hit(s), {s.misses} miss(es), "
-              f"{s.stores} stored, {s.corrupt} corrupt @ {cache.root}")
+              f"{s.stores} stored, {s.corrupt} corrupt @ {cache.root}",
+              file=stats_out)
     return 0 if report.ok else 1
 
 
@@ -211,13 +233,26 @@ def _cmd_eval(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    cache = ResultCache(args.cache_dir or default_cache_dir())
+    store = open_store(args.cache_dir, max_bytes=args.max_bytes)
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"cache: removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+        removed = store.clear()
+        print(f"cache: removed {removed} entr{'y' if removed == 1 else 'ies'} from {store.root}")
         return 0
-    print(f"cache: {len(cache)} entr{'y' if len(cache) == 1 else 'ies'}, "
-          f"{cache.size_bytes()} bytes @ {cache.root}")
+    if args.action == "evict":
+        if store.max_bytes is None:
+            print("repro cache: error: evict needs --max-bytes "
+                  "(or $REPRO_CACHE_MAX_BYTES)", file=sys.stderr)
+            return 2
+        removed = store.evict()
+        u = store.usage()
+        print(f"cache: evicted {removed} entr{'y' if removed == 1 else 'ies'}; "
+              f"{u['entries']} left, {u['bytes']} bytes "
+              f"(cap {u['max_bytes']}) @ {u['root']}")
+        return 0
+    u = store.usage()
+    cap = "uncapped" if u["max_bytes"] is None else f"cap {u['max_bytes']} bytes"
+    print(f"cache: {u['entries']} entr{'y' if u['entries'] == 1 else 'ies'}, "
+          f"{u['bytes']} bytes ({cap}), {u['shards']} shard dir(s) @ {u['root']}")
     return 0
 
 

@@ -1,30 +1,39 @@
-"""Serial and multiprocessing job executors with failure capture.
+"""Cache-aware job orchestration over pluggable execution backends.
 
-Both executors take a list of :class:`~repro.runtime.jobs.JobSpec` and
-return one :class:`JobResult` per spec **in input order**, regardless
-of completion order — parallel runs are bit-identical to serial runs.
-A job that raises produces a structured error record (``ok=False`` with
-the traceback text) instead of crashing the sweep; healthy jobs in the
-same batch are unaffected.
+The execution strategies themselves live in :mod:`.backends` — a
+registry of ``serial`` / ``thread`` / ``process`` backends behind one
+contract: one :class:`~repro.runtime.backends.JobResult` per
+:class:`~repro.runtime.jobs.JobSpec` **in input order**, regardless of
+completion order, with raising jobs captured as structured ``ok=False``
+records instead of crashing the sweep.  ``SerialExecutor`` and
+``ProcessExecutor`` remain importable here as aliases of the
+registered backend classes.
 
 :func:`run_jobs` is the orchestration entry point layering the result
-cache over an executor: cache hits short-circuit execution, misses are
+cache over a backend: cache hits short-circuit execution, misses are
 dispatched (chunked, per-job timed), and fresh successes are written
-back.  Its :class:`RunReport` carries the hit/miss/failure statistics
-every CLI command and benchmark reports.
+back.  The backend may be passed as an instance or as a registered
+name (``"serial"``, ``"thread"``, ``"process"``, or anything added via
+:func:`~repro.runtime.backends.register_backend`).  Its
+:class:`RunReport` carries the hit/miss/failure statistics every CLI
+command and benchmark reports.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
-import os
 import time
-import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from .backends import (
+    Backend,
+    JobResult,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .cache import ResultCache
-from .jobs import JobSpec, execute_job
+from .jobs import JobSpec
 from .progress import Progress
 
 __all__ = [
@@ -32,126 +41,16 @@ __all__ = [
     "RunStats",
     "RunReport",
     "SerialExecutor",
+    "ThreadExecutor",
     "ProcessExecutor",
     "run_jobs",
 ]
 
-
-@dataclass(frozen=True)
-class JobResult:
-    """Outcome of one job: a value or a captured failure."""
-
-    job_hash: str
-    kind: str
-    ok: bool
-    value: dict | None
-    error: str | None
-    duration_s: float
-    cached: bool = False
-
-    def unwrap(self) -> dict:
-        """The value, raising if the job failed."""
-        if not self.ok or self.value is None:
-            raise RuntimeError(f"job {self.kind} ({self.job_hash[:12]}) failed:\n{self.error}")
-        return self.value
-
-
-def _execute_one(spec: JobSpec) -> JobResult:
-    """Run one spec, capturing any exception as a structured record."""
-    start = time.perf_counter()
-    try:
-        value = execute_job(spec)
-    except Exception as exc:
-        return JobResult(
-            job_hash=spec.job_hash,
-            kind=spec.kind,
-            ok=False,
-            value=None,
-            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-            duration_s=time.perf_counter() - start,
-        )
-    return JobResult(
-        job_hash=spec.job_hash,
-        kind=spec.kind,
-        ok=True,
-        value=value,
-        error=None,
-        duration_s=time.perf_counter() - start,
-    )
-
-
-def _execute_chunk(specs: list[JobSpec]) -> list[JobResult]:
-    """Worker-side entry point: run one chunk, preserving order."""
-    return [_execute_one(s) for s in specs]
-
-
-class SerialExecutor:
-    """In-process execution — the reference for result equivalence."""
-
-    name = "serial"
-    workers = 1
-
-    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
-        out = []
-        for spec in specs:
-            result = _execute_one(spec)
-            out.append(result)
-            if on_result is not None:
-                on_result(result)
-        return out
-
-
-class ProcessExecutor:
-    """Chunked dispatch over a ``multiprocessing`` pool.
-
-    Jobs are split into ``workers * chunks_per_worker`` chunks (or
-    fixed-size ``chunk_size`` chunks) and streamed through
-    ``Pool.imap``, which preserves chunk order — so the flattened
-    result list is always in input order.  ``workers=1`` degrades to
-    the serial path with no pool overhead.
-    """
-
-    name = "process"
-
-    def __init__(
-        self,
-        workers: int | None = None,
-        chunk_size: int | None = None,
-        chunks_per_worker: int = 4,
-        start_method: str | None = None,
-    ) -> None:
-        self.workers = workers if workers is not None else (os.cpu_count() or 1)
-        if self.workers < 1:
-            raise ValueError("workers must be positive")
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be positive")
-        if chunks_per_worker < 1:
-            raise ValueError("chunks_per_worker must be positive")
-        self.chunk_size = chunk_size
-        self.chunks_per_worker = chunks_per_worker
-        self.start_method = start_method
-
-    def _chunks(self, specs: list[JobSpec]) -> list[list[JobSpec]]:
-        size = self.chunk_size or max(
-            1, math.ceil(len(specs) / (self.workers * self.chunks_per_worker))
-        )
-        return [specs[i : i + size] for i in range(0, len(specs), size)]
-
-    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
-        specs = list(specs)
-        if not specs:
-            return []
-        if self.workers == 1 or len(specs) == 1:
-            return SerialExecutor().run(specs, on_result=on_result)
-        ctx = multiprocessing.get_context(self.start_method)
-        out: list[JobResult] = []
-        with ctx.Pool(processes=self.workers) as pool:
-            for chunk_results in pool.imap(_execute_chunk, self._chunks(specs)):
-                out.extend(chunk_results)
-                if on_result is not None:
-                    for result in chunk_results:
-                        on_result(result)
-        return out
+#: Backwards-compatible names from before the backend registry existed
+#: (PR 1 shipped these as the only two executors).
+SerialExecutor = SerialBackend
+ThreadExecutor = ThreadBackend
+ProcessExecutor = ProcessBackend
 
 
 @dataclass
@@ -200,18 +99,23 @@ class RunReport:
 
 def run_jobs(
     specs: list[JobSpec],
-    executor: SerialExecutor | ProcessExecutor | None = None,
+    executor: Backend | str | None = None,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
 ) -> RunReport:
     """Execute ``specs`` through ``executor``, layered over ``cache``.
 
-    Results come back in input order.  With a cache, previously-computed
-    jobs are served from disk without dispatch, and newly computed
-    successes are stored for the next run; failures are never cached.
+    ``executor`` is a backend instance or a registered backend name
+    (default serial).  Results come back in input order.  With a cache,
+    previously-computed jobs are served from disk without dispatch, and
+    newly computed successes are stored for the next run; failures are
+    never cached.
     """
     specs = list(specs)
-    executor = executor or SerialExecutor()
+    if executor is None:
+        executor = SerialBackend()
+    elif isinstance(executor, str):
+        executor = make_backend(executor)
     progress = progress or Progress()
     stats = RunStats(
         total=len(specs),

@@ -1,0 +1,484 @@
+"""Shared, eviction-aware result store.
+
+:class:`ResultStore` promotes the per-run :class:`~repro.runtime.cache.ResultCache`
+to a directory many runs, users and CI jobs can share:
+
+* **content-addressed two-level layout** — an entry for job hash
+  ``abcdef…`` lives at ``ab/abcdef….json``, keeping any one directory
+  small enough for fast scans on network filesystems;
+* **LRU eviction under a size cap** — every hit and store appends the
+  job hash to an append-only index file (``index.log``); eviction
+  replays the log to rank entries by recency and deletes the least
+  recently used until the store fits ``max_bytes``;
+* **concurrent-safe by construction** — entry writes are temp file +
+  ``os.replace`` (no torn entries), index appends are single
+  ``O_APPEND`` writes (no interleaved lines), log compaction runs
+  under an ``fcntl`` file lock, and every scan/stat/unlink tolerates
+  entries vanishing mid-operation because another process evicted them.
+
+A sweep pointed at a shared store therefore hits results computed by
+anyone else who ran the same jobs — the "cross-run cache reuse" item
+from the roadmap — while the cap keeps the directory from growing
+without bound.  The CLI front end is ``repro cache stats|evict|clear``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import pathlib
+import re
+import tempfile
+import time
+from dataclasses import dataclass
+
+from .cache import CachedResult, ResultCache, default_cache_dir
+from .jobs import JobSpec
+
+try:  # pragma: no cover - fcntl is POSIX-only; Windows degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+__all__ = ["ResultStore", "open_store", "default_max_bytes", "MAX_BYTES_ENV"]
+
+#: Environment variable giving the default store size cap in bytes.
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: One index line: a full SHA-256 job hash.
+_HASH_LINE = re.compile(r"^[0-9a-f]{64}$")
+
+#: Index size past which a touch triggers opportunistic compaction, so
+#: the log stays bounded even on uncapped stores that never evict.
+_COMPACT_THRESHOLD_BYTES = 256 * 1024
+
+#: Cap-triggered evictions clear down to this fraction of ``max_bytes``
+#: so a store sitting at its cap doesn't pay a full scan-and-evict on
+#: every subsequent put — one eviction buys ~10% of cap in headroom.
+_EVICT_WATERMARK = 0.9
+
+#: Entries younger than this with no index record are assumed to be a
+#: concurrent writer's in-flight results (entry write and index touch
+#: are two steps), not stale leftovers, and are evicted last.
+_FRESH_GRACE_S = 60.0
+
+#: Cache-hit touches are buffered and appended in batches of this many,
+#: so the warm replay path pays a list append per hit instead of an
+#: open+flock+write per hit.
+_TOUCH_FLUSH_COUNT = 32
+
+#: How long an orphaned temp file (mkstemp leftover from a SIGKILLed
+#: writer) must sit untouched before eviction sweeps it.
+_DEBRIS_GRACE_S = 3600.0
+
+#: How often a store that found no flat-layout entries re-checks for
+#: them (a collaborator still on the pre-store cache may write some).
+_FLAT_RECHECK_S = 60.0
+
+
+def default_max_bytes() -> int | None:
+    """``$REPRO_CACHE_MAX_BYTES`` as an int, or None (uncapped)."""
+    raw = os.environ.get(MAX_BYTES_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{MAX_BYTES_ENV} must be an integer byte count, got {raw!r}")
+    if value < 0:
+        raise ValueError(f"{MAX_BYTES_ENV} must be non-negative, got {value}")
+    return value
+
+
+@dataclass
+class ResultStore(ResultCache):
+    """A sharded, size-capped, LRU-evicting :class:`ResultCache`.
+
+    ``max_bytes=None`` disables eviction (the store only adds the
+    sharded layout and recency tracking); a cap is enforced after every
+    store, so a long sweep can never overshoot by more than one entry.
+    """
+
+    max_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        # Running size estimate so a capped put only pays for a full
+        # scan + lock when the cap is plausibly crossed, not every time.
+        # Per-process: concurrent writers each under-count the others,
+        # so under contention the cap is enforced approximately — each
+        # writer still converges on it at its own next over-cap put.
+        self._approx_bytes: int | None = None
+        # Compaction trigger; doubles past the last compacted size so a
+        # store whose *deduplicated* index legitimately exceeds the base
+        # threshold doesn't recompact on every touch.
+        self._compact_floor: int = _COMPACT_THRESHOLD_BYTES
+        # Whether the root may still hold pre-store flat-layout entries;
+        # resolved on first use (and re-checked at most every
+        # _FLAT_RECHECK_S while negative, in case a legacy writer is
+        # still active) so stores that never saw the old layout pay an
+        # occasional glob, not a stat per operation.
+        self._may_have_flat: bool | None = None
+        self._flat_checked_at = 0.0
+        # Buffered cache-hit touches, flushed in batches (and before
+        # any index read) — losing them to a crash costs recency
+        # accuracy only.
+        self._pending_touches: list[str] = []
+
+    # -- layout -----------------------------------------------------------
+    def path(self, job_hash: str) -> pathlib.Path:
+        return self.root / job_hash[:2] / f"{job_hash}.json"
+
+    def _iter_entries(self):
+        # Root-level *.json files are entries from the pre-store flat
+        # ResultCache layout; counting (and evicting/clearing) them too
+        # keeps an upgraded directory fully administered.
+        return itertools.chain(self.root.glob("??/*.json"), self.root.glob("*.json"))
+
+    def _adopt_flat(self, job_hash: str) -> None:
+        """Move a flat-layout entry (pre-store ``<hash>.json`` in the
+        root) into its shard, so results cached before the upgrade stay
+        hittable.  Atomic rename on one filesystem; a concurrent
+        adopter losing the race is harmless."""
+        # Re-resolve periodically in both directions: a legacy writer
+        # may add flat entries after a negative check, and adoption
+        # eventually empties the root after a positive one.
+        if (
+            self._may_have_flat is None
+            or time.monotonic() - self._flat_checked_at > _FLAT_RECHECK_S
+        ):
+            self._may_have_flat = any(True for _ in self.root.glob("*.json"))
+            self._flat_checked_at = time.monotonic()
+        if not self._may_have_flat:
+            return
+        flat = self.root / f"{job_hash}.json"
+        if not flat.exists():
+            return
+        target = self.path(job_hash)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, target)
+        except OSError:
+            pass
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        return self.root / "index.log"
+
+    @property
+    def _lock_path(self) -> pathlib.Path:
+        return self.root / "index.lock"
+
+    # -- recency index ----------------------------------------------------
+    def _touch(self, job_hash: str) -> None:
+        """Record one use.  Touches are buffered and flushed in batches
+        (every ``_TOUCH_FLUSH_COUNT``, and before any index read), so
+        the warm hit path costs a list append, not file I/O; a crash
+        loses at most a batch of recency records, never an entry."""
+        self._pending_touches.append(job_hash)
+        if len(self._pending_touches) >= _TOUCH_FLUSH_COUNT:
+            self._flush_touches()
+
+    def _flush_touches(self) -> None:
+        """Append the buffered touches as one O_APPEND write: concurrent
+        processes interleave whole batches, never fragments.  Each
+        record's leading newline terminates any torn tail a crashed
+        writer left behind, so one torn record can never corrupt the
+        next; blank lines are skipped on read.  The append runs under a
+        *shared* index lock so it cannot land inside a compactor's
+        read-tail→replace window (which holds the lock exclusively) and
+        vanish with the old inode; shared holders don't serialise
+        against each other.  A write failure (read-only store) costs
+        recency accuracy, not correctness."""
+        if not self._pending_touches:
+            return
+        pending, self._pending_touches = self._pending_touches, []
+        try:
+            with self._index_lock(shared=True):
+                with open(self.index_path, "a") as fh:
+                    fh.write("".join("\n" + h + "\n" for h in pending))
+                    size = fh.tell()
+            if size > self._compact_floor:
+                self.compact()
+        except OSError:
+            pass
+
+    def _read_index_bytes(self) -> bytes:
+        # Callers holding the exclusive lock must have flushed pending
+        # touches *before* acquiring it (a flush takes the shared lock,
+        # which would deadlock against our own exclusive hold).
+        try:
+            return self.index_path.read_bytes()
+        except OSError:
+            return b""
+
+    def _read_index(self) -> str:
+        # Undecodable bytes (disk corruption, binary garbage) become
+        # replacement chars, fail the hash-line regex, and are skipped —
+        # index damage must never crash a sweep.
+        return self._read_index_bytes().decode(errors="replace")
+
+    @staticmethod
+    def _parse_ranks(text: str) -> dict[str, int]:
+        """job_hash → rank of its most recent use (higher = fresher).
+
+        Malformed lines (a torn write from a crash, hand edits) are
+        skipped; hashes never logged simply rank as least recent.
+        """
+        ranks: dict[str, int] = {}
+        for i, line in enumerate(text.splitlines()):
+            if _HASH_LINE.match(line):
+                ranks[line] = i
+        return ranks
+
+    def _recency(self) -> dict[str, int]:
+        self._flush_touches()
+        return self._parse_ranks(self._read_index())
+
+    def compact(self) -> None:
+        """Rewrite the index to one record per hash, keeping recency order.
+
+        Runs under the index lock; appends that land while the rewrite
+        is in flight are preserved by the tail merge in
+        :meth:`_rewrite_index`, never silently dropped.
+        """
+        self._flush_touches()
+        with self._index_lock():
+            raw = self._read_index_bytes()
+            ranks = self._parse_ranks(raw.decode(errors="replace"))
+            ordered = sorted(ranks, key=ranks.get)  # type: ignore[arg-type]
+            # The tail offset is the RAW byte length — replacement
+            # decoding can inflate the text, and an overshot seek would
+            # drop concurrently appended records.
+            written = self._rewrite_index(ordered, snapshot_bytes=len(raw))
+        self._compact_floor = max(_COMPACT_THRESHOLD_BYTES, 2 * written)
+
+    @contextlib.contextmanager
+    def _index_lock(self, shared: bool = False):
+        """flock on the sidecar lock file (best effort).
+
+        Exclusive holders (eviction, compaction) exclude everyone;
+        shared holders (index appends) exclude only the exclusive ones,
+        keeping concurrent readers unserialised.
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR)
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_SH if shared else fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
+
+    # -- cache interface --------------------------------------------------
+    def get(self, spec: JobSpec) -> CachedResult | None:
+        self._adopt_flat(spec.job_hash)
+        hit = super().get(spec)
+        if hit is not None:
+            self._touch(spec.job_hash)
+        return hit
+
+    def invalidate(self, spec: JobSpec) -> bool:
+        self._adopt_flat(spec.job_hash)
+        return super().invalidate(spec)
+
+    def put(self, spec: JobSpec, value: dict, duration_s: float) -> None:
+        self._adopt_flat(spec.job_hash)  # else the old flat copy would linger
+        old_size = 0
+        if self.max_bytes is not None and self._approx_bytes is not None:
+            try:  # a re-put replaces bytes rather than adding them
+                old_size = self.path(spec.job_hash).stat().st_size
+            except OSError:
+                pass
+        super().put(spec, value, duration_s)
+        self._touch(spec.job_hash)
+        # A put already pays an entry write; flushing here keeps stored
+        # results' recency durable (only hit touches stay buffered).
+        self._flush_touches()
+        if self.max_bytes is None:
+            return
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(size for _, _, size, _ in self._scan())
+        else:
+            try:
+                self._approx_bytes += self.path(spec.job_hash).stat().st_size - old_size
+            except OSError:
+                pass
+        if self._approx_bytes > self.max_bytes:
+            self.evict(int(self.max_bytes * _EVICT_WATERMARK))
+
+    def clear(self) -> int:
+        n = super().clear()
+        self._pending_touches = []
+        self.index_path.unlink(missing_ok=True)
+        self._lock_path.unlink(missing_ok=True)
+        for pattern in ("*.tmp", "??/*.tmp", "*.idx"):
+            for p in self.root.glob(pattern):
+                p.unlink(missing_ok=True)
+        for p in self.root.iterdir():
+            # rmdir only succeeds on empty dirs, so a shard a concurrent
+            # writer is repopulating survives untouched.
+            if p.is_dir() and len(p.name) == 2:
+                with contextlib.suppress(OSError):
+                    p.rmdir()
+        self._approx_bytes = 0
+        return n
+
+    def __del__(self):  # pragma: no cover - interpreter-exit best effort
+        try:
+            self._flush_touches()
+        except Exception:
+            pass
+
+    # -- eviction ---------------------------------------------------------
+    def _sweep_debris(self) -> int:
+        """Remove temp files (mkstemp leftovers from SIGKILLed writers)
+        older than the grace period — nothing else reclaims them, and
+        they'd silently eat into a shared store's real disk budget."""
+        removed = 0
+        now = time.time()
+        for pattern in ("*.tmp", "??/*.tmp", "*.idx"):
+            for p in self.root.glob(pattern):
+                try:
+                    if now - p.stat().st_mtime > _DEBRIS_GRACE_S:
+                        p.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def _scan(self) -> list[tuple[str, pathlib.Path, int, float]]:
+        """(job_hash, path, size, mtime) for every live entry.
+
+        Entries another process deletes between the directory listing
+        and the stat are skipped — the shared-store TOCTOU the flat
+        cache's ``size_bytes`` also guards against.
+        """
+        out = []
+        for path in self._iter_entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((path.stem, path, st.st_size, st.st_mtime))
+        return out
+
+    def evict(self, target_bytes: int | None = None) -> int:
+        """Delete least-recently-used entries until the store fits.
+
+        ``target_bytes`` defaults to ``max_bytes`` (it must be given
+        for an uncapped store).  Returns the number of entries removed.
+        Afterwards the index log is compacted to one line per survivor,
+        bounding its growth across long-running shared use.
+        """
+        if target_bytes is None:
+            target_bytes = self.max_bytes
+        if target_bytes is None:
+            raise ValueError("evict() needs target_bytes on an uncapped store")
+        if target_bytes < 0:
+            raise ValueError("target_bytes must be non-negative")
+        self._flush_touches()  # must precede the exclusive lock
+        with self._index_lock():
+            self._sweep_debris()
+            entries = self._scan()
+            total = sum(size for _, _, size, _ in entries)
+            if total <= target_bytes:
+                self._approx_bytes = total
+                return 0
+            raw_snapshot = self._read_index_bytes()
+            ranks = self._parse_ranks(raw_snapshot.decode(errors="replace"))
+            # Least recent first.  Unlogged entries are ambiguous: an
+            # old one is a leftover whose log was lost (evict first, by
+            # mtime), a *fresh* one is a concurrent writer's result
+            # whose index touch hasn't landed yet (evict last) — a
+            # shared store must not eat a neighbour's newest work.
+            now = time.time()
+
+            def lru_key(e):
+                job_hash, _, _, mtime = e
+                if job_hash in ranks:
+                    return (1, ranks[job_hash], mtime)
+                if now - mtime < _FRESH_GRACE_S:
+                    return (2, 0, mtime)
+                return (0, 0, mtime)
+
+            entries.sort(key=lru_key)
+            removed = 0
+            survivors = []
+            for job_hash, path, size, _ in entries:
+                if total > target_bytes:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except FileNotFoundError:
+                        pass  # another process got there first
+                    except OSError:
+                        survivors.append(job_hash)
+                        continue
+                    total -= size
+                else:
+                    survivors.append(job_hash)
+            self._approx_bytes = total
+            survivors.sort(key=lambda h: ranks.get(h, -1))
+            written = self._rewrite_index(survivors, snapshot_bytes=len(raw_snapshot))
+            self._compact_floor = max(_COMPACT_THRESHOLD_BYTES, 2 * written)
+            return removed
+
+    def _rewrite_index(self, hashes: list[str], snapshot_bytes: int) -> int:
+        """Atomically replace the index with ``hashes`` (one line each),
+        re-appending any records other processes logged after the
+        ``snapshot_bytes``-long snapshot was read — an unlocked
+        ``_touch`` racing a compaction must not lose its recency record
+        (an unlogged entry would wrongly rank least-recent).  Appends
+        are whole ``\\n``-framed records, so the byte offset always
+        lands on a record boundary.  Returns the bytes written."""
+        tail = ""
+        try:
+            with open(self.index_path, "rb") as fh:
+                fh.seek(snapshot_bytes)
+                tail = fh.read().decode(errors="replace")
+        except OSError:
+            pass
+        content = "".join(h + "\n" for h in hashes) + tail
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".idx")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(content)
+            os.replace(tmp, self.index_path)
+        except OSError:
+            pathlib.Path(tmp).unlink(missing_ok=True)
+        return len(content.encode())
+
+    # -- reporting --------------------------------------------------------
+    def usage(self) -> dict:
+        """Entry count / byte totals the CLI's ``cache stats`` prints."""
+        entries = self._scan()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(size for _, _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+            "shards": sum(1 for p in self.root.iterdir()
+                          if p.is_dir() and len(p.name) == 2),
+        }
+
+
+def open_store(
+    cache_dir: str | os.PathLike | None = None,
+    max_bytes: int | None = None,
+) -> ResultStore:
+    """The store at ``cache_dir`` (default: ``$REPRO_CACHE_DIR`` or
+    ``.repro_cache``), capped at ``max_bytes`` (default:
+    ``$REPRO_CACHE_MAX_BYTES`` or uncapped)."""
+    root = pathlib.Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    if max_bytes is None:
+        max_bytes = default_max_bytes()
+    return ResultStore(root, max_bytes=max_bytes)

@@ -18,8 +18,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..analysis.tables import render_table, to_csv
+from .backends import Backend
 from .cache import ResultCache
-from .executor import ProcessExecutor, RunReport, SerialExecutor, run_jobs
+from .executor import RunReport, run_jobs
 from .jobs import JobSpec, dse_point_job
 from .progress import Progress
 
@@ -148,15 +149,17 @@ def run_dse_sweep(
     slices: Sequence[int] = (1, 2, 4, 8),
     voltages: Sequence[float | None] = (None,),
     utilizations: Sequence[float] = (1.0,),
-    executor: SerialExecutor | ProcessExecutor | None = None,
+    executor: Backend | str | None = None,
     cache: ResultCache | None = None,
     progress: Progress | None = None,
 ) -> SweepReport:
     """Sweep the design space and tabulate every point.
 
-    The job list, execution order and row order are all deterministic,
-    so two sweeps over the same grid — serial or parallel, cached or
-    cold — produce identical tables.
+    ``executor`` may be a backend instance or a registered backend name
+    (``"serial"``, ``"thread"``, ``"process"``, …).  The job list,
+    execution order and row order are all deterministic, so two sweeps
+    over the same grid — any backend, cached or cold — produce
+    identical tables.
     """
     grid = dse_grid(slices=slices, voltages=voltages, utilizations=utilizations)
     run = run_jobs(dse_jobs(grid), executor=executor, cache=cache, progress=progress)

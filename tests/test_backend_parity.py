@@ -1,0 +1,227 @@
+"""Cross-backend differential parity harness.
+
+Every backend registered in :mod:`repro.runtime.backends` must be a
+drop-in replacement for ``serial``: same ordered results (byte-identical
+payloads), same structured failures in the same positions, same
+hit/miss statistics when replayed against a shared store, same
+progress-callback sequence.  The harness below runs one *mixed* job
+list — design-space points, Table I energy queries, Table II baseline
+comparisons including two that raise — through every registered
+backend and diffs everything against the serial reference, so a new
+backend (a cluster dispatcher, a mock) is automatically held to the
+contract the moment it is registered.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    ResultStore,
+    TelemetryCollector,
+    available_backends,
+    baseline_compare_job,
+    canonical_json,
+    dse_point_job,
+    inference_energy_job,
+    make_backend,
+    register_backend,
+    run_jobs,
+)
+from repro.runtime.backends import _BACKENDS, SerialBackend
+
+
+def mixed_jobs():
+    """DSE + energy + baseline jobs, with two deliberate failures.
+
+    ``Dynapsel`` publishes no efficiency figure (ValueError inside the
+    runner) and ``NoSuchChip`` is an unknown platform (KeyError), so the
+    list exercises both failure shapes in fixed positions.
+    """
+    return [
+        dse_point_job(1),
+        baseline_compare_job("Dynapsel"),        # fails: no efficiency figure
+        dse_point_job(8, voltage=0.9),
+        inference_energy_job("ibm_dvs_gesture", n_slices=8),
+        dse_point_job(4, utilization=0.5),
+        baseline_compare_job("NoSuchChip"),      # fails: unknown platform
+        inference_energy_job("nmnist", n_slices=4),
+        baseline_compare_job("Tianjic"),
+        dse_point_job(2, voltage=0.7, utilization=0.25),
+    ]
+
+
+FAILING_POSITIONS = (1, 5)
+
+
+def payload_bytes(report):
+    """The run's ordered results as canonical bytes (sans timings)."""
+    return json.dumps(
+        [
+            {"hash": r.job_hash, "kind": r.kind, "ok": r.ok,
+             "value": r.value, "error": r.error}
+            for r in report.results
+        ],
+        sort_keys=True,
+    ).encode()
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return run_jobs(mixed_jobs(), executor="serial")
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("name", available_backends())
+    def test_payloads_byte_identical_to_serial(self, name, serial_reference):
+        run = run_jobs(mixed_jobs(), executor=make_backend(name, workers=3))
+        assert payload_bytes(run) == payload_bytes(serial_reference)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_failure_positions_and_structure(self, name):
+        run = run_jobs(mixed_jobs(), executor=make_backend(name, workers=2))
+        assert tuple(i for i, r in enumerate(run.results) if not r.ok) == (
+            FAILING_POSITIONS
+        )
+        assert "ValueError" in run.results[FAILING_POSITIONS[0]].error
+        assert "KeyError" in run.results[FAILING_POSITIONS[1]].error
+        assert run.stats.failures == len(FAILING_POSITIONS)
+        for r in run.results:
+            assert r.ok == (r.value is not None)
+            assert r.ok == (r.error is None)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_replay_stats_identical_on_shared_store(self, name, tmp_path):
+        jobs = mixed_jobs()
+        store = ResultStore(tmp_path / name)
+        cold = run_jobs(jobs, executor=make_backend(name, workers=2), cache=store)
+        assert (cold.stats.hits, cold.stats.misses, cold.stats.failures) == (
+            0, len(jobs) - len(FAILING_POSITIONS), len(FAILING_POSITIONS)
+        )
+        warm = run_jobs(jobs, executor=make_backend(name, workers=2), cache=store)
+        # Successes replay from the store; failures are never cached and
+        # recompute — identically — on every backend.
+        assert (warm.stats.hits, warm.stats.misses, warm.stats.failures) == (
+            len(jobs) - len(FAILING_POSITIONS), 0, len(FAILING_POSITIONS)
+        )
+        assert payload_bytes(warm) == payload_bytes(cold)
+
+    def test_cross_backend_store_reuse(self, tmp_path):
+        """A store filled by one backend serves every other backend."""
+        jobs = mixed_jobs()
+        store = ResultStore(tmp_path)
+        run_jobs(jobs, executor="serial", cache=store)
+        for name in available_backends():
+            warm = run_jobs(jobs, executor=make_backend(name, workers=2), cache=store)
+            assert warm.stats.misses == 0
+            assert warm.stats.hits == len(jobs) - len(FAILING_POSITIONS)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_progress_callback_sequence_is_serial_order(self, name):
+        telemetry = TelemetryCollector()
+        run_jobs(mixed_jobs(), executor=make_backend(name, workers=3),
+                 progress=telemetry)
+        assert [e.kind for e in telemetry.events] == [
+            s.kind for s in mixed_jobs()
+        ]
+        assert [e.ok for e in telemetry.events] == [
+            i not in FAILING_POSITIONS for i in range(len(mixed_jobs()))
+        ]
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_empty_job_list(self, name):
+        run = run_jobs([], executor=make_backend(name, workers=2))
+        assert run.results == () and run.stats.total == 0
+
+
+class TestSampleEvalParity:
+    """sample_eval is the one job kind with a live payload (shared
+    compiled programs, event streams) driving the cycle-level SNE
+    simulator — the path where a thread-unsafety bug would hide, since
+    the thread backend shares those payload objects across workers."""
+
+    @pytest.fixture(scope="class")
+    def hw_jobs(self):
+        from repro.events import SyntheticDVSGesture
+        from repro.hw import PAPER_CONFIG, HardwareEvaluator, compile_network
+        from repro.snn import build_small_network
+
+        data = SyntheticDVSGesture(size=16, n_steps=6).generate(n_per_class=1, seed=5)
+        net = build_small_network(input_size=16, n_classes=11, channels=4,
+                                  hidden=16, seed=4)
+        evaluator = HardwareEvaluator(
+            compile_network(net, (2, 16, 16)), PAPER_CONFIG.with_slices(2)
+        )
+        return evaluator.sample_jobs(data, max_samples=4)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_simulator_results_identical_across_backends(self, name, hw_jobs):
+        from repro.hw import report_from_job_results
+
+        reference = run_jobs(hw_jobs, executor="serial")
+        run = run_jobs(hw_jobs, executor=make_backend(name, workers=2))
+        assert payload_bytes(run) == payload_bytes(reference)
+        assert report_from_job_results(run.results).accuracy == (
+            report_from_job_results(reference.results).accuracy
+        )
+
+
+class TestRegistry:
+    def test_shipped_backends_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_backends())
+
+    def test_unknown_backend_is_a_clean_error(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("warp-drive")
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_jobs([dse_point_job(1)], executor="warp-drive")
+
+    def test_nonpositive_workers_rejected_everywhere(self):
+        for name in available_backends():
+            with pytest.raises(ValueError):
+                make_backend(name, workers=0)
+
+    def test_duplicate_registration_rejected_without_override(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_backend("serial")
+            class Impostor:
+                pass
+        assert isinstance(make_backend("serial"), SerialBackend)
+
+    def test_custom_backend_joins_the_contract(self):
+        """A newly registered backend is resolvable by name and is held
+        to the same parity expectations as the shipped ones."""
+
+        @register_backend("reversing")
+        class ReversingBackend:
+            # Deliberately runs specs back-to-front but returns results
+            # in input order — the ordering contract is on the output.
+            name = "reversing"
+
+            def __init__(self, workers=None):
+                self.workers = workers or 1
+
+            def run(self, specs, on_result=None):
+                by_spec = {id(s): None for s in specs}
+                for spec in reversed(list(specs)):
+                    by_spec[id(spec)] = SerialBackend().run([spec])[0]
+                out = list(by_spec.values())
+                if on_result is not None:
+                    for r in out:
+                        on_result(r)
+                return out
+
+        try:
+            assert "reversing" in available_backends()
+            reference = run_jobs(mixed_jobs(), executor="serial")
+            run = run_jobs(mixed_jobs(), executor="reversing")
+            assert payload_bytes(run) == payload_bytes(reference)
+        finally:
+            _BACKENDS.pop("reversing", None)
+
+    def test_canonical_key_equality_underpins_parity(self):
+        # Two independently built identical specs — the property that
+        # lets different backends and processes share one store.
+        a, b = dse_point_job(6, voltage=0.85), dse_point_job(6, voltage=0.85)
+        assert a.job_hash == b.job_hash
+        assert canonical_json({"x": (1, 2)}) == canonical_json({"x": [1, 2]})

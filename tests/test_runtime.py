@@ -210,6 +210,30 @@ class TestCache:
         assert "could not be cached" in run.stats.summary()
         assert len(cache) == 0
 
+    def test_size_bytes_skips_entries_evicted_mid_scan(self, tmp_path, monkeypatch):
+        # Regression: on a shared store another process can evict an
+        # entry between the directory glob and the stat; size_bytes must
+        # count the survivors instead of raising FileNotFoundError.
+        import pathlib
+
+        cache = ResultCache(tmp_path)
+        specs = [dse_point_job(n) for n in (1, 2, 4)]
+        run_jobs(specs, cache=cache)
+        victim = cache.path(specs[1].job_hash)
+        survivor_bytes = sum(
+            cache.path(s.job_hash).stat().st_size for s in (specs[0], specs[2])
+        )
+        real_stat = pathlib.Path.stat
+
+        def racing_stat(self, **kwargs):
+            if self == victim:
+                self.unlink(missing_ok=True)  # concurrent evictor wins the race
+                raise FileNotFoundError(self)
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", racing_stat)
+        assert cache.size_bytes() == survivor_bytes
+
     def test_invalidate_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         specs = [dse_point_job(n) for n in (1, 2)]
