@@ -2,7 +2,11 @@
 #
 #   make test        - tier-1 test suite (the roadmap's verify command)
 #   make test-parity - cross-backend parity + store eviction suites only
+#   make test-serve  - async serving front end suite only
+#   make docs-check  - docs gate: docstring coverage floor on the
+#                      runtime + docs/README link & anchor integrity
 #   make bench-smoke - one fast benchmark: runtime scaling (parity + cache)
+#   make bench-serve - serving latency benchmark (5x cache-hit bar)
 #   make sweep-smoke - tiny 2-point design-space sweep through the CLI,
 #                      run once per backend to demonstrate bit-identical
 #                      tables and the shared-store hit path
@@ -12,7 +16,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-parity bench-smoke sweep-smoke bench clean-cache
+.PHONY: test test-parity test-serve docs-check bench-smoke bench-serve \
+        sweep-smoke bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,8 +25,17 @@ test:
 test-parity:
 	$(PYTHON) -m pytest tests/test_backend_parity.py tests/test_store_eviction.py -q
 
+test-serve:
+	$(PYTHON) -m pytest tests/test_serve.py -q
+
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_runtime_scaling.py -q
+
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/bench_serve_latency.py -q
 
 sweep-smoke:
 	$(PYTHON) -m repro sweep --slices 4,8 --backend process --workers 2 --cache-dir .repro_cache_smoke

@@ -1,0 +1,178 @@
+"""Serving latency/throughput — streaming front end vs batch mode.
+
+Three claims the serving layer must uphold:
+
+1. **cache-hit round trips collapse**: a repeat request answered from
+   the shared result store is at least 5x faster than cold compute
+   (acceptance bar; in practice it is orders of magnitude) — the
+   serve path reads the store without ever touching the backend pool;
+2. **streaming adds no wrong answers**: the streamed per-job results
+   are value-identical to a batch ``run_jobs`` over the same specs,
+   for every registered backend;
+3. **micro-batching carries concurrent load**: many clients submitting
+   at once coalesce into shared dispatches, and the p50/p99 latency
+   telemetry reports the round-trip distribution.
+
+Wall-clock figures are machine-dependent and *reported*; determinism,
+hit ratios and the 5x cache-hit bar are *asserted*.
+"""
+
+import asyncio
+import statistics
+import time
+
+from repro.analysis import render_table
+from repro.events import SyntheticDVSGesture
+from repro.hw import PAPER_CONFIG, HardwareEvaluator, compile_network
+from repro.runtime import (
+    AsyncServer,
+    ResultStore,
+    available_backends,
+    dse_grid,
+    dse_jobs,
+    run_jobs,
+)
+from repro.snn import build_small_network
+
+
+def _hw_jobs():
+    """Per-sample hardware-in-the-loop jobs: real compute (~0.1 s each),
+    the workload where serving latency actually matters."""
+    data = SyntheticDVSGesture(size=16, n_steps=8).generate(n_per_class=1, seed=11)
+    net = build_small_network(input_size=16, n_classes=11, channels=4,
+                              hidden=16, seed=3)
+    evaluator = HardwareEvaluator(
+        compile_network(net, (2, 16, 16)), PAPER_CONFIG.with_slices(2)
+    )
+    return evaluator.sample_jobs(data)
+
+
+async def _serve_pass(server, jobs):
+    """Submit every job concurrently; return (results, per-request RTs)."""
+    loop = asyncio.get_running_loop()
+
+    async def one(spec):
+        start = loop.time()
+        result = await server.submit(spec)
+        return result, loop.time() - start
+
+    pairs = await asyncio.gather(*(one(spec) for spec in jobs))
+    return [r for r, _ in pairs], [lat for _, lat in pairs]
+
+
+def _ms(seconds):
+    return f"{seconds * 1e3:.2f}"
+
+
+def test_cache_hit_roundtrip_5x_faster_than_cold_compute(benchmark, report, tmp_path):
+    jobs = _hw_jobs()
+    store = ResultStore(tmp_path / "serve")
+
+    async def both_passes():
+        async with AsyncServer(backend="thread", workers=4, cache=store,
+                               batch_window_s=0.01, max_batch=8) as srv:
+            cold = await _serve_pass(srv, jobs)
+            warm = await _serve_pass(srv, jobs)
+            return cold, warm, srv.stats()
+
+    (cold_results, cold_lat), (warm_results, warm_lat), stats = asyncio.run(
+        both_passes()
+    )
+
+    assert all(r.ok for r in cold_results)
+    assert all(r.ok and r.cached for r in warm_results), "warm pass missed the store"
+    assert [r.value for r in warm_results] == [r.value for r in cold_results]
+    assert stats["cache_hits"] == len(jobs)
+
+    cold_p50 = statistics.median(cold_lat)
+    warm_p50 = statistics.median(warm_lat)
+    speedup = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+    # Acceptance bar: repeat-request round trip >= 5x faster than cold.
+    assert speedup >= 5.0, (
+        f"cache-hit round trip only {speedup:.1f}x faster "
+        f"(cold p50 {cold_p50:.4f}s, warm p50 {warm_p50:.4f}s)"
+    )
+
+    # Steady-state warm timing for the benchmark record.
+    async def warm_once():
+        async with AsyncServer(backend="thread", workers=4, cache=store,
+                               batch_window_s=0.01, max_batch=8) as srv:
+            results, _ = await _serve_pass(srv, jobs)
+            assert all(r.cached for r in results)
+
+    benchmark(lambda: asyncio.run(warm_once()))
+
+    report.add(
+        render_table(
+            ["pass", "requests", "p50 RT [ms]", "max RT [ms]"],
+            [
+                ["cold (computed)", len(jobs), _ms(cold_p50), _ms(max(cold_lat))],
+                ["warm (cache hit)", len(jobs), _ms(warm_p50), _ms(max(warm_lat))],
+            ],
+            title=(
+                "serve latency — hardware-in-the-loop requests "
+                f"(cache-hit speedup {speedup:.0f}x, bar: 5x)"
+            ),
+        )
+    )
+
+
+def test_streamed_results_match_batch_mode_across_backends(report, tmp_path):
+    jobs = dse_jobs(dse_grid(slices=(1, 2, 3, 4, 5, 6, 7, 8),
+                             voltages=(None, 0.7, 0.9, 1.0)))  # 32 points
+    batch_start = time.perf_counter()
+    reference = run_jobs(jobs, executor="serial")
+    batch_elapsed = time.perf_counter() - batch_start
+    rows = [["batch run_jobs", "serial", len(jobs), f"{batch_elapsed:.4f}", "-"]]
+
+    for name in available_backends():
+        async def streamed(backend_name=name):
+            async with AsyncServer(backend=backend_name, workers=2,
+                                   batch_window_s=0.005, max_batch=16) as srv:
+                out = [None] * len(jobs)
+                async for i, result in srv.stream(jobs):
+                    out[i] = result
+                return out, srv.stats()
+
+        start = time.perf_counter()
+        results, stats = asyncio.run(streamed())
+        elapsed = time.perf_counter() - start
+        assert [r.value for r in results] == [r.value for r in reference.results], (
+            f"serve({name}) diverged from batch mode"
+        )
+        lat = stats["latency"]
+        rows.append(["serve stream", name, len(jobs), f"{elapsed:.4f}",
+                     f"p50 {_ms(lat['p50_s'])} / p99 {_ms(lat['p99_s'])} ms"])
+
+    report.add(
+        render_table(
+            ["mode", "backend", "jobs", "total [s]", "request latency"],
+            rows,
+            title="serve vs batch — 32-point DSE sweep, value-identical",
+        )
+    )
+
+
+def test_concurrent_clients_coalesce_into_micro_batches(report, tmp_path):
+    jobs = dse_jobs(dse_grid(slices=tuple(range(1, 9)), voltages=(None, 0.9)))
+
+    async def fan_in():
+        async with AsyncServer(backend="serial", batch_window_s=0.05,
+                               max_batch=64) as srv:
+            results, lat = await _serve_pass(srv, jobs)
+            return results, lat, srv.stats()
+
+    results, lat, stats = asyncio.run(fan_in())
+    assert all(r.ok for r in results)
+    assert stats["batches"] < len(jobs), "no coalescing happened at all"
+    assert stats["mean_batch"] > 1.0
+    assert stats["latency"]["p99_s"] >= stats["latency"]["p50_s"]
+
+    report.add(
+        render_table(
+            ["requests", "batches", "mean batch", "p50 [ms]", "p99 [ms]"],
+            [[stats["requests"], stats["batches"], f"{stats['mean_batch']:.1f}",
+              _ms(stats["latency"]["p50_s"]), _ms(stats["latency"]["p99_s"])]],
+            title="serve micro-batching — 16 concurrent requests, one server",
+        )
+    )

@@ -10,8 +10,9 @@ Subpackages:
 * :mod:`repro.baselines` -- dense CNN engine and Table II platforms;
 * :mod:`repro.analysis` -- activity profiling, metrics, table rendering;
 * :mod:`repro.runtime` -- parallel simulation orchestration: job specs,
-  on-disk result cache, serial/multiprocessing executors, sweep engine
-  and the ``python -m repro`` CLI.
+  the shared on-disk result store, the execution-backend registry, the
+  sweep engine, the async streaming server and the ``python -m repro``
+  CLI (``sweep|eval|cache|serve``).
 
 Quick start::
 
@@ -25,7 +26,7 @@ See ``examples/quickstart.py`` for the end-to-end flow and
 ``python -m repro sweep`` for the orchestrated one.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import analysis, baselines, energy, events, hw, runtime, snn
 

@@ -42,14 +42,29 @@ fan-out-able, memoised workloads.  The flow is a straight pipeline::
    voltage, utilisation, …), compiles them to job lists, and aggregates
    results into :mod:`repro.analysis.tables`-compatible rows.
 
+5. **Serving** (:mod:`.serve`).  :class:`~repro.runtime.serve.AsyncServer`
+   is the asyncio streaming front end over the backend pool: requests
+   arrive one at a time, coalesce into micro-batches for up to a
+   configurable window, dispatch through the awaitable
+   :func:`~repro.runtime.backends.arun` path without blocking the
+   event loop, and stream per-job results back as each completes.
+   Cache hits are answered straight from the store (async
+   read-through); a line-delimited JSON protocol over TCP or stdio
+   (``repro serve``) exposes the payload-free job kinds to remote
+   clients, with in-flight gauges, queue depth and p50/p99 latency
+   telemetry.
+
 :mod:`.progress` provides the callback protocol the executors report
-through; :mod:`.cli` exposes the whole pipeline as ``python -m repro
-sweep|eval|cache`` (also installed as the ``repro`` console script),
-with ``--backend`` selecting any registered backend and ``repro cache
-stats|evict|clear`` administering the shared store.  Later scaling
-work (dataset sharding, async serving, a cluster/queue backend) plugs
-in as new backends and job kinds without touching the simulation
-layers.
+through (plus :class:`~repro.runtime.progress.LatencyRecorder`, the
+serving layer's percentile gauge); :mod:`.cli` exposes the whole
+pipeline as ``python -m repro sweep|eval|cache|serve`` (also installed
+as the ``repro`` console script), with ``--backend`` selecting any
+registered backend and ``repro cache stats|evict|clear`` administering
+the shared store.  Later scaling work (dataset sharding, a
+cluster/queue backend) plugs in as new backends and job kinds without
+touching the simulation layers.  ``docs/ARCHITECTURE.md`` maps the
+whole stack; ``docs/RUNTIME_API.md`` documents this package's public
+API surface.
 """
 
 from .jobs import (
@@ -70,6 +85,7 @@ from .backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    arun,
     available_backends,
     default_backend_name,
     make_backend,
@@ -86,7 +102,21 @@ from .executor import (
     run_jobs,
 )
 from .store import MAX_BYTES_ENV, ResultStore, default_max_bytes, open_store
-from .progress import ConsoleProgress, JobEvent, Progress, TelemetryCollector
+from .progress import (
+    ConsoleProgress,
+    JobEvent,
+    LatencyRecorder,
+    Progress,
+    TelemetryCollector,
+)
+from .serve import (
+    WIRE_KINDS,
+    AsyncServer,
+    ServeTelemetry,
+    request_to_spec,
+    serve_stdio,
+    serve_tcp,
+)
 from .sweep import (
     DSE_HEADERS,
     SweepAxis,
@@ -122,6 +152,7 @@ __all__ = [
     "make_backend",
     "available_backends",
     "default_backend_name",
+    "arun",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
@@ -136,6 +167,13 @@ __all__ = [
     "ConsoleProgress",
     "TelemetryCollector",
     "JobEvent",
+    "LatencyRecorder",
+    "AsyncServer",
+    "ServeTelemetry",
+    "WIRE_KINDS",
+    "request_to_spec",
+    "serve_tcp",
+    "serve_stdio",
     "SweepAxis",
     "SweepGrid",
     "SweepReport",

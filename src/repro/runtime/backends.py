@@ -27,10 +27,17 @@ All three uphold the same invariants, enforced by
 a mock for tests) under a name the CLI's ``--backend`` flag and
 :func:`make_backend` resolve; registration at import time makes the
 name available in every worker process under any start method.
+
+:func:`arun` is the awaitable submission path next to the synchronous
+contract: it offloads a backend's blocking :meth:`~Backend.run` to a
+worker thread and re-yields each :class:`JobResult` on the event loop
+*as it completes*, which is what the streaming server
+(:mod:`repro.runtime.serve`) is built on.
 """
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import math
 import multiprocessing
@@ -38,7 +45,7 @@ import os
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import AsyncIterator, Callable, Protocol, runtime_checkable
 
 from .jobs import JobSpec, execute_job
 
@@ -49,6 +56,7 @@ __all__ = [
     "make_backend",
     "available_backends",
     "default_backend_name",
+    "arun",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
@@ -172,6 +180,97 @@ def make_backend(name: str, workers: int | None = None, **kwargs) -> Backend:
     return factory(**kwargs)
 
 
+# -- asyncio bridge ---------------------------------------------------------
+
+
+async def arun(
+    backend: Backend | str,
+    specs: list[JobSpec],
+    on_result: Callable[[JobResult], None] | None = None,
+) -> AsyncIterator[JobResult]:
+    """Run ``specs`` on ``backend`` without blocking the event loop,
+    yielding each :class:`JobResult` as it completes.
+
+    The backend's blocking :meth:`~Backend.run` executes in the default
+    executor's worker thread; its ``on_result`` callback (which every
+    backend fires in the parent, in input order) hands each result to
+    the loop via ``call_soon_threadsafe``, so consumers see results
+    *while the batch is still running* — the streaming primitive the
+    serving front end coalesces micro-batches onto.
+
+    Args:
+        backend: a :class:`Backend` instance or a registered name
+            (resolved through :func:`make_backend`).
+        specs: the jobs to execute, in order.
+        on_result: optional callback invoked on the event loop for each
+            yielded result (after any raising job has been captured as
+            a structured ``ok=False`` record — the same contract as the
+            synchronous path).
+
+    Yields:
+        One :class:`JobResult` per spec, in input order.
+
+    Raises:
+        RuntimeError: if the backend violates its contract by returning
+            without delivering one result per spec.
+        Exception: whatever the backend itself raises (a crashed pool);
+            per-job exceptions never surface here — they come back as
+            ``ok=False`` results.
+    """
+    if isinstance(backend, str):
+        backend = make_backend(backend)
+    specs = list(specs)
+    if not specs:
+        return
+    loop = asyncio.get_running_loop()
+    queue: asyncio.Queue[JobResult] = asyncio.Queue()
+
+    def _deliver(result: JobResult) -> None:
+        # Called in the executor thread; put_nowait must run on the loop.
+        loop.call_soon_threadsafe(queue.put_nowait, result)
+
+    run_future = loop.run_in_executor(
+        None, lambda: backend.run(specs, on_result=_deliver)
+    )
+    delivered = 0
+    getter: asyncio.Task | None = None
+    try:
+        while delivered < len(specs):
+            getter = asyncio.ensure_future(queue.get())
+            done, _ = await asyncio.wait(
+                {getter, run_future}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if getter in done:
+                result = getter.result()
+            else:
+                getter.cancel()
+                # The backend finished (or crashed).  A crash raises
+                # here; on a clean return every _deliver callback was
+                # scheduled before the future's completion callback, so
+                # any remaining results are already in the queue.
+                run_future.result()
+                try:
+                    result = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    raise RuntimeError(
+                        f"backend {getattr(backend, 'name', backend)!r} returned "
+                        f"after {delivered}/{len(specs)} results — contract "
+                        "requires one result per spec"
+                    ) from None
+            delivered += 1
+            if on_result is not None:
+                on_result(result)
+            yield result
+    finally:
+        # An abandoned generator must not leak a pending queue getter
+        # or let the worker thread's eventual exception reach the
+        # loop's default handler.
+        if getter is not None and not getter.done():
+            getter.cancel()
+        if not run_future.done():
+            run_future.add_done_callback(lambda f: f.exception())
+
+
 # -- shipped backends -------------------------------------------------------
 
 
@@ -190,6 +289,17 @@ class SerialBackend:
             raise ValueError("workers must be positive")
 
     def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        """Execute ``specs`` one after another in this process.
+
+        Args:
+            specs: jobs to run, in order.
+            on_result: optional callback fired after each job with its
+                :class:`JobResult`.
+
+        Returns:
+            One result per spec, in input order; raising jobs become
+            structured ``ok=False`` records, never exceptions.
+        """
         out = []
         for spec in specs:
             result = _execute_one(spec)
@@ -218,6 +328,11 @@ class ThreadBackend:
             raise ValueError("workers must be positive")
 
     def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        """Execute ``specs`` over the thread pool, consuming futures in
+        input order so results and ``on_result`` callbacks keep the
+        serial ordering.  Single-job or single-worker calls degrade to
+        the serial path with no pool overhead.  Returns one result per
+        spec; per-job exceptions become ``ok=False`` records."""
         specs = list(specs)
         if not specs:
             return []
@@ -279,6 +394,12 @@ class ProcessBackend:
         return [specs[i : i + size] for i in range(0, len(specs), size)]
 
     def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        """Execute ``specs`` chunked over a process pool via
+        ``Pool.imap`` (chunk order preserved, so the flattened results
+        are in input order).  ``on_result`` fires in the parent as each
+        chunk lands.  Single-job or single-worker calls degrade to the
+        serial path.  Returns one result per spec; per-job exceptions
+        become ``ok=False`` records."""
         specs = list(specs)
         if not specs:
             return []

@@ -51,10 +51,12 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups: hits plus misses."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -81,6 +83,7 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def path(self, job_hash: str) -> pathlib.Path:
+        """The on-disk entry file for ``job_hash`` (flat layout)."""
         return self.root / f"{job_hash}.json"
 
     # -- lookup -----------------------------------------------------------
@@ -188,6 +191,7 @@ class ResultCache:
         return sum(1 for _ in self._iter_entries())
 
     def size_bytes(self) -> int:
+        """Total bytes currently held by entry files."""
         # Stat each globbed path defensively: on a shared store another
         # process may evict an entry between the directory scan and the
         # stat (TOCTOU), which must read as "0 bytes", not crash.

@@ -9,6 +9,11 @@ Subcommands:
   dataset on the cycle-level SNE model, parallelised per sample;
 * ``repro cache`` — inspect (``stats``), size-cap (``evict
   --max-bytes N``) or ``clear`` the shared on-disk result store;
+* ``repro serve`` — the async streaming front end: accept
+  line-delimited-JSON job requests over TCP (``--host/--port``) or
+  stdio (``--stdio``), coalesce them into micro-batches
+  (``--batch-window``/``--max-batch``), answer cache hits straight
+  from the store and stream per-job results back as they complete;
 * ``repro --version`` — the package version.
 
 ``--backend {serial,thread,process}`` selects the execution backend on
@@ -78,6 +83,11 @@ def _float_list(text: str) -> list[float]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser with every subcommand attached.
+
+    Exposed separately from :func:`main` so tests and tooling can
+    introspect flags without executing a command.
+    """
     from repro import __version__
 
     parser = argparse.ArgumentParser(
@@ -133,6 +143,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="size target for evict (default "
                               "$REPRO_CACHE_MAX_BYTES)")
+
+    p_serve = sub.add_parser(
+        "serve", help="async streaming server: NDJSON requests over TCP/stdio"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind address (default 127.0.0.1; the "
+                              "protocol is unauthenticated, bind wider "
+                              "deliberately)")
+    p_serve.add_argument("--port", type=int, default=7797,
+                         help="TCP port (default 7797; 0 = ephemeral, "
+                              "printed on startup)")
+    p_serve.add_argument("--stdio", action="store_true",
+                         help="serve stdin/stdout instead of TCP (exits "
+                              "at EOF after draining in-flight requests)")
+    p_serve.add_argument("--batch-window", type=float, default=0.005,
+                         metavar="SECONDS",
+                         help="micro-batch coalescing window (default 0.005)")
+    p_serve.add_argument("--max-batch", type=_positive_int, default=32,
+                         help="dispatch as soon as this many requests "
+                              "coalesced (default 32)")
+    add_common(p_serve)
     return parser
 
 
@@ -175,6 +206,7 @@ def _cmd_sweep(args) -> int:
         print(f"cache: {s.hits} hit(s), {s.misses} miss(es), "
               f"{s.stores} stored, {s.corrupt} corrupt @ {cache.root}",
               file=stats_out)
+        cache.flush_stats()  # make this run's counters visible to `cache stats`
     return 0 if report.ok else 1
 
 
@@ -208,8 +240,11 @@ def _cmd_eval(args) -> int:
     evaluator = HardwareEvaluator(programs, PAPER_CONFIG.with_slices(args.slices))
 
     jobs = evaluator.sample_jobs(data, max_samples=args.max_samples)
-    run = run_jobs(jobs, executor=_make_executor(args), cache=_make_cache(args),
+    cache = _make_cache(args)
+    run = run_jobs(jobs, executor=_make_executor(args), cache=cache,
                    progress=_make_progress(args))
+    if cache is not None:
+        cache.flush_stats()
     if run.failures():
         print(f"run: {run.stats.summary()}")
         print(run.failures()[0].error, file=sys.stderr)
@@ -253,13 +288,77 @@ def _cmd_cache(args) -> int:
     cap = "uncapped" if u["max_bytes"] is None else f"cap {u['max_bytes']} bytes"
     print(f"cache: {u['entries']} entr{'y' if u['entries'] == 1 else 'ies'}, "
           f"{u['bytes']} bytes ({cap}), {u['shards']} shard dir(s) @ {u['root']}")
+    life = u["lifetime"]
+    print(f"lifetime: {life['hits']} hit(s), {life['misses']} miss(es) "
+          f"(hit rate {life['hit_rate']:.0%}), {life['stores']} stored, "
+          f"{life['corrupt']} corrupt")
     return 0
 
 
-_COMMANDS = {"sweep": _cmd_sweep, "eval": _cmd_eval, "cache": _cmd_cache}
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import AsyncServer, serve_stdio, serve_tcp
+
+    # Serving is latency-bound: the thread backend answers a one-job
+    # micro-batch without per-dispatch pool spin-up, so it is the
+    # default here (unlike batch commands, which default via
+    # default_backend_name).
+    backend = make_backend(args.backend or "thread", workers=args.workers)
+    server = AsyncServer(
+        backend=backend,
+        cache=_make_cache(args),
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+    )
+
+    async def _tcp() -> None:
+        tcp = await serve_tcp(server, host=args.host, port=args.port)
+        host, port = tcp.sockets[0].getsockname()[:2]
+        print(f"repro serve: listening on {host}:{port} "
+              f"(backend {backend.name}, window {args.batch_window:g}s, "
+              f"max batch {args.max_batch})", file=sys.stderr)
+        try:
+            async with tcp:
+                await tcp.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(serve_stdio(server) if args.stdio else _tcp())
+    except KeyboardInterrupt:
+        pass  # Ctrl-C is the normal way to stop a TCP server
+    if not args.quiet:
+        s = server.stats()
+        lat = s["latency"]
+        print(
+            f"serve: {s['requests']} request(s) in {s['batches']} batch(es) — "
+            f"{s['cache_hits']} cache hit(s), {s['computed']} computed, "
+            f"{s['failures']} failed; latency p50 {lat['p50_s'] * 1e3:.2f} ms, "
+            f"p99 {lat['p99_s'] * 1e3:.2f} ms",
+            file=sys.stderr,
+        )
+    return 0
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "eval": _cmd_eval,
+    "cache": _cmd_cache,
+    "serve": _cmd_serve,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: parse ``argv`` and run the chosen subcommand.
+
+    Args:
+        argv: argument list (defaults to ``sys.argv[1:]``).
+
+    Returns:
+        Process exit status — 0 on success, 1 on a run with failed
+        jobs, 2 on usage/domain errors (which print to stderr).
+    """
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)

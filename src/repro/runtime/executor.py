@@ -68,9 +68,12 @@ class RunStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of jobs served from the cache (0.0 for empty runs)."""
         return self.hits / self.total if self.total else 0.0
 
     def summary(self) -> str:
+        """One human-readable line of the run's counters — the
+        ``run: ...`` line every CLI command prints."""
         text = (
             f"{self.total} job(s) via {self.executor}x{self.workers} in "
             f"{self.elapsed_s:.3f}s — {self.hits} cache hit(s), "
@@ -94,6 +97,7 @@ class RunReport:
         return [r.unwrap() for r in self.results]
 
     def failures(self) -> list[JobResult]:
+        """The failed results, in job order (empty when all succeeded)."""
         return [r for r in self.results if not r.ok]
 
 

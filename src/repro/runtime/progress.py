@@ -10,10 +10,17 @@ order, so they are free to keep state without locks.
 
 from __future__ import annotations
 
+import collections
 import sys
 from dataclasses import dataclass, field
 
-__all__ = ["Progress", "ConsoleProgress", "TelemetryCollector", "JobEvent"]
+__all__ = [
+    "Progress",
+    "ConsoleProgress",
+    "TelemetryCollector",
+    "JobEvent",
+    "LatencyRecorder",
+]
 
 
 class Progress:
@@ -41,10 +48,12 @@ class ConsoleProgress(Progress):
         self._every = 1
 
     def on_start(self, total: int) -> None:
+        """Print the queue announcement and fix the update interval."""
         self._every = self.every or max(1, total // 10)
         print(f"[runtime] {total} job(s) queued", file=self.stream)
 
     def on_job(self, done: int, total: int, result) -> None:
+        """Print a progress line on failures and every ``every``-th job."""
         if not result.ok:
             first_line = (result.error or "").splitlines()[0] if result.error else "?"
             print(
@@ -59,7 +68,61 @@ class ConsoleProgress(Progress):
             )
 
     def on_finish(self, stats) -> None:
+        """Print the run's closing summary line."""
         print(f"[runtime] done: {stats.summary()}", file=self.stream)
+
+
+class LatencyRecorder:
+    """Sliding-window latency reservoir with percentile summaries.
+
+    The serving front end observes one sample per answered request;
+    percentiles are computed over the most recent ``maxlen`` samples
+    (a bounded deque, so a long-lived server's memory stays flat) while
+    ``count`` keeps the all-time total.  Nearest-rank percentiles over
+    a sorted copy are exact for the window — no approximation sketch is
+    needed at these sample counts.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        """Args: ``maxlen`` — window size; must be positive.
+
+        Raises ``ValueError`` on a non-positive window."""
+        if maxlen < 1:
+            raise ValueError("maxlen must be positive")
+        self._window: collections.deque[float] = collections.deque(maxlen=maxlen)
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (in seconds)."""
+        self._window.append(float(seconds))
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100, nearest-rank) of the window.
+
+        Returns 0.0 while no samples have been observed; raises
+        ``ValueError`` outside [0, 100].
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """``count``/``mean_s``/``p50_s``/``p99_s``/``max_s`` over the window."""
+        if not self._window:
+            return {"count": self.count, "mean_s": 0.0, "p50_s": 0.0,
+                    "p99_s": 0.0, "max_s": 0.0}
+        return {
+            "count": self.count,
+            "mean_s": sum(self._window) / len(self._window),
+            "p50_s": self.percentile(50),
+            "p99_s": self.percentile(99),
+            "max_s": max(self._window),
+        }
 
 
 @dataclass(frozen=True)
@@ -80,9 +143,11 @@ class TelemetryCollector(Progress):
     totals: list[int] = field(default_factory=list)
 
     def on_start(self, total: int) -> None:
+        """Record one run's job count."""
         self.totals.append(total)
 
     def on_job(self, done: int, total: int, result) -> None:
+        """Record one completion as a :class:`JobEvent`."""
         self.events.append(
             JobEvent(
                 kind=result.kind,

@@ -1,0 +1,639 @@
+"""Async streaming serving front end over the execution backends.
+
+Everything below :mod:`repro.runtime` up to here runs batch-to-
+completion: a caller hands :func:`~repro.runtime.executor.run_jobs` a
+finished job list and waits for the whole sweep.  This module turns
+that engine into a *server*: requests arrive one at a time, are
+coalesced into micro-batches, dispatched to any registered backend
+without blocking the event loop, and streamed back **per job as each
+completes** — not when the batch completes.
+
+The pieces:
+
+* :class:`AsyncServer` — the front end.  ``submit()`` answers one
+  :class:`~repro.runtime.jobs.JobSpec`; ``stream()`` answers many as an
+  async generator yielding each result the moment it is available.
+  Cache hits are served straight from the
+  :class:`~repro.runtime.store.ResultStore` (async read-through, off
+  the event loop) without ever touching the pool; misses are queued,
+  coalesced for up to ``batch_window_s`` (or ``max_batch`` jobs) and
+  executed through :func:`repro.runtime.backends.arun`, the awaitable
+  submission path next to the synchronous ``run_jobs`` contract.
+* :class:`ServeTelemetry` — in-flight gauge, queue depth, batch
+  counters and p50/p99 request latency
+  (:class:`~repro.runtime.progress.LatencyRecorder`), reported by the
+  ``stats`` protocol op and printed on shutdown.
+* the **wire protocol** — line-delimited JSON over TCP
+  (:func:`serve_tcp`) or stdio (:func:`serve_stdio`), fronted by the
+  CLI's ``repro serve``.  A request names a payload-free job kind and
+  its parameters; responses stream back tagged with the request ``id``
+  as each job finishes, so one connection can keep many requests in
+  flight.  ``sample_eval`` jobs carry live in-memory payloads and are
+  therefore not servable over the wire — use :meth:`AsyncServer.submit`
+  in-process for those.
+
+Per-job failures stay *structured*: a raising runner comes back as an
+``ok=False`` :class:`~repro.runtime.backends.JobResult` (the backend
+contract), and a crashed backend is converted to one ``ok=False``
+result per in-flight job — a client never sees a hung request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import sys
+from dataclasses import dataclass, field
+
+from .backends import Backend, JobResult, arun, make_backend
+from .cache import ResultCache
+from .jobs import (
+    JobSpec,
+    baseline_compare_job,
+    dse_point_job,
+    inference_energy_job,
+)
+from .progress import LatencyRecorder
+
+__all__ = [
+    "ServeTelemetry",
+    "AsyncServer",
+    "WIRE_KINDS",
+    "request_to_spec",
+    "serve_tcp",
+    "serve_stdio",
+]
+
+#: Wire-servable job kinds: payload-free spec factories keyed by the
+#: ``kind`` field of a protocol request.  ``sample_eval`` is absent by
+#: design — it needs live in-memory payloads (compiled programs, event
+#: streams) that cannot be rebuilt from JSON parameters.
+WIRE_KINDS = {
+    "dse_point": dse_point_job,
+    "inference_energy": inference_energy_job,
+    "baseline_compare": baseline_compare_job,
+}
+
+
+def request_to_spec(request: dict) -> JobSpec:
+    """Turn one protocol request document into a :class:`JobSpec`.
+
+    Args:
+        request: a decoded request line, e.g.
+            ``{"id": "r1", "kind": "dse_point", "params": {"n_slices": 4}}``.
+
+    Returns:
+        The spec built by the matching :data:`WIRE_KINDS` factory.
+
+    Raises:
+        ValueError: unknown/missing ``kind``, non-dict ``params``, or
+            parameters the factory rejects — everything a malformed
+            client line can get wrong, so the protocol layer can answer
+            with one structured error instead of crashing the server.
+    """
+    kind = request.get("kind")
+    try:
+        factory = WIRE_KINDS[kind]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown job kind {kind!r}; servable kinds: {sorted(WIRE_KINDS)}"
+        ) from None
+    params = request.get("params", {})
+    if not isinstance(params, dict):
+        raise ValueError(f"params must be an object, got {type(params).__name__}")
+    try:
+        return factory(**params)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad params for {kind!r}: {exc}") from None
+
+
+@dataclass
+class ServeTelemetry:
+    """Gauges and counters for one server's lifetime.
+
+    ``in_flight`` and ``queue_depth`` are live gauges (requests being
+    answered / requests waiting for a batch slot); the counters
+    accumulate monotonically; ``latency`` records one sample per
+    answered request, cache hits included — :meth:`snapshot` derives
+    the p50/p99 figures the ``stats`` op reports.
+    """
+
+    requests: int = 0
+    in_flight: int = 0
+    queue_depth: int = 0
+    batches: int = 0
+    dispatched: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    failures: int = 0
+    cache_errors: int = 0
+    rejected: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def snapshot(self) -> dict:
+        """One JSON-able document of every gauge, counter and latency
+        percentile — the payload of the protocol's ``stats`` op."""
+        mean_batch = self.dispatched / self.batches if self.batches else 0.0
+        return {
+            "requests": self.requests,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue_depth,
+            "batches": self.batches,
+            "dispatched": self.dispatched,
+            "mean_batch": mean_batch,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "failures": self.failures,
+            "cache_errors": self.cache_errors,
+            "rejected": self.rejected,
+            "cache_hit_ratio": self.cache_hits / self.requests if self.requests else 0.0,
+            "latency": self.latency.summary(),
+        }
+
+
+@dataclass
+class _Pending:
+    """One queued request: its spec, the future its caller awaits, and
+    the enqueue timestamp the latency gauge is measured from."""
+
+    spec: JobSpec
+    future: asyncio.Future
+    enqueued_at: float
+
+
+#: Queue sentinel that tells the batcher to drain and exit.
+_CLOSE = object()
+
+
+class AsyncServer:
+    """Micro-batching asyncio front end over one execution backend.
+
+    Requests enter through :meth:`submit` / :meth:`stream`.  A cache
+    hit short-circuits straight back (async read-through, never
+    touching the pool).  Misses land on an internal queue; the batcher
+    coalesces them for up to ``batch_window_s`` seconds or ``max_batch``
+    jobs, then dispatches the batch through
+    :func:`~repro.runtime.backends.arun` as a concurrent task — the
+    event loop stays free, later batches don't wait for earlier ones,
+    and each job's result resolves its caller the moment the backend
+    delivers it.
+
+    Shutdown is graceful by contract: :meth:`aclose` rejects new
+    submissions, drains every queued request through the normal
+    dispatch path, and returns only when all in-flight work has been
+    answered.  Use ``async with AsyncServer(...) as srv:`` to get that
+    on every exit path.
+    """
+
+    def __init__(
+        self,
+        backend: Backend | str = "thread",
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        batch_window_s: float = 0.005,
+        max_batch: int = 32,
+        telemetry: ServeTelemetry | None = None,
+    ) -> None:
+        """Args:
+            backend: backend instance or registered name (``thread`` by
+                default — serving is latency-bound, not throughput-bound).
+            workers: pool size when ``backend`` is a name (None = the
+                backend's own default).
+            cache: optional read-through/write-through result store.
+            batch_window_s: how long the batcher waits for more requests
+                after the first one arrives (0 = dispatch immediately).
+            max_batch: dispatch as soon as this many requests coalesced.
+            telemetry: an external :class:`ServeTelemetry` to record
+                into (one is created otherwise).
+
+        Raises:
+            ValueError: non-positive ``max_batch`` or negative
+                ``batch_window_s``.
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        if isinstance(backend, str):
+            backend = make_backend(backend, workers=workers)
+        self.backend = backend
+        self.cache = cache
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._batcher: asyncio.Task | None = None
+        self._dispatches: set[asyncio.Task] = set()
+        self._closing = False
+
+    # -- lifecycle --------------------------------------------------------
+    async def __aenter__(self) -> "AsyncServer":
+        """Start the batcher; the server accepts requests on entry."""
+        self._ensure_batcher()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Drain and close on scope exit, whatever the exit path."""
+        await self.aclose()
+
+    def _ensure_batcher(self) -> None:
+        if self._batcher is None:
+            self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`aclose` has begun; submissions are rejected."""
+        return self._closing
+
+    async def aclose(self) -> None:
+        """Stop accepting work, drain in-flight requests, shut down.
+
+        Every request accepted before the close is answered through the
+        normal micro-batch path; only then does this return.  Safe to
+        call more than once.
+        """
+        if self._closing:
+            # A concurrent second closer still waits for the drain.
+            if self._batcher is not None:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await asyncio.shield(self._batcher)
+            await self._drain_dispatches()
+            return
+        self._closing = True
+        if self._batcher is not None:
+            self._queue.put_nowait(_CLOSE)
+            await self._batcher
+        await self._drain_dispatches()
+        self._flush_cache_stats()
+
+    async def _drain_dispatches(self) -> None:
+        while self._dispatches:
+            await asyncio.gather(*list(self._dispatches), return_exceptions=True)
+
+    def _flush_cache_stats(self) -> None:
+        flush = getattr(self.cache, "flush_stats", None)
+        if flush is not None:
+            with contextlib.suppress(OSError):
+                flush()
+
+    # -- request paths ----------------------------------------------------
+    async def submit(self, spec: JobSpec) -> JobResult:
+        """Answer one job: cache hit, or micro-batched computation.
+
+        Args:
+            spec: the job to answer (any kind with a registered runner;
+                ``sample_eval`` payload-carrying specs are fine here —
+                only the *wire* protocol excludes them).
+
+        Returns:
+            The structured :class:`JobResult` — ``ok=False`` results
+            carry the failure, they are never raised.
+
+        Raises:
+            RuntimeError: the server is closed (or closes before the
+                request could be queued).
+        """
+        if self._closing:
+            self.telemetry.rejected += 1
+            raise RuntimeError("server is closed")
+        self._ensure_batcher()
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        self.telemetry.requests += 1
+        self.telemetry.in_flight += 1
+        try:
+            hit = await self._cache_get(spec)
+            if hit is not None:
+                self.telemetry.cache_hits += 1
+                self.telemetry.latency.observe(loop.time() - start)
+                return JobResult(
+                    job_hash=hit.job_hash,
+                    kind=hit.kind,
+                    ok=True,
+                    value=hit.value,
+                    error=None,
+                    duration_s=hit.duration_s,
+                    cached=True,
+                )
+            if self._closing:
+                # The server closed while the cache lookup was in
+                # flight; the sentinel is already queued, so this
+                # request would never be dispatched.
+                self.telemetry.rejected += 1
+                raise RuntimeError("server is closed")
+            pending = _Pending(spec=spec, future=loop.create_future(),
+                               enqueued_at=start)
+            self._queue.put_nowait(pending)  # same loop step as the check
+            self.telemetry.queue_depth = self._queue.qsize()
+            result: JobResult = await pending.future
+            self.telemetry.latency.observe(loop.time() - start)
+            return result
+        finally:
+            self.telemetry.in_flight -= 1
+
+    async def stream(self, specs: list[JobSpec]):
+        """Answer many jobs, yielding each result as soon as it exists.
+
+        All specs are submitted up front (so they coalesce into shared
+        micro-batches); results are yielded **in input order**, each
+        the moment it is available — the head of the stream arrives
+        while the tail is still computing.
+
+        Args:
+            specs: jobs to answer, in the order results should stream.
+
+        Yields:
+            ``(index, JobResult)`` pairs in input order.
+
+        Raises:
+            RuntimeError: the server is closed.
+        """
+        tasks = [asyncio.ensure_future(self.submit(spec)) for spec in specs]
+        try:
+            for i, task in enumerate(tasks):
+                yield i, await task
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _cache_get(self, spec: JobSpec):
+        if self.cache is None:
+            return None
+        aget = getattr(self.cache, "aget", None)
+        if aget is not None:
+            return await aget(spec)
+        return await asyncio.to_thread(self.cache.get, spec)
+
+    async def _cache_put(self, spec: JobSpec, result: JobResult) -> None:
+        if self.cache is None or not result.ok:
+            return
+        try:
+            aput = getattr(self.cache, "aput", None)
+            if aput is not None:
+                await aput(spec, result.value, result.duration_s)
+            else:
+                await asyncio.to_thread(
+                    self.cache.put, spec, result.value, result.duration_s
+                )
+        except Exception:
+            # Same policy as run_jobs, but broader: *any* cache-write
+            # failure costs the memoisation, never the already-computed
+            # answer — an exotic error escaping here would leave the
+            # request's future unresolved and hang its client.
+            self.telemetry.cache_errors += 1
+
+    # -- batching ---------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        """Coalesce queued requests into micro-batches and dispatch.
+
+        One batch = the first waiting request plus whatever else
+        arrives within ``batch_window_s``, capped at ``max_batch``.
+        Dispatch is a fire-and-forget task, so collection of the next
+        batch overlaps execution of the previous one.
+        """
+        loop = asyncio.get_running_loop()
+        draining = False
+        while not draining:
+            item = await self._queue.get()
+            if item is _CLOSE:
+                break
+            batch = [item]
+            deadline = loop.time() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _CLOSE:
+                    draining = True
+                    break
+                batch.append(nxt)
+            self.telemetry.queue_depth = self._queue.qsize()
+            task = loop.create_task(self._run_batch(batch))
+            self._dispatches.add(task)
+            task.add_done_callback(self._dispatches.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        """Execute one micro-batch, resolving each caller as the
+        backend delivers its job (never at batch end), writing fresh
+        successes through to the cache."""
+        self.telemetry.batches += 1
+        self.telemetry.dispatched += len(batch)
+        delivered = 0
+        try:
+            async for result in arun(self.backend, [p.spec for p in batch]):
+                pending = batch[delivered]
+                self.telemetry.computed += 1
+                if not result.ok:
+                    self.telemetry.failures += 1
+                # Write-through completes *before* the caller is
+                # resolved: a client that re-asks the question it just
+                # had answered must hit the store (read-your-writes).
+                # The cost is that one entry write sits on the latency
+                # path of this and later results in the batch.
+                await self._cache_put(pending.spec, result)
+                if not pending.future.done():
+                    pending.future.set_result(result)
+                # Count a request delivered only once its future is
+                # resolved, so an exception anywhere above still sweeps
+                # it into the structured-error path below — a request
+                # must never be left hanging.
+                delivered += 1
+        except Exception as exc:  # backend-level crash, not a job failure
+            error = f"backend {getattr(self.backend, 'name', '?')} crashed: {exc!r}"
+            for pending in batch[delivered:]:
+                self.telemetry.failures += 1
+                if not pending.future.done():
+                    pending.future.set_result(
+                        JobResult(
+                            job_hash=pending.spec.job_hash,
+                            kind=pending.spec.kind,
+                            ok=False,
+                            value=None,
+                            error=error,
+                            duration_s=0.0,
+                        )
+                    )
+
+    # -- reporting --------------------------------------------------------
+    def stats(self) -> dict:
+        """The telemetry snapshot plus backend/cache identity — the
+        document the protocol's ``stats`` op returns."""
+        doc = self.telemetry.snapshot()
+        doc["backend"] = getattr(self.backend, "name", type(self.backend).__name__)
+        doc["workers"] = getattr(self.backend, "workers", 1)
+        doc["batch_window_s"] = self.batch_window_s
+        doc["max_batch"] = self.max_batch
+        doc["cache"] = None if self.cache is None else str(self.cache.root)
+        return doc
+
+
+# -- wire protocol ----------------------------------------------------------
+
+def _result_response(rid, result: JobResult) -> dict:
+    return {
+        "id": rid,
+        "ok": result.ok,
+        "cached": result.cached,
+        "job_hash": result.job_hash,
+        "kind": result.kind,
+        "duration_s": result.duration_s,
+        "value": result.value,
+        "error": result.error,
+    }
+
+
+async def _answer_line(server: AsyncServer, line: bytes | str, send) -> None:
+    """Answer one request line through ``send`` (an async callable).
+
+    Protocol errors (bad JSON, unknown kind, bad params, server
+    closed) become structured ``{"ok": false, "error": ...}`` responses
+    on the same connection — a malformed line never kills the server or
+    the connection.
+    """
+    rid = None
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        rid = request.get("id")
+        op = request.get("op")
+        if op == "ping":
+            await send({"id": rid, "ok": True, "pong": True})
+            return
+        if op == "stats":
+            await send({"id": rid, "ok": True, "stats": server.stats()})
+            return
+        if op is not None:
+            raise ValueError(f"unknown op {op!r}; ops: ping, stats")
+        spec = request_to_spec(request)
+    except (ValueError, RecursionError) as exc:
+        await send({"id": rid, "ok": False, "error": f"bad request: {exc}"})
+        return
+    try:
+        result = await server.submit(spec)
+    except RuntimeError as exc:
+        await send({"id": rid, "ok": False, "error": str(exc)})
+        return
+    await send(_result_response(rid, result))
+
+
+async def _serve_lines(server: AsyncServer, readline, send) -> None:
+    """The protocol pump shared by every transport: read request lines
+    until EOF, answer each in its own task (so responses stream back in
+    *completion* order, tagged by request id), then drain.
+
+    Args:
+        server: the :class:`AsyncServer` answering requests.
+        readline: async callable returning the next line (bytes or
+            str), falsy at EOF.
+        send: async callable writing one response document; must emit
+            whole lines (callers guard it with a lock).
+
+    On EOF every in-flight answer task is awaited; if the transport
+    errors out instead, pending tasks are cancelled and the error
+    propagates to the caller.
+    """
+    tasks: set[asyncio.Task] = set()
+    try:
+        while True:
+            line = await readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.ensure_future(_answer_line(server, line, send))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        while tasks:
+            await asyncio.gather(*list(tasks), return_exceptions=True)
+    except BaseException:
+        for task in tasks:
+            task.cancel()
+        raise
+
+
+async def _handle_connection(
+    server: AsyncServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One TCP client on the shared protocol pump."""
+    lock = asyncio.Lock()
+
+    async def send(obj: dict) -> None:
+        async with lock:  # whole lines only, even with many in flight
+            writer.write(json.dumps(obj).encode() + b"\n")
+            await writer.drain()
+
+    try:
+        await _serve_lines(server, reader.readline, send)
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away; in-flight jobs still complete server-side
+    finally:
+        with contextlib.suppress(OSError, ConnectionResetError):
+            writer.close()
+            await writer.wait_closed()
+
+
+async def serve_tcp(
+    server: AsyncServer, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Expose ``server`` over TCP with the line-delimited JSON protocol.
+
+    Args:
+        server: the :class:`AsyncServer` answering requests.
+        host: bind address (loopback by default — this protocol has no
+            authentication, so binding wider is an explicit choice).
+        port: TCP port; 0 picks an ephemeral one (read it back from
+            ``sockets[0].getsockname()``).
+
+    Returns:
+        The listening :class:`asyncio.AbstractServer`; the caller owns
+        its lifetime (``async with tcp: await tcp.serve_forever()``).
+    """
+    server._ensure_batcher()
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w), host, port
+    )
+
+
+async def serve_stdio(server: AsyncServer, stdin=None, stdout=None) -> None:
+    """Serve the same protocol over stdio until EOF, then drain.
+
+    Reads request lines from ``stdin`` (a blocking file object, read in
+    a worker thread so the loop never blocks), streams responses to
+    ``stdout``, and closes the server gracefully when input ends —
+    the shape ``repro serve --stdio`` and subprocess-driven tests use.
+
+    Args:
+        server: the :class:`AsyncServer` answering requests.
+        stdin: readable text file (default ``sys.stdin``).
+        stdout: writable text file (default ``sys.stdout``).
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    lock = asyncio.Lock()
+
+    async def send(obj: dict) -> None:
+        async with lock:
+            stdout.write(json.dumps(obj) + "\n")
+            stdout.flush()
+
+    def readline():
+        return asyncio.to_thread(stdin.readline)
+
+    try:
+        await _serve_lines(server, readline, send)
+    finally:
+        # Runs on EOF *and* on cancellation (Ctrl-C): drain what was
+        # accepted and flush the store's counters.  Note a cancelled
+        # readline leaves its worker thread blocked on stdin until the
+        # process exits — an asyncio.to_thread limitation.
+        await server.aclose()

@@ -24,16 +24,19 @@ without bound.  The CLI front end is ``repro cache stats|evict|clear``.
 
 from __future__ import annotations
 
+import asyncio
 import contextlib
 import itertools
+import json
 import os
 import pathlib
 import re
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 
-from .cache import CachedResult, ResultCache, default_cache_dir
+from .cache import CachedResult, CacheStats, ResultCache, default_cache_dir
 from .jobs import JobSpec
 
 try:  # pragma: no cover - fcntl is POSIX-only; Windows degrades gracefully
@@ -75,6 +78,10 @@ _DEBRIS_GRACE_S = 3600.0
 #: How often a store that found no flat-layout entries re-checks for
 #: them (a collaborator still on the pre-store cache may write some).
 _FLAT_RECHECK_S = 60.0
+
+#: Counter fields persisted to the ``stats.json`` sidecar — the
+#: lifetime hit/miss/store/corrupt totals ``repro cache stats`` prints.
+_STATS_FIELDS = ("hits", "misses", "stores", "corrupt")
 
 
 def default_max_bytes() -> int | None:
@@ -127,16 +134,33 @@ class ResultStore(ResultCache):
         # any index read) — losing them to a crash costs recency
         # accuracy only.
         self._pending_touches: list[str] = []
+        # Counter values already merged into the stats sidecar; the
+        # delta against ``self.stats`` is what the next flush adds.
+        self._merged_stats = CacheStats()
+        # Serialises get/put/stats when the asyncio wrappers drive this
+        # instance from executor worker threads (the synchronous API
+        # stays lock-free for the single-threaded sweep path).
+        # Re-entrant because a locked get/put can itself reach
+        # flush_stats through the touch-flush path.
+        self._mutex = threading.RLock()
 
     # -- layout -----------------------------------------------------------
     def path(self, job_hash: str) -> pathlib.Path:
+        """The sharded entry file for ``job_hash``: ``ab/abcdef….json``."""
         return self.root / job_hash[:2] / f"{job_hash}.json"
 
     def _iter_entries(self):
-        # Root-level *.json files are entries from the pre-store flat
-        # ResultCache layout; counting (and evicting/clearing) them too
-        # keeps an upgraded directory fully administered.
-        return itertools.chain(self.root.glob("??/*.json"), self.root.glob("*.json"))
+        # Root-level hash-named *.json files are entries from the
+        # pre-store flat ResultCache layout; counting (and evicting/
+        # clearing) them too keeps an upgraded directory fully
+        # administered.  Non-hash names (``stats.json``, stray files)
+        # are metadata, never entries.
+        return itertools.chain(
+            self.root.glob("??/*.json"), self._iter_flat_entries()
+        )
+
+    def _iter_flat_entries(self):
+        return (p for p in self.root.glob("*.json") if _HASH_LINE.match(p.stem))
 
     def _adopt_flat(self, job_hash: str) -> None:
         """Move a flat-layout entry (pre-store ``<hash>.json`` in the
@@ -150,7 +174,7 @@ class ResultStore(ResultCache):
             self._may_have_flat is None
             or time.monotonic() - self._flat_checked_at > _FLAT_RECHECK_S
         ):
-            self._may_have_flat = any(True for _ in self.root.glob("*.json"))
+            self._may_have_flat = any(True for _ in self._iter_flat_entries())
             self._flat_checked_at = time.monotonic()
         if not self._may_have_flat:
             return
@@ -166,7 +190,13 @@ class ResultStore(ResultCache):
 
     @property
     def index_path(self) -> pathlib.Path:
+        """The append-only recency log driving LRU eviction."""
         return self.root / "index.log"
+
+    @property
+    def stats_path(self) -> pathlib.Path:
+        """The ``stats.json`` sidecar holding lifetime counter totals."""
+        return self.root / "stats.json"
 
     @property
     def _lock_path(self) -> pathlib.Path:
@@ -205,6 +235,24 @@ class ResultStore(ResultCache):
                 self.compact()
         except OSError:
             pass
+        # Piggyback the counter merge, but only once enough deltas have
+        # accumulated: every put takes this path, and paying stats.json's
+        # exclusive-lock read-modify-write per put would serialise
+        # concurrent writers that the append path deliberately leaves on
+        # the shared lock.  Explicit flush points (``flush_stats``,
+        # ``lifetime_stats``, ``usage``, ``__del__``, the CLI, serve
+        # shutdown) keep the sidecar exact where it is read.
+        self._maybe_flush_stats()
+
+    def _maybe_flush_stats(self) -> None:
+        """Merge counter deltas once at least a touch-batch's worth
+        (:data:`_TOUCH_FLUSH_COUNT`) has accumulated."""
+        delta = sum(
+            getattr(self.stats, f) - getattr(self._merged_stats, f)
+            for f in _STATS_FIELDS
+        )
+        if delta >= _TOUCH_FLUSH_COUNT:
+            self.flush_stats()
 
     def _read_index_bytes(self) -> bytes:
         # Callers holding the exclusive lock must have flushed pending
@@ -278,19 +326,117 @@ class ResultStore(ResultCache):
         finally:
             os.close(fd)  # closing drops the flock
 
+    # -- persisted counters -----------------------------------------------
+    def _read_lifetime(self) -> dict[str, int]:
+        """The raw totals in ``stats.json`` (zeroes if absent/corrupt)."""
+        try:
+            raw = json.loads(self.stats_path.read_text())
+        except (OSError, ValueError):
+            raw = None
+        if not isinstance(raw, dict):
+            return {f: 0 for f in _STATS_FIELDS}
+        out = {}
+        for f in _STATS_FIELDS:
+            try:
+                out[f] = int(raw.get(f, 0))
+            except (TypeError, ValueError):
+                out[f] = 0
+        return out
+
+    def flush_stats(self) -> None:
+        """Merge this instance's counter deltas into ``stats.json``.
+
+        The read-modify-write runs under the exclusive index lock and
+        lands via temp file + ``os.replace``, so concurrent runs each
+        add exactly their own delta — the sidecar accumulates lifetime
+        hit/miss/store/corrupt totals across every process that ever
+        used the store.  A write failure (read-only store) keeps the
+        counters local and is retried at the next flush.  The instance
+        mutex serialises this against concurrent async accessors, so
+        two threads can never merge the same delta twice.
+        """
+        with self._mutex:
+            delta = {
+                f: getattr(self.stats, f) - getattr(self._merged_stats, f)
+                for f in _STATS_FIELDS
+            }
+            if not any(delta.values()):
+                return
+            try:
+                with self._index_lock():
+                    totals = self._read_lifetime()
+                    for f in _STATS_FIELDS:
+                        totals[f] += delta[f]
+                    fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+                    try:
+                        with os.fdopen(fd, "w") as fh:
+                            json.dump(totals, fh)
+                        os.replace(tmp, self.stats_path)
+                    except OSError:
+                        pathlib.Path(tmp).unlink(missing_ok=True)
+                        raise
+            except OSError:
+                return
+            for f in _STATS_FIELDS:
+                setattr(self._merged_stats, f, getattr(self.stats, f))
+
+    def lifetime_stats(self) -> dict:
+        """Hit/miss/store/corrupt totals across every run of this store.
+
+        Flushes this instance's unmerged counters first, then returns
+        the sidecar totals plus a derived ``hit_rate`` — the number the
+        serve path and ``repro cache stats`` report as the store's
+        all-time cache-hit ratio.
+        """
+        self.flush_stats()
+        totals: dict = self._read_lifetime()
+        # Include any delta a failed flush (read-only store) kept local.
+        for f in _STATS_FIELDS:
+            totals[f] += getattr(self.stats, f) - getattr(self._merged_stats, f)
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return totals
+
     # -- cache interface --------------------------------------------------
     def get(self, spec: JobSpec) -> CachedResult | None:
+        """The stored result for ``spec``, or None; hits are touched."""
         self._adopt_flat(spec.job_hash)
         hit = super().get(spec)
         if hit is not None:
             self._touch(spec.job_hash)
         return hit
 
+    def _locked_get(self, spec: JobSpec) -> CachedResult | None:
+        with self._mutex:
+            return self.get(spec)
+
+    def _locked_put(self, spec: JobSpec, value: dict, duration_s: float) -> None:
+        with self._mutex:
+            self.put(spec, value, duration_s)
+
+    async def aget(self, spec: JobSpec) -> CachedResult | None:
+        """Async-safe read-through: :meth:`get` off the event loop.
+
+        The lookup (file read + validation + recency touch) runs in a
+        worker thread, serialised against other async accessors of this
+        instance by an internal mutex, so an asyncio server can overlap
+        cache reads with request handling without blocking the loop.
+        """
+        return await asyncio.to_thread(self._locked_get, spec)
+
+    async def aput(self, spec: JobSpec, value: dict, duration_s: float) -> None:
+        """Async-safe write-through: :meth:`put` off the event loop."""
+        await asyncio.to_thread(self._locked_put, spec, value, duration_s)
+
     def invalidate(self, spec: JobSpec) -> bool:
+        """Drop one entry (sharded or legacy flat); True if removed."""
         self._adopt_flat(spec.job_hash)
         return super().invalidate(spec)
 
     def put(self, spec: JobSpec, value: dict, duration_s: float) -> None:
+        """Persist one result into its shard, touch its recency record,
+        and enforce ``max_bytes`` (evicting LRU entries if the running
+        size estimate crosses the cap)."""
         self._adopt_flat(spec.job_hash)  # else the old flat copy would linger
         old_size = 0
         if self.max_bytes is not None and self._approx_bytes is not None:
@@ -316,9 +462,17 @@ class ResultStore(ResultCache):
             self.evict(int(self.max_bytes * _EVICT_WATERMARK))
 
     def clear(self) -> int:
+        """Remove every entry, the recency index and the lifetime
+        counters, returning how many entries were deleted."""
         n = super().clear()
         self._pending_touches = []
         self.index_path.unlink(missing_ok=True)
+        self.stats_path.unlink(missing_ok=True)
+        # Forget unmerged deltas too: a cleared store starts its
+        # lifetime counters from zero.
+        self._merged_stats = CacheStats(**{
+            f: getattr(self.stats, f) for f in _STATS_FIELDS
+        })
         self._lock_path.unlink(missing_ok=True)
         for pattern in ("*.tmp", "??/*.tmp", "*.idx"):
             for p in self.root.glob(pattern):
@@ -333,8 +487,10 @@ class ResultStore(ResultCache):
         return n
 
     def __del__(self):  # pragma: no cover - interpreter-exit best effort
+        """Flush buffered touches and counter deltas on teardown."""
         try:
             self._flush_touches()
+            self.flush_stats()
         except Exception:
             pass
 
@@ -459,7 +615,13 @@ class ResultStore(ResultCache):
 
     # -- reporting --------------------------------------------------------
     def usage(self) -> dict:
-        """Entry count / byte totals the CLI's ``cache stats`` prints."""
+        """Entry/byte totals plus lifetime hit/miss counters.
+
+        This is the document the CLI's ``cache stats`` prints: current
+        disk usage (``entries``, ``bytes``, ``shards``, ``max_bytes``)
+        and the persisted all-run counters under ``lifetime`` (hits,
+        misses, stores, corrupt, hit_rate) from :meth:`lifetime_stats`.
+        """
         entries = self._scan()
         return {
             "root": str(self.root),
@@ -468,6 +630,7 @@ class ResultStore(ResultCache):
             "max_bytes": self.max_bytes,
             "shards": sum(1 for p in self.root.iterdir()
                           if p.is_dir() and len(p.name) == 2),
+            "lifetime": self.lifetime_stats(),
         }
 
 

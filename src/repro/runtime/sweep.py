@@ -135,13 +135,16 @@ class SweepReport:
     rows: tuple[tuple, ...]
 
     def render(self, title: str | None = None) -> str:
+        """The sweep as an aligned text table (optionally titled)."""
         return render_table(list(self.headers), [list(r) for r in self.rows], title=title)
 
     def to_csv(self) -> str:
+        """The sweep as CSV text, headers first."""
         return to_csv(list(self.headers), [list(r) for r in self.rows])
 
     @property
     def ok(self) -> bool:
+        """True when every design point computed without failure."""
         return not self.run.failures()
 
 

@@ -1,0 +1,606 @@
+"""Async serving front end: batching, streaming, cache, shutdown, wire.
+
+:mod:`repro.runtime.serve` is the first piece of the stack that serves
+*live* traffic, so these tests pin down the behaviours clients depend
+on:
+
+* requests arriving together coalesce into shared micro-batches,
+  bounded by ``max_batch``;
+* per-job results stream back **while the batch is still running**
+  (proved by a deadlock-free gate, not by timing);
+* cache hits short-circuit straight from the store — the backend pool
+  is never touched;
+* failures stay structured: a raising runner and a crashed backend
+  both come back as ``ok=False`` results, never hung requests;
+* shutdown drains: every request accepted before ``aclose()`` is
+  answered, every one after is rejected;
+* the NDJSON wire protocol answers good lines, bad lines, unknown
+  kinds, and the ``stats``/``ping`` ops on one connection.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    AsyncServer,
+    JobSpec,
+    LatencyRecorder,
+    ResultStore,
+    ServeTelemetry,
+    canonical_json,
+    dse_point_job,
+    register_runner,
+    request_to_spec,
+    serve_stdio,
+    serve_tcp,
+)
+from repro.runtime.backends import SerialBackend, arun
+
+# -- synthetic job kinds for the serving tests ------------------------------
+
+
+@register_runner("t_quick")
+def _run_quick(params, payload):
+    return {"i": params["i"]}
+
+
+@register_runner("t_sleep")
+def _run_sleep(params, payload):
+    time.sleep(params["s"])
+    return {"slept": params["s"]}
+
+
+@register_runner("t_fail")
+def _run_fail(params, payload):
+    raise RuntimeError(f"boom-{params['tag']}")
+
+
+@register_runner("t_gate")
+def _run_gate(params, payload):
+    # Blocks until the test's consumer releases it; a bounded wait so a
+    # regression fails the assertion instead of hanging the suite.
+    assert payload["event"].wait(timeout=8), "gate never released"
+    return {"gated": True}
+
+
+def quick_spec(i: int) -> JobSpec:
+    return JobSpec(kind="t_quick", key=canonical_json({"i": i}))
+
+
+def sleep_spec(i: int, s: float) -> JobSpec:
+    return JobSpec(kind="t_sleep", key=canonical_json({"i": i, "s": s}))
+
+
+class RecordingBackend:
+    """Serial execution that records every dispatched batch size."""
+
+    name = "recording"
+    workers = 1
+
+    def __init__(self):
+        self.batch_sizes = []
+
+    def run(self, specs, on_result=None):
+        self.batch_sizes.append(len(specs))
+        return SerialBackend().run(specs, on_result=on_result)
+
+
+class ExplodingBackend:
+    """Fails the test if the pool is ever touched (cache-hit paths)."""
+
+    name = "exploding"
+    workers = 1
+
+    def run(self, specs, on_result=None):
+        raise AssertionError("backend must not be touched")
+
+
+class CrashingBackend:
+    """Simulates a pool-level crash (not a per-job failure)."""
+
+    name = "crashing"
+    workers = 1
+
+    def run(self, specs, on_result=None):
+        raise OSError("worker pool died")
+
+
+def run_async(coro, timeout=30.0):
+    """Drive one test coroutine with a hang guard."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+# -- arun: the awaitable backend bridge -------------------------------------
+
+
+class TestArun:
+    def test_yields_ordered_results_for_any_backend(self):
+        async def body():
+            specs = [quick_spec(i) for i in range(5)]
+            got = [r async for r in arun("serial", specs)]
+            assert [r.value["i"] for r in got] == list(range(5))
+            assert all(r.ok for r in got)
+
+        run_async(body())
+
+    def test_empty_spec_list_yields_nothing(self):
+        async def body():
+            return [r async for r in arun("serial", [])]
+
+        assert run_async(body()) == []
+
+    def test_backend_crash_propagates(self):
+        async def body():
+            with pytest.raises(OSError, match="pool died"):
+                async for _ in arun(CrashingBackend(), [quick_spec(0)]):
+                    pass
+
+        run_async(body())
+
+    def test_short_delivery_is_a_contract_violation(self):
+        class ShortBackend:
+            name = "short"
+            workers = 1
+
+            def run(self, specs, on_result=None):
+                out = SerialBackend().run(specs[:1], on_result=on_result)
+                return out  # silently drops the rest
+
+        async def body():
+            with pytest.raises(RuntimeError, match="one result per spec"):
+                async for _ in arun(ShortBackend(), [quick_spec(0), quick_spec(1)]):
+                    pass
+
+        run_async(body())
+
+
+# -- micro-batch coalescing -------------------------------------------------
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_a_batch(self):
+        rec = RecordingBackend()
+
+        async def body():
+            async with AsyncServer(backend=rec, batch_window_s=0.2,
+                                   max_batch=16) as srv:
+                results = await asyncio.gather(
+                    *(srv.submit(quick_spec(i)) for i in range(6))
+                )
+            assert all(r.ok for r in results)
+            return srv
+
+        srv = run_async(body())
+        assert sum(rec.batch_sizes) == 6
+        assert max(rec.batch_sizes) > 1, "requests were never coalesced"
+        assert srv.telemetry.batches == len(rec.batch_sizes)
+        assert srv.telemetry.dispatched == 6
+
+    def test_max_batch_caps_coalescing(self):
+        rec = RecordingBackend()
+
+        async def body():
+            async with AsyncServer(backend=rec, batch_window_s=0.2,
+                                   max_batch=2) as srv:
+                await asyncio.gather(*(srv.submit(quick_spec(i)) for i in range(6)))
+
+        run_async(body())
+        assert sum(rec.batch_sizes) == 6
+        assert max(rec.batch_sizes) <= 2
+        assert len(rec.batch_sizes) >= 3
+
+    def test_zero_window_still_answers_everything(self):
+        rec = RecordingBackend()
+
+        async def body():
+            async with AsyncServer(backend=rec, batch_window_s=0.0,
+                                   max_batch=8) as srv:
+                results = await asyncio.gather(
+                    *(srv.submit(quick_spec(i)) for i in range(4))
+                )
+            assert [r.value["i"] for r in results] == list(range(4))
+
+        run_async(body())
+        assert sum(rec.batch_sizes) == 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            AsyncServer(backend=SerialBackend(), max_batch=0)
+        with pytest.raises(ValueError, match="batch_window_s"):
+            AsyncServer(backend=SerialBackend(), batch_window_s=-0.1)
+
+
+# -- streaming: results arrive before the batch completes -------------------
+
+
+class TestStreaming:
+    def test_results_stream_mid_batch_not_at_batch_end(self):
+        # Job 1 blocks until the consumer has *received* job 0's result.
+        # If results were only delivered when the whole batch completed,
+        # this would deadlock (and the gate's bounded wait would fail).
+        gate = threading.Event()
+        s0 = quick_spec(0)
+        s1 = JobSpec(kind="t_gate", key=canonical_json({"g": 1}),
+                     payload={"event": gate})
+
+        async def body():
+            async with AsyncServer(backend="serial", batch_window_s=0.2,
+                                   max_batch=8) as srv:
+                order = []
+                async for i, result in srv.stream([s0, s1]):
+                    assert result.ok, result.error
+                    order.append(i)
+                    if i == 0:
+                        gate.set()
+                assert order == [0, 1]
+
+        run_async(body())
+
+    def test_stream_preserves_input_order(self):
+        async def body():
+            specs = [quick_spec(i) for i in range(8)]
+            async with AsyncServer(backend="thread", workers=4,
+                                   batch_window_s=0.05, max_batch=8) as srv:
+                got = [(i, r.value["i"]) async for i, r in srv.stream(specs)]
+            assert got == [(i, i) for i in range(8)]
+
+        run_async(body())
+
+
+# -- cache integration ------------------------------------------------------
+
+
+class TestCacheShortCircuit:
+    def test_hit_never_touches_the_pool(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = quick_spec(7)
+        store.put(spec, {"i": 7}, 0.25)
+
+        async def body():
+            async with AsyncServer(backend=ExplodingBackend(),
+                                   cache=store) as srv:
+                result = await srv.submit(spec)
+            assert result.ok and result.cached
+            assert result.value == {"i": 7}
+            assert result.duration_s == 0.25
+            assert srv.telemetry.cache_hits == 1
+            assert srv.telemetry.batches == 0
+            assert srv.stats()["cache_hit_ratio"] == 1.0
+
+        run_async(body())
+
+    def test_miss_computes_and_writes_through(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = quick_spec(3)
+
+        async def body():
+            async with AsyncServer(backend="serial", cache=store) as srv:
+                first = await srv.submit(spec)
+                second = await srv.submit(spec)
+            assert first.ok and not first.cached
+            assert second.ok and second.cached
+            assert srv.telemetry.cache_hits == 1
+            assert srv.telemetry.computed == 1
+
+        run_async(body())
+        # The write-through landed in the shared store for other runs.
+        assert ResultStore(tmp_path).get(spec).value == {"i": 3}
+
+    def test_serve_lifetime_counters_reach_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = quick_spec(4)
+
+        async def body():
+            async with AsyncServer(backend="serial", cache=store) as srv:
+                await srv.submit(spec)
+                await srv.submit(spec)
+
+        run_async(body())
+        life = ResultStore(tmp_path).lifetime_stats()
+        assert life["hits"] == 1 and life["misses"] == 1
+        assert life["stores"] == 1
+
+
+# -- failure propagation ----------------------------------------------------
+
+
+class TestFailures:
+    def test_raising_job_is_a_structured_result(self):
+        spec = JobSpec(kind="t_fail", key=canonical_json({"tag": "x"}))
+
+        async def body():
+            async with AsyncServer(backend="serial") as srv:
+                result = await srv.submit(spec)
+            assert not result.ok
+            assert "boom-x" in result.error
+            assert srv.telemetry.failures == 1
+            with pytest.raises(RuntimeError, match="boom-x"):
+                result.unwrap()
+
+        run_async(body())
+
+    def test_mixed_batch_failures_map_to_the_right_requests(self):
+        specs = [
+            quick_spec(0),
+            JobSpec(kind="t_fail", key=canonical_json({"tag": "mid"})),
+            quick_spec(2),
+        ]
+
+        async def body():
+            async with AsyncServer(backend="serial", batch_window_s=0.2,
+                                   max_batch=8) as srv:
+                results = [r async for _, r in srv.stream(specs)]
+            assert [r.ok for r in results] == [True, False, True]
+            assert "boom-mid" in results[1].error
+            assert results[0].value == {"i": 0}
+            assert results[2].value == {"i": 2}
+
+        run_async(body())
+
+    def test_backend_crash_becomes_structured_errors_for_all_in_flight(self):
+        async def body():
+            async with AsyncServer(backend=CrashingBackend(),
+                                   batch_window_s=0.1, max_batch=8) as srv:
+                results = await asyncio.gather(
+                    *(srv.submit(quick_spec(i)) for i in range(3))
+                )
+            assert all(not r.ok for r in results)
+            assert all("crashed" in r.error for r in results)
+            assert srv.telemetry.failures == 3
+
+        run_async(body())
+
+
+# -- graceful shutdown ------------------------------------------------------
+
+
+class TestShutdown:
+    def test_in_flight_requests_drain_before_close_returns(self):
+        async def body():
+            srv = AsyncServer(backend="thread", workers=2,
+                              batch_window_s=0.01, max_batch=2)
+            tasks = [
+                asyncio.ensure_future(srv.submit(sleep_spec(i, 0.05)))
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)  # let every submit reach the queue
+            await srv.aclose()
+            # aclose() returning means every accepted request is done.
+            assert all(t.done() for t in tasks)
+            results = [t.result() for t in tasks]
+            assert all(r.ok for r in results)
+            assert srv.telemetry.computed == 4
+
+        run_async(body())
+
+    def test_submissions_after_close_are_rejected(self):
+        async def body():
+            srv = AsyncServer(backend="serial")
+            async with srv:
+                await srv.submit(quick_spec(0))
+            assert srv.closed
+            with pytest.raises(RuntimeError, match="closed"):
+                await srv.submit(quick_spec(1))
+            assert srv.telemetry.rejected == 1
+
+        run_async(body())
+
+    def test_aclose_is_idempotent(self):
+        async def body():
+            srv = AsyncServer(backend="serial")
+            async with srv:
+                await srv.submit(quick_spec(0))
+            await srv.aclose()
+            await srv.aclose()
+
+        run_async(body())
+
+    def test_close_without_any_requests(self):
+        async def body():
+            async with AsyncServer(backend="serial"):
+                pass
+
+        run_async(body())
+
+
+# -- wire protocol ----------------------------------------------------------
+
+
+class TestRequestToSpec:
+    def test_builds_matching_specs(self):
+        spec = request_to_spec({"kind": "dse_point", "params": {"n_slices": 4}})
+        assert spec.job_hash == dse_point_job(4).job_hash
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            request_to_spec({"kind": "nope"})
+        # sample_eval needs live payloads: not wire-servable by design.
+        with pytest.raises(ValueError, match="unknown job kind"):
+            request_to_spec({"kind": "sample_eval", "params": {}})
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError, match="params must be an object"):
+            request_to_spec({"kind": "dse_point", "params": [1]})
+        with pytest.raises(ValueError, match="bad params"):
+            request_to_spec({"kind": "dse_point", "params": {"n_slices": 0}})
+        with pytest.raises(ValueError, match="bad params"):
+            request_to_spec({"kind": "dse_point", "params": {"bogus": 1}})
+
+
+class TestTCPProtocol:
+    def _roundtrip(self, lines, tmp_path, n_responses=None):
+        """Send ``lines`` over one TCP connection, return the decoded
+        responses (completion order)."""
+
+        async def body():
+            store = ResultStore(tmp_path)
+            srv = AsyncServer(backend="serial", cache=store,
+                              batch_window_s=0.005)
+            tcp = await serve_tcp(srv)  # ephemeral loopback port
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for line in lines:
+                writer.write(line.encode() + b"\n")
+            await writer.drain()
+            out = []
+            for _ in range(n_responses if n_responses is not None else len(lines)):
+                out.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            tcp.close()
+            await tcp.wait_closed()
+            await srv.aclose()
+            return out
+
+        return run_async(body())
+
+    def test_requests_answered_and_tagged_by_id(self, tmp_path):
+        out = self._roundtrip(
+            [
+                json.dumps({"id": "a", "kind": "dse_point",
+                            "params": {"n_slices": 1}}),
+                json.dumps({"id": "b", "kind": "dse_point",
+                            "params": {"n_slices": 8}}),
+            ],
+            tmp_path,
+        )
+        by_id = {o["id"]: o for o in out}
+        assert by_id["a"]["ok"] and by_id["b"]["ok"]
+        assert by_id["a"]["value"]["n_slices"] == 1
+        assert by_id["b"]["value"]["n_slices"] == 8
+        assert by_id["a"]["job_hash"] == dse_point_job(1).job_hash
+
+    def test_repeat_request_served_from_cache(self, tmp_path):
+        req = json.dumps({"id": "x", "kind": "dse_point",
+                          "params": {"n_slices": 2}})
+        first = self._roundtrip([req], tmp_path)[0]
+        second = self._roundtrip([req], tmp_path)[0]
+        assert not first["cached"]
+        assert second["cached"]
+        assert second["value"] == first["value"]
+
+    def test_protocol_errors_are_structured_not_fatal(self, tmp_path):
+        out = self._roundtrip(
+            [
+                "this is not json",
+                json.dumps({"id": "u", "kind": "unknown_kind"}),
+                json.dumps({"id": "o", "op": "bogus"}),
+                json.dumps({"id": "ok", "kind": "baseline_compare",
+                            "params": {"platform": "TrueNorth"}}),
+            ],
+            tmp_path,
+        )
+        by_id = {o.get("id"): o for o in out}
+        assert not by_id[None]["ok"] and "bad request" in by_id[None]["error"]
+        assert not by_id["u"]["ok"] and "unknown job kind" in by_id["u"]["error"]
+        assert not by_id["o"]["ok"] and "unknown op" in by_id["o"]["error"]
+        assert by_id["ok"]["ok"] and by_id["ok"]["value"]["improvement_x"] > 1
+
+    def test_stats_and_ping_ops(self, tmp_path):
+        out = self._roundtrip(
+            [
+                json.dumps({"id": "p", "op": "ping"}),
+                json.dumps({"id": "q", "kind": "dse_point",
+                            "params": {"n_slices": 4}}),
+                json.dumps({"id": "s", "op": "stats"}),
+            ],
+            tmp_path,
+        )
+        by_id = {o["id"]: o for o in out}
+        assert by_id["p"]["pong"] is True
+        stats = by_id["s"]["stats"]
+        assert stats["backend"] == "serial"
+        assert {"requests", "in_flight", "queue_depth", "latency",
+                "cache_hit_ratio"} <= set(stats)
+
+
+class TestStdioProtocol:
+    def test_serve_stdio_answers_then_drains(self, tmp_path):
+        import io
+
+        lines = [
+            json.dumps({"id": 1, "kind": "dse_point", "params": {"n_slices": 1}}),
+            json.dumps({"id": 2, "op": "stats"}),
+        ]
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        stdout = io.StringIO()
+        srv = AsyncServer(backend="serial", cache=ResultStore(tmp_path))
+        run_async(serve_stdio(srv, stdin=stdin, stdout=stdout))
+        out = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        by_id = {o["id"]: o for o in out}
+        assert by_id[1]["ok"] and by_id[1]["value"]["n_slices"] == 1
+        assert by_id[2]["stats"]["requests"] == 1
+        assert srv.closed  # EOF closed the server gracefully
+
+    def test_cli_serve_stdio(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        from repro.runtime.cli import main
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(json.dumps(
+                {"id": "c", "kind": "dse_point", "params": {"n_slices": 8}}
+            ) + "\n"),
+        )
+        rc = main(["serve", "--stdio", "--cache-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        response = json.loads(captured.out.splitlines()[0])
+        assert response["ok"] and response["value"]["n_slices"] == 8
+        assert "serve: 1 request(s)" in captured.err
+
+
+# -- telemetry primitives ---------------------------------------------------
+
+
+class TestTelemetry:
+    def test_latency_recorder_percentiles(self):
+        rec = LatencyRecorder(maxlen=100)
+        for ms in range(1, 101):  # 1..100 ms
+            rec.observe(ms / 1000)
+        assert rec.percentile(50) == pytest.approx(0.050)
+        assert rec.percentile(99) == pytest.approx(0.099)
+        assert rec.percentile(100) == pytest.approx(0.100)
+        summary = rec.summary()
+        assert summary["count"] == 100
+        assert summary["p50_s"] <= summary["p99_s"] <= summary["max_s"]
+
+    def test_latency_recorder_window_and_validation(self):
+        rec = LatencyRecorder(maxlen=4)
+        for s in (1.0, 1.0, 1.0, 1.0, 0.002):  # old samples roll out
+            rec.observe(s)
+        assert rec.count == 5
+        assert rec.percentile(0) == pytest.approx(0.002)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+        with pytest.raises(ValueError):
+            LatencyRecorder(maxlen=0)
+        assert LatencyRecorder().summary()["p99_s"] == 0.0
+
+    def test_snapshot_ratios(self):
+        t = ServeTelemetry()
+        t.requests = 4
+        t.cache_hits = 3
+        t.batches = 2
+        t.dispatched = 6
+        snap = t.snapshot()
+        assert snap["cache_hit_ratio"] == pytest.approx(0.75)
+        assert snap["mean_batch"] == pytest.approx(3.0)
+        assert ServeTelemetry().snapshot()["cache_hit_ratio"] == 0.0
+
+    def test_server_gauges_return_to_zero(self):
+        async def body():
+            async with AsyncServer(backend="serial") as srv:
+                await asyncio.gather(*(srv.submit(quick_spec(i)) for i in range(3)))
+            assert srv.telemetry.in_flight == 0
+            assert srv.telemetry.latency.count == 3
+            snap = srv.stats()
+            assert snap["requests"] == 3
+            assert snap["latency"]["p99_s"] >= snap["latency"]["p50_s"]
+
+        run_async(body())

@@ -311,6 +311,95 @@ class TestCorruptionRecovery:
         assert store.evict(0) == 1  # still able to evict everything
 
 
+class TestLifetimeStats:
+    """The persisted hit/miss counters behind ``repro cache stats`` and
+    the serve path's cache-hit ratio."""
+
+    def test_counters_accumulate_across_instances(self, tmp_path):
+        s1 = ResultStore(tmp_path)
+        spec = put_blob(s1, "a")           # 1 store
+        assert s1.get(spec) is not None    # 1 hit
+        s1.flush_stats()
+
+        s2 = ResultStore(tmp_path)
+        assert s2.get(spec) is not None    # 1 hit (second run)
+        assert s2.get(blob_spec("absent")) is None  # 1 miss
+        s2.flush_stats()
+
+        life = ResultStore(tmp_path).lifetime_stats()
+        assert life["hits"] == 2
+        assert life["misses"] == 1
+        assert life["stores"] == 1
+        assert life["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_lifetime_includes_unflushed_deltas(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        store.get(spec)                    # hit still buffered
+        life = store.lifetime_stats()      # flushes, then reads
+        assert life["hits"] == 1 and life["stores"] == 1
+        assert store.stats_path.exists()
+
+    def test_clear_resets_lifetime_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        store.get(spec)
+        store.flush_stats()
+        store.clear()
+        assert not store.stats_path.exists()
+        life = ResultStore(tmp_path).lifetime_stats()
+        assert life["hits"] == 0 and life["stores"] == 0
+        # The clearing instance's already-merged counters don't re-merge.
+        store.flush_stats()
+        assert ResultStore(tmp_path).lifetime_stats()["hits"] == 0
+
+    def test_corrupt_sidecar_degrades_to_zeroes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        store.stats_path.write_text("{ torn")
+        store.get(spec)
+        life = store.lifetime_stats()      # rewrites through the damage
+        assert life["hits"] == 1
+        assert json.loads(store.stats_path.read_text())["hits"] == 1
+
+    def test_sidecar_is_not_an_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put_blob(store, "a")
+        store.flush_stats()
+        assert store.stats_path.exists()
+        assert len(store) == 1             # stats.json never counted
+        assert store.usage()["entries"] == 1
+        store.evict(0)                     # ... and never evicted
+        assert store.stats_path.exists()
+        assert len(store) == 0
+
+    def test_cli_stats_reports_lifetime_counters(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+
+        cache_dir = str(tmp_path)
+        main(["sweep", "--slices", "1,8", "--cache-dir", cache_dir, "--quiet"])
+        main(["sweep", "--slices", "1,8", "--cache-dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime: 2 hit(s), 2 miss(es) (hit rate 50%), 2 stored" in out
+
+    def test_async_read_write_through(self, tmp_path):
+        import asyncio
+
+        store = ResultStore(tmp_path)
+        spec = blob_spec("async")
+
+        async def body():
+            assert await store.aget(spec) is None
+            await store.aput(spec, {"tag": "async"}, 0.1)
+            hit = await store.aget(spec)
+            assert hit is not None and hit.value["tag"] == "async"
+
+        asyncio.run(body())
+        assert store.lifetime_stats()["hits"] == 1
+
+
 def _writer(root: str, writer_id: int, n: int, max_bytes) -> None:
     store = ResultStore(pathlib.Path(root), max_bytes=max_bytes)
     for i in range(n):

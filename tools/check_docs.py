@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Documentation gate: docstring coverage + markdown link/anchor check.
+
+Two checks, both dependency-free so they run in any environment the
+test suite runs in (no pydocstyle/interrogate needed):
+
+1. **Docstring coverage** over ``src/repro/runtime/`` (extend via
+   ``--paths``): every module, public class and public
+   function/method must carry a docstring.  The floor is 100% — a new
+   public API lands with its documentation or the gate fails, listing
+   each missing item as ``path:line: name``.
+
+2. **Markdown integrity** over ``docs/*.md`` and ``README.md``:
+   every relative link must point at an existing file, and every
+   anchor link (``#section``, including the ToC) must match a real
+   heading of its target, using GitHub's slug rules.  Absolute
+   http(s) links are not fetched (the gate must pass offline).
+
+Exit status 0 when clean; 1 with a per-problem report otherwise —
+suitable for ``make docs-check`` and the CI docs gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Python trees held to the 100% public-docstring floor by default.
+DEFAULT_PY_PATHS = ("src/repro/runtime",)
+
+#: Markdown documents whose links/anchors/ToC are verified by default.
+DEFAULT_MD_PATHS = ("docs", "README.md")
+
+#: Matches ``[text](target)`` markdown links, ignoring images.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Matches ATX headings (``## Title``) for anchor slug extraction.
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Fenced code block delimiter — headings/links inside fences don't count.
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+# -- docstring coverage -----------------------------------------------------
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_doc_targets(tree: ast.Module):
+    """Yield ``(lineno, qualname, node)`` for everything that needs a
+    docstring: the module, public classes, public functions and public
+    methods (dunders and underscore-private names are exempt)."""
+    yield 0, "<module>", tree
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(node.name):
+            yield node.lineno, node.name, node
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            yield node.lineno, node.name, node
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(sub.name):
+                    yield sub.lineno, f"{node.name}.{sub.name}", sub
+
+
+def check_docstrings(py_paths: list[pathlib.Path]) -> tuple[list[str], int]:
+    """Return (problems, number of documented targets) for the trees."""
+    problems: list[str] = []
+    documented = 0
+    for root in py_paths:
+        if not root.exists():
+            problems.append(f"{root.relative_to(REPO)}: path does not exist")
+            continue
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            rel = path.relative_to(REPO)
+            try:
+                tree = ast.parse(path.read_text())
+            except SyntaxError as exc:
+                problems.append(f"{rel}: unparsable: {exc}")
+                continue
+            for lineno, name, node in iter_doc_targets(tree):
+                if ast.get_docstring(node):
+                    documented += 1
+                else:
+                    problems.append(f"{rel}:{lineno}: missing docstring: {name}")
+    return problems, documented
+
+
+# -- markdown links + anchors -----------------------------------------------
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: inline code markers dropped,
+    lowercased, punctuation stripped, spaces to hyphens."""
+    text = heading.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _scan_markdown(path: pathlib.Path) -> tuple[list[str], list[tuple[int, str]]]:
+    """(heading slugs, [(lineno, link target), ...]) outside code fences."""
+    slugs: list[str] = []
+    links: list[tuple[int, str]] = []
+    seen: dict[str, int] = {}
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING.match(line)
+        if m:
+            slug = github_slug(m.group(2))
+            # GitHub de-duplicates repeated headings as slug, slug-1, ...
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.append(slug if n == 0 else f"{slug}-{n}")
+        for link in _LINK.finditer(line):
+            links.append((lineno, link.group(1)))
+    return slugs, links
+
+
+def check_markdown(md_paths: list[pathlib.Path]) -> tuple[list[str], int]:
+    """Return (problems, number of links verified) for the documents."""
+    files: list[pathlib.Path] = []
+    problems: list[str] = []
+    for root in md_paths:
+        if not root.exists():
+            problems.append(f"{root.relative_to(REPO)}: path does not exist")
+            continue
+        files.extend(sorted(root.rglob("*.md")) if root.is_dir() else [root])
+    slug_cache = {path: _scan_markdown(path) for path in files}
+    checked = 0
+    for path, (_, links) in slug_cache.items():
+        rel = path.relative_to(REPO)
+        for lineno, target in links:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            raw_path, _, anchor = target.partition("#")
+            dest = path if not raw_path else (path.parent / raw_path).resolve()
+            if not dest.exists():
+                problems.append(f"{rel}:{lineno}: broken link: {target}")
+                continue
+            if anchor:
+                if dest.suffix != ".md":
+                    continue  # source-line anchors etc. aren't headings
+                if dest not in slug_cache:
+                    slug_cache[dest] = _scan_markdown(dest)
+                if anchor not in slug_cache[dest][0]:
+                    problems.append(
+                        f"{rel}:{lineno}: dangling anchor: {target} "
+                        f"(no heading slug {anchor!r})"
+                    )
+    return problems, checked
+
+
+def main(argv=None) -> int:
+    """Run both checks; print a report and return the exit status."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paths", nargs="*", default=list(DEFAULT_PY_PATHS),
+                        help="python files/trees held to the docstring floor")
+    parser.add_argument("--docs", nargs="*", default=list(DEFAULT_MD_PATHS),
+                        help="markdown files/trees to link-check")
+    args = parser.parse_args(argv)
+
+    doc_problems, documented = check_docstrings([REPO / p for p in args.paths])
+    md_problems, links = check_markdown([REPO / p for p in args.docs])
+
+    for problem in doc_problems + md_problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if doc_problems or md_problems:
+        print(
+            f"docs-check: FAILED — {len(doc_problems)} docstring / "
+            f"{len(md_problems)} markdown problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"docs-check: OK ({documented} public defs documented, "
+          f"{links} markdown links verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
