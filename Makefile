@@ -5,19 +5,31 @@
 #   make test-serve  - async serving front end suite only
 #   make docs-check  - docs gate: docstring coverage floor on the
 #                      runtime + docs/README link & anchor integrity
+#   make lint        - ruff check + format check (CI installs ruff;
+#                      locally it must be on PATH)
 #   make bench-smoke - one fast benchmark: runtime scaling (parity + cache)
 #   make bench-serve - serving latency benchmark (5x cache-hit bar)
+#   make bench-gate  - run the JSON-emitting benchmarks, then fail on
+#                      >20% regression vs benchmarks/baselines/
+#   make bench-baseline - promote the current BENCH_*.json to baselines
 #   make sweep-smoke - tiny 2-point design-space sweep through the CLI,
 #                      run once per backend to demonstrate bit-identical
 #                      tables and the shared-store hit path
+#   make profile-smoke - hot-path profile of a small workload via the CLI
 #   make bench       - the full benchmark suite (slow)
 #   make clean-cache - drop the CLI's default on-disk result store
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-parity test-serve docs-check bench-smoke bench-serve \
-        sweep-smoke bench clean-cache
+#: The benchmark modules that emit BENCH_*.json for the regression gate.
+BENCH_JSON_SUITE = benchmarks/bench_fig5b_perf.py \
+                   benchmarks/bench_runtime_scaling.py \
+                   benchmarks/bench_serve_latency.py \
+                   benchmarks/bench_cosim_fuzz.py
+
+.PHONY: test test-parity test-serve docs-check lint bench-smoke bench-serve \
+        bench-gate bench-baseline sweep-smoke profile-smoke bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,11 +43,26 @@ test-serve:
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
+lint:
+	ruff check .
+	ruff format --check .
+
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_runtime_scaling.py -q
 
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/bench_serve_latency.py -q
+
+bench-gate:
+	$(PYTHON) -m pytest $(BENCH_JSON_SUITE) -q
+	$(PYTHON) tools/bench_compare.py
+
+bench-baseline:
+	$(PYTHON) -m pytest $(BENCH_JSON_SUITE) -q
+	$(PYTHON) tools/bench_compare.py --update
+
+profile-smoke:
+	$(PYTHON) -m repro profile --per-class 1 --max-samples 4 --quiet
 
 sweep-smoke:
 	$(PYTHON) -m repro sweep --slices 4,8 --backend process --workers 2 --cache-dir .repro_cache_smoke

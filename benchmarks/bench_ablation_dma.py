@@ -10,7 +10,6 @@ event window.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_table
 from repro.events import EventStream, encode_inference

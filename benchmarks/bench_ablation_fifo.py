@@ -8,7 +8,6 @@ appears, quantifying how much margin the 16-deep FIFOs buy.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_table
 from repro.events import EventStream

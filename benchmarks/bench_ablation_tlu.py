@@ -9,7 +9,6 @@ the ablation quantifies the saving as a function of input burstiness.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_table
 from repro.events import EventStream

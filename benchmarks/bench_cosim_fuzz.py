@@ -11,11 +11,13 @@ from repro.analysis import render_table
 from repro.hw import LayerKind, fuzz
 
 
-def test_cosimulation_fuzz(benchmark, report):
+def test_cosimulation_fuzz(benchmark, report, bench_json):
     def run_corpus():
         return fuzz(40, seed0=1000)
 
     results = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
+    bench_json.from_benchmark(benchmark, "corpus_40_cases_s")
+    bench_json.metric("cases", len(results))
 
     failures = [r for r in results if not r.matched]
     skipped = sum(r.skipped_saturation for r in results)

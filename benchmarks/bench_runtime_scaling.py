@@ -19,8 +19,6 @@ not asserted; determinism and hit rates are asserted.
 
 import time
 
-import pytest
-
 from repro.analysis import render_table
 from repro.events import SyntheticDVSGesture
 from repro.hw import PAPER_CONFIG, HardwareEvaluator, compile_network, report_from_job_results
@@ -132,7 +130,8 @@ def test_three_backend_scaling_comparison(benchmark, report, tmp_path):
     )
 
 
-def test_hw_eval_parallel_parity_and_cache_speedup(benchmark, report, tmp_path):
+def test_hw_eval_parallel_parity_and_cache_speedup(benchmark, report, tmp_path,
+                                                   bench_json):
     data = SyntheticDVSGesture(size=16, n_steps=8).generate(n_per_class=1, seed=7)
     net = build_small_network(input_size=16, n_classes=11, channels=4, hidden=16, seed=2)
     evaluator = HardwareEvaluator(
@@ -174,5 +173,11 @@ def test_hw_eval_parallel_parity_and_cache_speedup(benchmark, report, tmp_path):
             ),
         )
     )
+    bench_json.timing("hw_eval_cold_s", t_cold)
+    # Single-digit-millisecond warm timings flake past 20%; the
+    # same-run speedup ratio carries the regression signal instead.
+    bench_json.metric("hw_eval_warm_s", t_warm, direction="info", unit="s")
+    bench_json.metric("cache_speedup_x", speedup, direction="info", unit="x")
+    bench_json.metric("warm_hit_rate", warm.stats.hit_rate, direction="higher")
     # The cache must beat recomputation, with margin for timer noise.
     assert t_warm < t_cold

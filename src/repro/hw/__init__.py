@@ -23,11 +23,13 @@ from .lif_datapath import (
 )
 from .cluster import Cluster, ClusterStats
 from .mapper import (
+    FanoutTable,
     LayerGeometry,
     LayerKind,
     LayerProgram,
     compile_layer,
     compile_network,
+    fanout_table,
 )
 from .slice import Slice, SliceStats
 from .xbar import Crossbar, CrossbarStats
@@ -72,6 +74,8 @@ __all__ = [
     "LayerGeometry",
     "LayerKind",
     "LayerProgram",
+    "FanoutTable",
+    "fanout_table",
     "compile_layer",
     "compile_network",
     "Slice",

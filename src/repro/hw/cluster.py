@@ -77,7 +77,10 @@ class Cluster:
             return
         if dt > 1:
             self.stats.tlu_skipped_steps += dt - 1
-        self.state = leak_catchup(self.state, leak, dt)
+        if leak > 0:
+            self.state = leak_catchup(self.state, leak, dt)
+        elif leak < 0:
+            raise ValueError("leak must be non-negative")
         self.tlu = t
 
     # -- event operations ----------------------------------------------------
@@ -112,9 +115,13 @@ class Cluster:
         register enables; the linear decay telescopes, so the observable
         behaviour is identical to a per-step walk (see the ABL1 bench).
 
-        Returns the local indices of the fired neurons.  The caller
-        (slice) translates them to absolute output coordinates through
-        the cluster base address and pushes them into the output FIFO.
+        Returns the local indices of the fired neurons, which the
+        caller translates to absolute output coordinates through the
+        cluster base address and pushes into the output FIFO.  This is
+        the single-cluster reference of the scan;
+        :meth:`~repro.hw.slice.Slice.process_fire` runs the batched
+        cross-cluster form on the same ``leak_catchup``/``fire_mask``
+        arithmetic.
         """
         if t < self.tlu:
             raise ValueError(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 import math
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +31,15 @@ from ..snn.quantize import QuantSpec, export_layer_quant
 from .config import SNEConfig
 from .lif_datapath import check_weight_range
 
-__all__ = ["LayerKind", "LayerGeometry", "LayerProgram", "compile_layer", "compile_network"]
+__all__ = [
+    "LayerKind",
+    "LayerGeometry",
+    "LayerProgram",
+    "FanoutTable",
+    "fanout_table",
+    "compile_layer",
+    "compile_network",
+]
 
 
 class LayerKind(enum.Enum):
@@ -198,6 +207,116 @@ class LayerProgram:
         per_pass = config.total_neurons
         lo = pass_idx * per_pass
         return lo, min(lo + per_pass, self.geometry.n_outputs)
+
+
+# ---------------------------------------------------------------------------
+# Event fanout lookup (the vectorised event loop's geometry cache)
+# ---------------------------------------------------------------------------
+
+
+class FanoutTable:
+    """Batched :meth:`LayerGeometry.affected_outputs` lookup for one program.
+
+    The per-event path recomputes the receptive-field arithmetic for
+    every event; a run replays the same few thousand input coordinates
+    thousands of times, so the vectorised event loop resolves whole
+    timesteps through this table instead.  Dense layers are answered
+    with one fancy-index gather; conv/depthwise layers memoise the
+    ``(neuron_idx, weight)`` arrays per input coordinate on first use.
+    Entries are exactly what ``affected_outputs`` returns, so the
+    batched and per-event paths are bit-identical by construction.
+    """
+
+    def __init__(self, program: LayerProgram) -> None:
+        g = program.geometry
+        self._geometry = g
+        self._weights = np.asarray(program.weights)
+        self._dense_w: np.ndarray | None = None
+        if g.kind is LayerKind.DENSE:
+            # [C_out, F_in] int64 matrix; one event's fanout is a column.
+            self._dense_w = np.asarray(program.weights, dtype=np.int64)
+            self._dense_idx = np.arange(g.out_channels, dtype=np.int64)
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _flat(self, ch: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Linear input-coordinate ids, validated against the input plane."""
+        g = self._geometry
+        ch = np.asarray(ch, dtype=np.int64)
+        x = np.asarray(x, dtype=np.int64)
+        y = np.asarray(y, dtype=np.int64)
+        bad = (
+            (ch < 0) | (ch >= g.in_channels)
+            | (x < 0) | (x >= g.in_width)
+            | (y < 0) | (y >= g.in_height)
+        )
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise ValueError(
+                f"event ({int(ch[k])}, {int(x[k])}, {int(y[k])}) outside the input plane"
+            )
+        return (ch * g.in_height + y) * g.in_width + x
+
+    def gather(
+        self, ch: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fanout of a batch of events, concatenated in event order.
+
+        Returns ``(neuron_idx, weights, event_idx)`` int64 arrays: the
+        linear output neurons touched by each event, their synaptic
+        weights, and the position of the owning event within the batch.
+        """
+        flat = self._flat(ch, x, y)
+        n = flat.size
+        g = self._geometry
+        if self._dense_w is not None:
+            m = g.out_channels
+            idx = np.tile(self._dense_idx, n)
+            w = self._dense_w[:, flat].T.reshape(-1)
+            ev = np.repeat(np.arange(n, dtype=np.int64), m)
+            return idx, w, ev
+        cache = self._cache
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
+        for k in range(n):
+            f = int(flat[k])
+            entry = cache.get(f)
+            if entry is None:
+                plane = g.in_height * g.in_width
+                c, rem = divmod(f, plane)
+                i, j = divmod(rem, g.in_width)
+                idx_k, w_k = g.affected_outputs(c, j, i, self._weights)
+                entry = (np.asarray(idx_k, dtype=np.int64), np.asarray(w_k, dtype=np.int64))
+                cache[f] = entry
+            parts.append(entry)
+        sizes = np.fromiter((p[0].size for p in parts), count=n, dtype=np.int64)
+        if n == 0 or int(sizes.sum()) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, empty
+        idx = np.concatenate([p[0] for p in parts])
+        w = np.concatenate([p[1] for p in parts])
+        ev = np.repeat(np.arange(n, dtype=np.int64), sizes)
+        return idx, w, ev
+
+
+#: id(program) -> FanoutTable, evicted by ``weakref.finalize`` when the
+#: program is collected (so a recycled id can never serve a stale table).
+_FANOUTS: dict[int, FanoutTable] = {}
+
+
+def fanout_table(program: LayerProgram) -> FanoutTable:
+    """The (cached) :class:`FanoutTable` of ``program``.
+
+    Tables are shared across slices, passes and repeated runs of the
+    same program object, and are kept out of the program itself so job
+    payloads pickle without dragging the cache across process
+    boundaries.
+    """
+    key = id(program)
+    table = _FANOUTS.get(key)
+    if table is None:
+        table = FanoutTable(program)
+        _FANOUTS[key] = table
+        weakref.finalize(program, _FANOUTS.pop, key, None)
+    return table
 
 
 # ---------------------------------------------------------------------------

@@ -108,9 +108,21 @@ class HardwareEvaluator:
             raise ValueError("the final layer must be a classifier (1x1 plane)")
         self.n_classes = n_classes
 
-    def run_sample(self, stream, label: int) -> SampleResult:
+    def run_sample(self, stream, label: int, profiler=None) -> SampleResult:
+        """Run one labelled stream through the cycle model.
+
+        ``profiler`` (a :class:`repro.runtime.profile.Profiler`)
+        receives the per-stage ``sne.*`` spans of the run plus one
+        ``runner.sample`` span wrapping the whole inference.
+        """
+        import time
+
+        t0 = time.perf_counter() if profiler is not None else 0.0
         sne = SNE(self.config)
-        out_events, stats = sne.run_network(self.programs, stream)
+        out_events, stats = sne.run_network(self.programs, stream, profiler=profiler)
+        if profiler is not None:
+            profiler.add("runner.sample", time.perf_counter() - t0,
+                         events=len(stream))
         counts = np.bincount(out_events.ch, minlength=self.n_classes)
         return SampleResult(
             label=label,
@@ -132,13 +144,21 @@ class HardwareEvaluator:
             raise ValueError("max_samples must be positive")
         return dataset.samples[:max_samples]
 
-    def sample_jobs(self, dataset: EventDataset, max_samples: int | None = None) -> list:
+    def sample_jobs(
+        self,
+        dataset: EventDataset,
+        max_samples: int | None = None,
+        profile: bool = False,
+    ) -> list:
         """One runtime :class:`~repro.runtime.jobs.JobSpec` per sample.
 
         Each job is independently executable in a worker process and
         hashes the full deployment identity (config, program weights,
         stream content), so repeated evaluations of the same deployment
-        are served from the result cache.
+        are served from the result cache.  ``profile=True`` builds
+        profiling jobs: each result carries the per-stage span summary
+        of its simulation (and hashes differently, so profiled and
+        plain results never share cache entries).
         """
         from ..runtime.jobs import deployment_fingerprint, sample_eval_job
 
@@ -146,7 +166,7 @@ class HardwareEvaluator:
         return [
             sample_eval_job(
                 self.programs, self.config, sample.stream, sample.label,
-                power=self.power, deployment=deployment,
+                power=self.power, deployment=deployment, profile=profile,
             )
             for sample in self._select(dataset, max_samples)
         ]
@@ -220,8 +240,13 @@ def report_from_job_results(results) -> EvaluationReport:
     """Rehydrate an :class:`EvaluationReport` from runtime job results.
 
     Raises on the first failed job (a failed sample invalidates the
-    accuracy aggregate, unlike a failed sweep point).
+    accuracy aggregate, unlike a failed sweep point).  The ``profile``
+    summary attached by profiling jobs is dropped here — aggregate it
+    with :class:`repro.runtime.progress.ProfileAggregator` instead.
     """
     return EvaluationReport(
-        results=tuple(SampleResult(**r.unwrap()) for r in results)
+        results=tuple(
+            SampleResult(**{k: v for k, v in r.unwrap().items() if k != "profile"})
+            for r in results
+        )
     )

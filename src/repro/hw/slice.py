@@ -16,6 +16,7 @@ import numpy as np
 
 from .cluster import Cluster
 from .config import SNEConfig
+from .lif_datapath import fire_mask, leak_catchup, state_bounds
 from .mapper import LayerProgram
 
 __all__ = ["Slice", "SliceStats"]
@@ -144,6 +145,115 @@ class Slice:
         self.stats.busy_cycles += cycles
         return cycles
 
+    def process_update_step(
+        self,
+        t: int,
+        neuron_idx: np.ndarray,
+        weights: np.ndarray,
+        event_idx: np.ndarray,
+        n_events: int,
+    ) -> np.ndarray:
+        """Process all UPDATE events of one timestep in one batch.
+
+        ``neuron_idx``/``weights``/``event_idx`` are the concatenated
+        per-event fanouts assembled by a
+        :class:`~repro.hw.mapper.FanoutTable` (global linear neuron
+        indices, in event order); ``n_events`` is the number of events
+        broadcast this step, including those whose fanout is empty.
+        Returns the per-event cycle counts — element ``k`` is exactly
+        what :meth:`process_update` would have returned for event ``k``
+        — and leaves every counter (slice, cluster, gating, overrun)
+        bit-identical to the per-event path.
+        """
+        program = self._require_program()
+        cfg = self.config
+        in_range = (neuron_idx >= self._neuron_lo) & (neuron_idx < self._neuron_hi)
+        idx = neuron_idx[in_range] - self._neuron_lo
+        w = weights[in_range]
+        ev = event_idx[in_range]
+
+        per_cluster = cfg.neurons_per_cluster
+        n_clusters = cfg.clusters_per_slice
+        cluster_ids = idx // per_cluster
+        counts = np.bincount(
+            ev * n_clusters + cluster_ids, minlength=n_events * n_clusters
+        ).reshape(n_events, n_clusters)
+        max_updates = counts.max(axis=1) if n_events else np.zeros(0, dtype=np.int64)
+        overrun = np.maximum(max_updates - cfg.cycles_per_event, 0)
+        cycles = cfg.cycles_per_event + overrun
+
+        # Per-cluster bookkeeping: catch-up (TLU) for the touched ones,
+        # activity/gating counters for all.
+        per_cluster_updates = counts.sum(axis=0)
+        events_touching = (counts > 0).sum(axis=0)
+        for c, cluster in enumerate(self.clusters):
+            seen = int(events_touching[c])
+            if seen:
+                cluster.catch_up(t, program.leak)
+                cluster.stats.updates += int(per_cluster_updates[c])
+                cluster.stats.events_seen += seen
+            gated = n_events - seen
+            if gated:
+                cluster.stats.events_gated += gated
+
+        if idx.size:
+            self._scan_accumulate(idx, w)
+
+        n_in = int(idx.size)
+        total_cycles = int(cycles.sum())
+        self.stats.update_events += int(n_events)
+        self.stats.sops += n_in
+        self.stats.active_cluster_cycles += n_in
+        self.stats.gated_cluster_cycles += n_clusters * total_cycles - n_in
+        self.stats.sequencer_overrun_cycles += int(overrun.sum())
+        self.stats.busy_cycles += total_cycles
+        return cycles
+
+    def _scan_accumulate(self, idx: np.ndarray, w: np.ndarray) -> None:
+        """Saturating accumulate of one step's entries, in event order.
+
+        ``idx`` is slice-local (0-based) and ``w`` parallel to it, both
+        concatenated in event order.  Saturation stays per event:
+        entries group per neuron (stable sort keeps event order), prefix
+        sums find the neurons whose running value never leaves the
+        membrane range — for those every clip is a no-op and the whole
+        sequence collapses into one add — and the rare saturating
+        neurons replay their updates serially.  Bit-identical to the
+        per-event :meth:`~repro.hw.cluster.Cluster.apply_update` chain.
+        """
+        cfg = self.config
+        per_cluster = cfg.neurons_per_cluster
+        lo, hi = state_bounds(cfg.state_bits)
+        clusters = self.clusters
+        n = idx.size
+        # Gather the current membrane of every addressed entry.
+        state_vec = np.concatenate([c.state for c in clusters])
+        entry_state = state_vec[idx]
+        order = np.argsort(idx, kind="stable")
+        sn = idx[order]
+        sw = w[order]
+        change = np.flatnonzero(sn[1:] != sn[:-1]) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+        ends = np.concatenate((change, np.array([n], dtype=np.int64))) - 1
+        cs = np.cumsum(sw)
+        seg_base = np.repeat(cs[starts] - sw[starts], np.diff(np.append(starts, n)))
+        running = entry_state[order] + (cs - seg_base)
+        neurons = sn[starts]
+        safe = (np.maximum.reduceat(running, starts) <= hi) & (
+            np.minimum.reduceat(running, starts) >= lo
+        )
+        final = running[ends].copy()
+        for k in np.flatnonzero(~safe):  # saturating accumulations replay serially
+            v = int(entry_state[order[starts[k]]])
+            for dw in sw[starts[k] : ends[k] + 1]:
+                v = min(hi, max(lo, v + int(dw)))
+            final[k] = v
+        ncids = neurons // per_cluster
+        nlocal = neurons % per_cluster
+        for c in np.unique(ncids):
+            sel = ncids == c
+            clusters[int(c)].state[nlocal[sel]] = final[sel]
+
     def process_fire(self, t: int) -> tuple[list[tuple[int, int, int, int]], int]:
         """FIRE_OP: scan every TDM neuron; emit (t, ch, x, y) output events.
 
@@ -159,9 +269,33 @@ class Slice:
         plane = geometry.out_height * geometry.out_width
         events: list[tuple[int, int, int, int]] = []
         total_fired = 0
-        for c, cluster in enumerate(self.clusters):
-            base = self._neuron_lo + c * cfg.neurons_per_cluster
-            fired_local = cluster.fire(t, program.threshold, program.leak)
+        # One TDM scan vectorised across every cluster: the batched form
+        # of ``Cluster.fire`` (which stays the single-cluster reference
+        # and test surface), built on the same ``leak_catchup`` /
+        # ``fire_mask`` datapath arithmetic so the semantics cannot
+        # drift apart.  The effective membrane — stored value decayed by
+        # the per-cluster TLU distance — is compared without writing the
+        # decay back.
+        tlus = np.fromiter((c.tlu for c in self.clusters), dtype=np.int64,
+                           count=len(self.clusters))
+        late = np.flatnonzero(t < tlus)
+        if late.size:
+            raise ValueError(
+                f"fire time {t} precedes cluster TLU {int(tlus[late[0]])}; "
+                "streams must be time-sorted"
+            )
+        states = np.stack([c.state for c in self.clusters])
+        if program.leak > 0:
+            effective = leak_catchup(states, program.leak, (t - tlus)[:, None])
+        else:
+            effective = states
+        mask = fire_mask(effective, program.threshold)
+        for c in np.flatnonzero(mask.any(axis=1)):
+            cluster = self.clusters[int(c)]
+            base = self._neuron_lo + int(c) * cfg.neurons_per_cluster
+            fired_local = np.flatnonzero(mask[c])
+            cluster.state[fired_local] = 0
+            cluster.stats.fires += int(fired_local.size)
             for n in fired_local:
                 linear = base + int(n)
                 if linear >= self._neuron_hi:

@@ -19,19 +19,21 @@ of passes, while SOPs and output events sum across slices.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, fields
 
 import numpy as np
 
 from ..events.stream import EventStream
-from .collector import Collector
 from .config import SNEConfig
-from .mapper import LayerProgram
+from .mapper import LayerProgram, fanout_table
 from .registers import RegisterFile
 from .slice import Slice
 from .xbar import Crossbar
 
 __all__ = ["SNE", "SNEStats"]
+
+_pc = time.perf_counter
 
 
 @dataclass
@@ -134,6 +136,8 @@ class SNE:
         program: LayerProgram,
         stream: EventStream,
         trace=None,
+        profiler=None,
+        batched: bool = True,
     ) -> tuple[EventStream, SNEStats]:
         """Execute one layer in time-multiplexed mode.
 
@@ -142,6 +146,15 @@ class SNE:
         When an :class:`~repro.hw.trace.ActivityTrace` is passed, one
         entry per timestep is recorded (multi-pass runs use the global
         index ``pass * n_steps + step``).
+
+        ``profiler`` (a :class:`repro.runtime.profile.Profiler`)
+        receives per-stage spans — ``sne.assemble`` / ``sne.update`` /
+        ``sne.fire`` / ``sne.reset`` (+ ``sne.trace`` when tracing) —
+        with event counts, at per-pass granularity.  ``batched=False``
+        selects the per-event reference loop instead of the vectorised
+        one; both produce bit-identical outputs and statistics (the
+        parity the SNE test suite and the Fig. 5b speedup benchmark
+        pin down).
         """
         cfg = self.config
         program.validate_for(cfg)
@@ -154,16 +167,22 @@ class SNE:
         stats = SNEStats()
         out_t, out_ch, out_x, out_y = [], [], [], []
         n_passes = program.n_passes(cfg)
+        table = fanout_table(program) if batched else None
 
         for pass_idx in range(n_passes):
             pass_lo, pass_hi = program.pass_neuron_range(cfg, pass_idx)
             active = self._program_pass(program, pass_lo, pass_hi)
             pass_cycles = 0
+            assemble_s = update_s = fire_s = trace_s = 0.0
+            n_pass_events = 0
 
             # RST bracket
+            t0 = _pc() if profiler is not None else 0.0
             for sl, _, _ in active:
                 sl.process_reset(0)
             pass_cycles += cfg.cycles_per_reset
+            if profiler is not None:
+                profiler.add("sne.reset", _pc() - t0, events=len(active))
 
             counts = stream.counts_per_step()
             start = 0
@@ -171,15 +190,41 @@ class SNE:
                 step_cycles_before = pass_cycles
                 snapshot = self._activity_snapshot(active) if trace is not None else None
                 n = int(counts[step])
-                for k in range(start, start + n):
-                    t = int(stream.t[k])
-                    ch, x, y = int(stream.ch[k]), int(stream.x[k]), int(stream.y[k])
-                    event_cycles = cfg.cycles_per_event
+                n_pass_events += n
+                if batched and n:
+                    if profiler is not None:
+                        t0 = _pc()
+                    sel = slice(start, start + n)
+                    idx, w, ev = table.gather(stream.ch[sel], stream.x[sel], stream.y[sel])
+                    if profiler is not None:
+                        t1 = _pc()
+                        assemble_s += t1 - t0
+                    event_cycles = None
                     for sl, _, _ in active:
-                        event_cycles = max(event_cycles, sl.process_update(t, ch, x, y))
-                    pass_cycles += event_cycles
-                    stats.xbar_broadcasts += 1
+                        cyc = sl.process_update_step(step, idx, w, ev, n)
+                        event_cycles = (
+                            cyc if event_cycles is None else np.maximum(event_cycles, cyc)
+                        )
+                    pass_cycles += int(event_cycles.sum())
+                    stats.xbar_broadcasts += n
+                    if profiler is not None:
+                        update_s += _pc() - t1
+                elif n:  # per-event reference loop
+                    if profiler is not None:
+                        t0 = _pc()
+                    for k in range(start, start + n):
+                        t = int(stream.t[k])
+                        ch, x, y = int(stream.ch[k]), int(stream.x[k]), int(stream.y[k])
+                        event_cycles = cfg.cycles_per_event
+                        for sl, _, _ in active:
+                            event_cycles = max(event_cycles, sl.process_update(t, ch, x, y))
+                        pass_cycles += event_cycles
+                        stats.xbar_broadcasts += 1
+                    if profiler is not None:
+                        update_s += _pc() - t0
                 start += n
+                if profiler is not None:
+                    t0 = _pc()
                 fire_cycles = cfg.cycles_per_fire
                 for sl, _, _ in active:
                     events, cyc = sl.process_fire(step)
@@ -190,7 +235,11 @@ class SNE:
                         out_x.append(x)
                         out_y.append(y)
                 pass_cycles += fire_cycles
+                if profiler is not None:
+                    fire_s += _pc() - t0
                 if trace is not None:
+                    if profiler is not None:
+                        t0 = _pc()
                     from .trace import StepTrace
 
                     after = self._activity_snapshot(active)
@@ -205,6 +254,18 @@ class SNE:
                             gated_cluster_cycles=after[3] - snapshot[3],
                         )
                     )
+                    if profiler is not None:
+                        trace_s += _pc() - t0
+
+            if profiler is not None:
+                profiler.add("sne.assemble", assemble_s, count=stream.n_steps,
+                             events=n_pass_events)
+                profiler.add("sne.update", update_s, count=stream.n_steps,
+                             events=n_pass_events)
+                profiler.add("sne.fire", fire_s, count=stream.n_steps,
+                             events=stream.n_steps * len(active))
+                if trace is not None:
+                    profiler.add("sne.trace", trace_s, count=stream.n_steps)
 
             # Collect per-slice counters of the pass.
             for sl, _, _ in active:
@@ -238,32 +299,52 @@ class SNE:
 
     # -- whole-network execution -----------------------------------------------
     def run_network(
-        self, programs: list[LayerProgram], stream: EventStream
+        self,
+        programs: list[LayerProgram],
+        stream: EventStream,
+        profiler=None,
+        batched: bool = True,
     ) -> tuple[EventStream, SNEStats]:
         """Run layers back-to-back in time-multiplexed mode.
 
         Intermediate feature maps travel through external memory (the
-        DMA word counters accumulate accordingly).
+        DMA word counters accumulate accordingly).  ``profiler`` and
+        ``batched`` are forwarded to every :meth:`run_layer` call; the
+        profiler additionally receives one ``sne.layer.<name>`` span
+        per executed layer.
         """
         if not programs:
             raise ValueError("network must contain at least one program")
         total = SNEStats()
         current = stream
         for program in programs:
-            current, layer_stats = self.run_layer(program, current)
+            t0 = _pc() if profiler is not None else 0.0
+            current, layer_stats = self.run_layer(
+                program, current, profiler=profiler, batched=batched
+            )
+            if profiler is not None:
+                profiler.add(
+                    f"sne.layer.{program.name}", _pc() - t0,
+                    events=layer_stats.update_events,
+                )
             total.merge(layer_stats)
             total.per_layer.append((program.name, layer_stats))
         return current, total
 
     def run_network_pipelined(
-        self, programs: list[LayerProgram], stream: EventStream
+        self,
+        programs: list[LayerProgram],
+        stream: EventStream,
+        profiler=None,
     ) -> tuple[EventStream, SNEStats]:
         """Run the whole network in layer-parallel mode (§III-D.5).
 
         Every layer must fit simultaneously; each gets a contiguous group
         of slices and output events hop to the next layer through the
         C-XBAR within the same timestep.  The run's cycle count is the
-        busiest slice group (they execute concurrently).
+        busiest slice group (they execute concurrently).  ``profiler``
+        receives the same ``sne.assemble`` / ``sne.update`` /
+        ``sne.fire`` / ``sne.reset`` stage spans as :meth:`run_layer`.
         """
         cfg = self.config
         if not programs:
@@ -295,36 +376,68 @@ class SNE:
         stats = SNEStats()
         stats.passes = 1
         n_steps = stream.n_steps
+        n_update_events = 0
+        t0 = _pc() if profiler is not None else 0.0
         for group in groups:
             for sl, _, _ in group:
                 sl.process_reset(0)
+        if profiler is not None:
+            profiler.add("sne.reset", _pc() - t0,
+                         events=sum(len(g) for g in groups))
 
         out_t, out_ch, out_x, out_y = [], [], [], []
+        tables = [fanout_table(program) for program in programs]
         counts = stream.counts_per_step()
         start = 0
+        assemble_s = update_s = fire_s = 0.0
         for step in range(n_steps):
             n = int(counts[step])
-            layer_inputs = [
-                (int(stream.ch[k]), int(stream.x[k]), int(stream.y[k]))
-                for k in range(start, start + n)
-            ]
+            sel = slice(start, start + n)
+            in_ch = stream.ch[sel].astype(np.int64)
+            in_x = stream.x[sel].astype(np.int64)
+            in_y = stream.y[sel].astype(np.int64)
             start += n
-            for li, (program, group) in enumerate(zip(programs, groups)):
-                for (ch, x, y) in layer_inputs:
+            for table, group in zip(tables, groups):
+                m = int(in_ch.size)
+                if m:
+                    if profiler is not None:
+                        t0 = _pc()
+                    idx, w, ev = table.gather(in_ch, in_x, in_y)
+                    if profiler is not None:
+                        t1 = _pc()
+                        assemble_s += t1 - t0
                     for sl, _, _ in group:
-                        sl.process_update(step, ch, x, y)
-                    stats.xbar_broadcasts += 1
-                next_inputs = []
+                        sl.process_update_step(step, idx, w, ev, m)
+                    stats.xbar_broadcasts += m
+                    n_update_events += m
+                    if profiler is not None:
+                        update_s += _pc() - t1
+                if profiler is not None:
+                    t0 = _pc()
+                next_ch, next_x, next_y = [], [], []
                 for sl, _, _ in group:
                     events, _ = sl.process_fire(step)
                     for (t, o, x, y) in events:
-                        next_inputs.append((o, x, y))
-                layer_inputs = next_inputs
-            for (o, x, y) in layer_inputs:  # final layer's output
+                        next_ch.append(o)
+                        next_x.append(x)
+                        next_y.append(y)
+                in_ch = np.asarray(next_ch, dtype=np.int64)
+                in_x = np.asarray(next_x, dtype=np.int64)
+                in_y = np.asarray(next_y, dtype=np.int64)
+                if profiler is not None:
+                    fire_s += _pc() - t0
+            for (o, x, y) in zip(in_ch, in_x, in_y):  # final layer's output
                 out_t.append(step)
-                out_ch.append(o)
-                out_x.append(x)
-                out_y.append(y)
+                out_ch.append(int(o))
+                out_x.append(int(x))
+                out_y.append(int(y))
+        if profiler is not None:
+            profiler.add("sne.assemble", assemble_s, count=n_steps,
+                         events=n_update_events)
+            profiler.add("sne.update", update_s, count=n_steps,
+                         events=n_update_events)
+            profiler.add("sne.fire", fire_s, count=n_steps,
+                         events=n_steps * len(groups))
 
         # Concurrency: total time is the busiest group; SOPs etc. sum.
         group_cycles = []

@@ -56,8 +56,14 @@ fan-out-able, memoised workloads.  The flow is a straight pipeline::
 
 :mod:`.progress` provides the callback protocol the executors report
 through (plus :class:`~repro.runtime.progress.LatencyRecorder`, the
-serving layer's percentile gauge); :mod:`.cli` exposes the whole
-pipeline as ``python -m repro sweep|eval|cache|serve`` (also installed
+serving layer's percentile gauge, and
+:class:`~repro.runtime.progress.ProfileAggregator`, which folds per-job
+profiles into one view); :mod:`.profile` is the hot-path profiling
+layer — :class:`~repro.runtime.profile.Profiler` spans threaded through
+the SNE event loop and the hardware-in-the-loop runner, attached to
+``sample_eval`` job results as JSON and surfaced by ``repro profile``;
+:mod:`.cli` exposes the whole pipeline as
+``python -m repro sweep|eval|profile|cache|serve`` (also installed
 as the ``repro`` console script), with ``--backend`` selecting any
 registered backend and ``repro cache stats|evict|clear`` administering
 the shared store.  Later scaling work (dataset sharding, a
@@ -102,10 +108,12 @@ from .executor import (
     run_jobs,
 )
 from .store import MAX_BYTES_ENV, ResultStore, default_max_bytes, open_store
+from .profile import Profiler, SpanStats, render_profile
 from .progress import (
     ConsoleProgress,
     JobEvent,
     LatencyRecorder,
+    ProfileAggregator,
     Progress,
     TelemetryCollector,
 )
@@ -168,6 +176,10 @@ __all__ = [
     "TelemetryCollector",
     "JobEvent",
     "LatencyRecorder",
+    "Profiler",
+    "SpanStats",
+    "render_profile",
+    "ProfileAggregator",
     "AsyncServer",
     "ServeTelemetry",
     "WIRE_KINDS",

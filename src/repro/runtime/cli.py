@@ -7,6 +7,11 @@ Subcommands:
   store and print the table;
 * ``repro eval``  — hardware-in-the-loop evaluation of a synthetic
   dataset on the cycle-level SNE model, parallelised per sample;
+* ``repro profile`` — per-stage hot-path profile of the simulator:
+  runs a synthetic workload as profiling jobs through any backend,
+  merges the per-job span summaries and prints wall time, share and
+  events/s per stage (``--json`` dumps the structured summary;
+  ``--per-event`` times the reference event loop instead);
 * ``repro cache`` — inspect (``stats``), size-cap (``evict
   --max-bytes N``) or ``clear`` the shared on-disk result store;
 * ``repro serve`` — the async streaming front end: accept
@@ -137,6 +142,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--max-samples", type=int, default=None)
     add_common(p_eval)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="per-stage hot-path profile of the cycle-level simulator",
+    )
+    p_prof.add_argument("--dataset", choices=("gesture", "nmnist"), default="gesture")
+    p_prof.add_argument("--size", type=int, default=16, help="sensor plane size")
+    p_prof.add_argument("--steps", type=int, default=12, help="timesteps per recording")
+    p_prof.add_argument("--per-class", type=int, default=1, help="recordings per class")
+    p_prof.add_argument("--slices", type=int, default=8, help="SNE slice count")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--max-samples", type=int, default=None)
+    p_prof.add_argument("--per-event", action="store_true",
+                        help="profile the per-event reference loop instead "
+                             "of the vectorised one (in-process only)")
+    p_prof.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the span summary as JSON "
+                             "('-' for stdout)")
+    p_prof.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend for the profiled jobs "
+                             f"({', '.join(available_backends())}; "
+                             "default serial — profiles merge across "
+                             "workers either way)")
+    p_prof.add_argument("--workers", type=_positive_int, default=None,
+                        help="worker threads/processes for the chosen backend")
+    p_prof.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress output")
+
     p_cache = sub.add_parser("cache", help="inspect, evict or clear the result store")
     p_cache.add_argument("action", choices=("stats", "evict", "clear"))
     p_cache.add_argument("--cache-dir", default=None)
@@ -180,6 +212,25 @@ def _make_cache(args) -> ResultStore | None:
 
 def _make_progress(args) -> Progress:
     return Progress() if args.quiet else ConsoleProgress()
+
+
+class _TeeProgress(Progress):
+    """Fans every progress callback out to several sinks (profile cmd)."""
+
+    def __init__(self, *sinks: Progress) -> None:
+        self._sinks = sinks
+
+    def on_start(self, total: int) -> None:
+        for s in self._sinks:
+            s.on_start(total)
+
+    def on_job(self, done: int, total: int, result) -> None:
+        for s in self._sinks:
+            s.on_job(done, total, result)
+
+    def on_finish(self, stats) -> None:
+        for s in self._sinks:
+            s.on_finish(stats)
 
 
 def _cmd_sweep(args) -> int:
@@ -267,6 +318,78 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    # Same deployment pipeline as `repro eval`, but every sample runs
+    # under a Profiler and the merged per-stage spans are the product.
+    import json as _json
+
+    from ..events.datasets import SyntheticDVSGesture, SyntheticNMNIST
+    from ..hw.config import PAPER_CONFIG
+    from ..hw.mapper import compile_network
+    from ..hw.runner import HardwareEvaluator
+    from ..snn.topology import build_small_network
+    from .executor import run_jobs
+    from .profile import Profiler, render_profile
+    from .progress import ProfileAggregator
+
+    if args.dataset == "gesture":
+        maker = SyntheticDVSGesture(size=args.size, n_steps=args.steps)
+    else:
+        scale = max(1, min((args.size - 2) // 7, 3))
+        maker = SyntheticNMNIST(size=args.size, n_steps=args.steps, scale=scale)
+    data = maker.generate(n_per_class=args.per_class, seed=args.seed)
+    net = build_small_network(
+        input_size=maker.size, n_classes=data.n_classes, channels=6, hidden=32,
+        seed=args.seed,
+    )
+    programs = compile_network(net, (2, maker.size, maker.size))
+    evaluator = HardwareEvaluator(programs, PAPER_CONFIG.with_slices(args.slices))
+    samples = evaluator._select(data, args.max_samples)
+
+    if args.per_event:
+        # The reference loop is an in-process diagnostic (the job
+        # runner always executes the vectorised path).
+        from ..hw.sne import SNE
+
+        profiler = Profiler()
+        for sample in samples:
+            sne = SNE(evaluator.config)
+            sne.run_network(programs, sample.stream, profiler=profiler,
+                            batched=False)
+        summary = profiler.summary()
+        profiled = len(samples)
+        mode = "per-event reference"
+    else:
+        jobs = evaluator.sample_jobs(data, max_samples=args.max_samples,
+                                     profile=True)
+        aggregator = ProfileAggregator()
+        progress = _TeeProgress(aggregator) if args.quiet else _TeeProgress(
+            aggregator, ConsoleProgress()
+        )
+        run = run_jobs(jobs, executor=_make_executor(args), progress=progress)
+        if run.failures():
+            print(run.failures()[0].error, file=sys.stderr)
+            return 1
+        summary = aggregator.summary()
+        profiled = aggregator.profiled
+        mode = "vectorised"
+    title = (f"hot-path profile — {data.name}, {profiled} sample(s), "
+             f"{args.slices} slice(s), {mode} event loop")
+    print(render_profile(summary, title=title))
+    if args.json:
+        doc = _json.dumps({"workload": {
+            "dataset": data.name, "samples": profiled,
+            "n_slices": args.slices, "mode": mode,
+        }, **summary}, indent=2)
+        if args.json == "-":
+            print(doc)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(doc + "\n")
+            print(f"profile: wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     store = open_store(args.cache_dir, max_bytes=args.max_bytes)
     if args.action == "clear":
@@ -344,6 +467,7 @@ def _cmd_serve(args) -> int:
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "eval": _cmd_eval,
+    "profile": _cmd_profile,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
 }

@@ -250,6 +250,7 @@ def sample_eval_job(
     label: int,
     power=None,
     deployment: dict | None = None,
+    profile: bool = False,
 ) -> JobSpec:
     """One hardware-in-the-loop inference: a stream through a network.
 
@@ -259,14 +260,22 @@ def sample_eval_job(
     even in a fresh process.  The live objects travel in the payload.
     ``deployment`` takes a precomputed :func:`deployment_fingerprint`
     for the programs/config/power triple.
+
+    ``profile=True`` runs the sample under a
+    :class:`~repro.runtime.profile.Profiler` and attaches the span
+    summary to the result dict under ``"profile"`` — structured JSON
+    that survives process pools and the result store.  Profiling enters
+    the key only when enabled, so plain jobs keep their historical
+    hashes and profiled results never shadow unprofiled ones.
     """
-    key = canonical_json(
-        {
-            **(deployment or deployment_fingerprint(programs, config, power)),
-            "stream": _stream_digest(stream),
-            "label": int(label),
-        }
-    )
+    identity = {
+        **(deployment or deployment_fingerprint(programs, config, power)),
+        "stream": _stream_digest(stream),
+        "label": int(label),
+    }
+    if profile:
+        identity["profile"] = True
+    key = canonical_json(identity)
     payload = {
         "programs": list(programs),
         "config": config,
@@ -399,5 +408,14 @@ def _run_sample_eval(params: dict, payload: Any) -> dict:
     evaluator = HardwareEvaluator(
         payload["programs"], payload["config"], payload["power"]
     )
-    result = evaluator.run_sample(payload["stream"], payload["label"])
-    return dataclasses.asdict(result)
+    profiler = None
+    if params.get("profile"):
+        from .profile import Profiler
+
+        profiler = Profiler()
+    result = evaluator.run_sample(payload["stream"], payload["label"],
+                                  profiler=profiler)
+    out = dataclasses.asdict(result)
+    if profiler is not None:
+        out["profile"] = profiler.summary()
+    return out

@@ -20,6 +20,7 @@ __all__ = [
     "TelemetryCollector",
     "JobEvent",
     "LatencyRecorder",
+    "ProfileAggregator",
 ]
 
 
@@ -123,6 +124,38 @@ class LatencyRecorder:
             "p99_s": self.percentile(99),
             "max_s": max(self._window),
         }
+
+
+class ProfileAggregator(Progress):
+    """Folds per-job profile summaries into one fleet-wide profiler.
+
+    ``sample_eval`` jobs built with ``profile=True`` attach a
+    :meth:`~repro.runtime.profile.Profiler.summary` dict to their result
+    value; this sink merges each one as it completes (callbacks run in
+    the parent, so no locking is needed even under the process backend).
+    ``profiled`` counts how many results actually carried a profile —
+    cache hits of profiled runs do, plain jobs never will.
+    """
+
+    def __init__(self) -> None:
+        """Start with an empty aggregate profiler."""
+        from .profile import Profiler
+
+        self.profiler = Profiler()
+        self.profiled = 0
+
+    def on_job(self, done: int, total: int, result) -> None:
+        """Merge the profile summary of one completed job, if present."""
+        value = getattr(result, "value", None)
+        if getattr(result, "ok", False) and isinstance(value, dict):
+            summary = value.get("profile")
+            if summary:
+                self.profiler.merge(summary)
+                self.profiled += 1
+
+    def summary(self) -> dict:
+        """The merged :meth:`~repro.runtime.profile.Profiler.summary`."""
+        return self.profiler.summary()
 
 
 @dataclass(frozen=True)

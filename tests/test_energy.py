@@ -1,6 +1,5 @@
 """Tests for the area/power/efficiency models against the paper's numbers."""
 
-import numpy as np
 import pytest
 
 from repro.energy import (

@@ -10,9 +10,10 @@ from repro.hw import (
     LayerKind,
     LayerProgram,
     SNEConfig,
+    SNEStats,
     compile_network,
 )
-from repro.snn import LIFDynamics, LIFParams, build_small_network
+from repro.snn import LIFParams, build_small_network
 
 
 def conv_program(c_in=2, c_out=4, plane=8, threshold=4, leak=1, seed=0):
@@ -176,3 +177,53 @@ class TestPipelinedMode:
         stream = sparse_stream(shape=(5, 1, 8, 8))
         with pytest.raises(ValueError, match="slices"):
             SNE(SNEConfig(n_slices=1)).run_network_pipelined(programs, stream)
+
+
+class TestSNEStatsEdgeCases:
+    def make_stats(self, cycles, sops=10, fifo=1):
+        s = SNEStats()
+        s.cycles = cycles
+        s.sops = sops
+        s.fifo_stall_cycles = fifo
+        s.active_cluster_cycles = sops
+        s.gated_cluster_cycles = 2 * sops
+        return s
+
+    def test_merge_serial_sums_cycles(self):
+        a, b = self.make_stats(100), self.make_stats(40)
+        a.merge(b)
+        assert a.cycles == 140
+        assert a.sops == 20 and a.fifo_stall_cycles == 2
+
+    def test_merge_parallel_takes_max_cycles_sums_rest(self):
+        """Layer-parallel mode: concurrent groups overlap in time, so
+        cycles take the max while every activity counter still adds."""
+        a, b = self.make_stats(100, sops=7, fifo=3), self.make_stats(250, sops=5, fifo=4)
+        a.merge(b, parallel=True)
+        assert a.cycles == 250  # max, not 350
+        assert a.sops == 12
+        assert a.fifo_stall_cycles == 7
+        assert a.active_cluster_cycles == 12
+        assert a.gated_cluster_cycles == 24
+
+    def test_merge_parallel_keeps_longer_own_cycles(self):
+        a, b = self.make_stats(300), self.make_stats(40)
+        a.merge(b, parallel=True)
+        assert a.cycles == 300
+
+    def test_merge_never_touches_per_layer(self):
+        a, b = self.make_stats(1), self.make_stats(2)
+        b.per_layer.append(("layer0", SNEStats()))
+        a.merge(b)
+        assert a.per_layer == []
+
+    def test_zero_cycle_utilization_is_zero(self):
+        """A run with no cluster activity must report 0.0, not divide."""
+        s = SNEStats()
+        assert s.utilization() == 0.0
+
+    def test_zero_cycle_rates_are_zero(self):
+        cfg = SNEConfig(n_slices=1)
+        s = SNEStats()
+        assert s.time_s(cfg) == 0.0
+        assert s.sops_per_second(cfg) == 0.0

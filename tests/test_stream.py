@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.events import Event, EventOp, EventStream
+from repro.events import Event, EventStream
 
 
 def small_stream():
