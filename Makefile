@@ -3,6 +3,8 @@
 #   make test        - tier-1 test suite (the roadmap's verify command)
 #   make test-parity - cross-backend parity + store eviction suites only
 #   make test-serve  - async serving front end suite only
+#   make test-dist   - distributed queue suite only (broker, workers,
+#                      fault injection, sharding)
 #   make docs-check  - docs gate: docstring coverage floor on the
 #                      runtime + docs/README link & anchor integrity
 #   make lint        - ruff check + format check (CI installs ruff;
@@ -26,10 +28,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCH_JSON_SUITE = benchmarks/bench_fig5b_perf.py \
                    benchmarks/bench_runtime_scaling.py \
                    benchmarks/bench_serve_latency.py \
-                   benchmarks/bench_cosim_fuzz.py
+                   benchmarks/bench_cosim_fuzz.py \
+                   benchmarks/bench_dist_throughput.py
 
-.PHONY: test test-parity test-serve docs-check lint bench-smoke bench-serve \
-        bench-gate bench-baseline sweep-smoke profile-smoke bench clean-cache
+.PHONY: test test-parity test-serve test-dist docs-check lint bench-smoke \
+        bench-serve bench-gate bench-baseline sweep-smoke profile-smoke \
+        bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +43,9 @@ test-parity:
 
 test-serve:
 	$(PYTHON) -m pytest tests/test_serve.py -q
+
+test-dist:
+	$(PYTHON) -m pytest tests/test_dist.py -q
 
 docs-check:
 	$(PYTHON) tools/check_docs.py
@@ -68,7 +75,8 @@ sweep-smoke:
 	$(PYTHON) -m repro sweep --slices 4,8 --backend process --workers 2 --cache-dir .repro_cache_smoke
 	$(PYTHON) -m repro sweep --slices 4,8 --backend thread --cache-dir .repro_cache_smoke
 	$(PYTHON) -m repro sweep --slices 4,8 --backend serial --cache-dir .repro_cache_smoke
-	$(PYTHON) -m repro cache stats --cache-dir .repro_cache_smoke
+	$(PYTHON) -m repro sweep --slices 4,8 --backend cluster --workers 2 --shards 2 --cache-dir .repro_cache_smoke
+	$(PYTHON) -m repro cache stats --detail --cache-dir .repro_cache_smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

@@ -11,8 +11,9 @@ Subpackages:
 * :mod:`repro.analysis` -- activity profiling, metrics, table rendering;
 * :mod:`repro.runtime` -- parallel simulation orchestration: job specs,
   the shared on-disk result store, the execution-backend registry, the
-  sweep engine, the async streaming server and the ``python -m repro``
-  CLI (``sweep|eval|cache|serve``).
+  sweep engine, the async streaming server, the broker/worker
+  cluster backend with dataset sharding, and the ``python -m repro``
+  CLI (``sweep|eval|profile|cache|serve|worker``).
 
 Quick start::
 
@@ -26,7 +27,7 @@ See ``examples/quickstart.py`` for the end-to-end flow and
 ``python -m repro sweep`` for the orchestrated one.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from . import analysis, baselines, energy, events, hw, runtime, snn
 

@@ -25,6 +25,7 @@ from .datasets import (
     GESTURE_NAMES,
     EventDataset,
     EventSample,
+    ShardedDataset,
     SyntheticDVSGesture,
     SyntheticNMNIST,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "GESTURE_NAMES",
     "EventDataset",
     "EventSample",
+    "ShardedDataset",
     "SyntheticDVSGesture",
     "SyntheticNMNIST",
     "mirror_horizontal",

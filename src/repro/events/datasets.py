@@ -19,6 +19,7 @@ range observed on DVS-Gesture.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,7 @@ from .stream import EventStream
 __all__ = [
     "EventSample",
     "EventDataset",
+    "ShardedDataset",
     "SyntheticNMNIST",
     "SyntheticDVSGesture",
     "DIGIT_GLYPHS",
@@ -137,6 +139,87 @@ class EventDataset:
             raise ValueError("dataset is empty")
         dense = np.stack([s.stream.to_dense() for s in self.samples])
         return dense, self.labels()
+
+
+def _sample_digest(sample: EventSample) -> str:
+    """Stable content digest of one sample (events + shape + label).
+
+    This is the sharding key: it depends only on the recorded events,
+    so the same sample hashes to the same shard on every machine, in
+    every process, regardless of its position in the dataset.
+    """
+    s = sample.stream
+    h = hashlib.sha256()
+    h.update(str(tuple(s.shape)).encode())
+    h.update(str(int(sample.label)).encode())
+    events = (
+        np.stack([s.t, s.ch, s.x, s.y])
+        if len(s)
+        else np.zeros((4, 0), dtype=np.int32)
+    )
+    h.update(str(events.dtype).encode())
+    h.update(np.ascontiguousarray(events).tobytes())
+    return h.hexdigest()
+
+
+class ShardedDataset:
+    """A deterministic, content-hashed partition of an :class:`EventDataset`.
+
+    Large synthetic datasets are split into ``n_shards`` shards, each a
+    self-contained :class:`EventDataset` whose membership is decided by
+    hashing each sample's event content — never by list position — so
+    every machine in a fleet derives the identical partition
+    independently.  Because ``sample_eval`` job hashes are themselves
+    functions of stream content (not dataset name), the job subtrees of
+    all shards *compose* in one shared result store: evaluating shard 0
+    on one machine and shard 1 on another fills exactly the cache
+    entries a later whole-dataset run replays.
+
+    Shards preserve the parent's sample order within each shard, carry
+    the parent's class count, and are named
+    ``<parent>-shard<i>of<n>``.
+    """
+
+    def __init__(self, dataset: EventDataset, n_shards: int) -> None:
+        """Partition ``dataset`` into ``n_shards`` hashed shards."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        self.dataset = dataset
+        self.n_shards = n_shards
+        self._assignment = [
+            int(_sample_digest(s)[:8], 16) % n_shards for s in dataset.samples
+        ]
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __iter__(self):
+        return iter(self.shards())
+
+    def shard_of(self, sample: EventSample) -> int:
+        """The shard index this sample's content hashes to."""
+        return int(_sample_digest(sample)[:8], 16) % self.n_shards
+
+    def shard(self, index: int) -> EventDataset:
+        """Shard ``index`` as a standalone :class:`EventDataset`."""
+        if not 0 <= index < self.n_shards:
+            raise IndexError(f"shard index {index} out of range 0..{self.n_shards - 1}")
+        samples = [
+            s for s, a in zip(self.dataset.samples, self._assignment) if a == index
+        ]
+        return EventDataset(
+            samples,
+            n_classes=self.dataset.n_classes,
+            name=f"{self.dataset.name}-shard{index}of{self.n_shards}",
+        )
+
+    def shards(self) -> list[EventDataset]:
+        """All shards, in index order (some may be empty)."""
+        return [self.shard(i) for i in range(self.n_shards)]
+
+    def counts(self) -> list[int]:
+        """Per-shard sample counts (sums to ``len(dataset)``)."""
+        return [self._assignment.count(i) for i in range(self.n_shards)]
 
 
 def _saccade_path(n_steps: int, amplitude: float, rng: np.random.Generator) -> np.ndarray:

@@ -63,12 +63,23 @@ layer — :class:`~repro.runtime.profile.Profiler` spans threaded through
 the SNE event loop and the hardware-in-the-loop runner, attached to
 ``sample_eval`` job results as JSON and surfaced by ``repro profile``;
 :mod:`.cli` exposes the whole pipeline as
-``python -m repro sweep|eval|profile|cache|serve`` (also installed
-as the ``repro`` console script), with ``--backend`` selecting any
-registered backend and ``repro cache stats|evict|clear`` administering
-the shared store.  Later scaling work (dataset sharding, a
-cluster/queue backend) plugs in as new backends and job kinds without
-touching the simulation layers.  ``docs/ARCHITECTURE.md`` maps the
+``python -m repro sweep|eval|profile|cache|serve|worker`` (also
+installed as the ``repro`` console script), with ``--backend``
+selecting any registered backend and ``repro cache stats|evict|clear``
+administering the shared store.
+
+:mod:`.dist` is the fleet layer: a :class:`~repro.runtime.dist.Broker`
+leases hashed job chunks out of a durable spool directory (atomic
+claim files, lease TTL + heartbeat, requeue on dead workers),
+``repro worker`` agents pull and execute chunks through the same
+runner registry, and :class:`~repro.runtime.dist.ClusterBackend`
+(registered as ``cluster``) puts the whole queue behind the standard
+backend contract — bit-identical ordered results, even across a
+worker kill.  Dataset sharding
+(:class:`repro.events.ShardedDataset`,
+:func:`~repro.runtime.sweep.shard_jobs`, ``repro sweep --shards N``)
+splits big workloads into hash-assigned shards whose job subtrees
+compose in one shared store.  ``docs/ARCHITECTURE.md`` maps the
 whole stack; ``docs/RUNTIME_API.md`` documents this package's public
 API surface.
 """
@@ -85,6 +96,8 @@ from .jobs import (
     inference_energy_job,
     register_runner,
     sample_eval_job,
+    spec_from_doc,
+    spec_to_doc,
 )
 from .backends import (
     Backend,
@@ -110,12 +123,20 @@ from .executor import (
 from .store import MAX_BYTES_ENV, ResultStore, default_max_bytes, open_store
 from .profile import Profiler, SpanStats, render_profile
 from .progress import (
+    BrokerTelemetry,
     ConsoleProgress,
     JobEvent,
     LatencyRecorder,
     ProfileAggregator,
     Progress,
     TelemetryCollector,
+)
+from .dist import (
+    Broker,
+    BrokerStats,
+    ClusterBackend,
+    DistError,
+    worker_loop,
 )
 from .serve import (
     WIRE_KINDS,
@@ -133,6 +154,7 @@ from .sweep import (
     dse_grid,
     dse_jobs,
     run_dse_sweep,
+    shard_jobs,
 )
 
 __all__ = [
@@ -192,5 +214,14 @@ __all__ = [
     "dse_grid",
     "dse_jobs",
     "run_dse_sweep",
+    "shard_jobs",
     "DSE_HEADERS",
+    "spec_to_doc",
+    "spec_from_doc",
+    "Broker",
+    "BrokerStats",
+    "BrokerTelemetry",
+    "ClusterBackend",
+    "DistError",
+    "worker_loop",
 ]

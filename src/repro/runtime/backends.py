@@ -12,7 +12,12 @@ is built on.  Three ship with the package:
 * ``process`` — the chunked ``multiprocessing`` pool for CPU-bound
   simulation sweeps.
 
-All three uphold the same invariants, enforced by
+A fourth, ``cluster`` (:mod:`repro.runtime.dist`), registers itself at
+package import: it dispatches hashed job chunks through a durable
+spool directory to a broker/worker fleet — the out-of-machine member
+of the registry.
+
+All of them uphold the same invariants, enforced by
 ``tests/test_backend_parity.py``:
 
 1. results come back **in input order**, regardless of completion

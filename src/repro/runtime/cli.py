@@ -12,8 +12,15 @@ Subcommands:
   merges the per-job span summaries and prints wall time, share and
   events/s per stage (``--json`` dumps the structured summary;
   ``--per-event`` times the reference event loop instead);
-* ``repro cache`` — inspect (``stats``), size-cap (``evict
-  --max-bytes N``) or ``clear`` the shared on-disk result store;
+* ``repro cache`` — inspect (``stats``, with ``--detail`` adding
+  per-entry hit counts and the entry-age histogram), size-cap
+  (``evict --max-bytes N``) or ``clear`` the shared on-disk result
+  store;
+* ``repro worker`` — the distributed work-queue agent: attach to a
+  spool directory (``--spool``), claim job chunks under a heartbeated
+  lease, execute them through the runner registry with result-store
+  read/write-through, and publish ordered chunk results for the
+  broker (``--drain`` exits when the spool empties);
 * ``repro serve`` — the async streaming front end: accept
   line-delimited-JSON job requests over TCP (``--host/--port``) or
   stdio (``--stdio``), coalesce them into micro-batches
@@ -21,11 +28,15 @@ Subcommands:
   from the store and stream per-job results back as they complete;
 * ``repro --version`` — the package version.
 
-``--backend {serial,thread,process}`` selects the execution backend on
-every run command (any backend registered via
-:func:`repro.runtime.backends.register_backend` is accepted); results
-are bit-identical across backends.  The store location and size cap
-default from ``$REPRO_CACHE_DIR`` and ``$REPRO_CACHE_MAX_BYTES``.
+``--backend`` selects the execution backend on every run command; the
+accepted names are derived from the live registry at parse time (any
+backend registered via
+:func:`repro.runtime.backends.register_backend`, including the
+``cluster`` queue backend), so results are bit-identical across
+backends and late-registered names need no CLI edits.  ``repro sweep
+--shards N`` fans the grid out as hash-assigned shards that compose in
+one store.  The store location and size cap default from
+``$REPRO_CACHE_DIR`` and ``$REPRO_CACHE_MAX_BYTES``.
 
 Every command prints the run's cache/executor statistics so scripted
 callers (the Makefile smoke targets, the scaling benchmark) can verify
@@ -87,6 +98,39 @@ def _float_list(text: str) -> list[float]:
         raise argparse.ArgumentTypeError(f"expected comma-separated floats, got {text!r}")
 
 
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _backend_arg(text: str) -> str:
+    # Validated against the registry *at parse time*, so any backend
+    # registered by then — including ones registered after this module
+    # was imported — is accepted, and a typo fails with the live list
+    # instead of surfacing later as a runtime error.
+    names = available_backends()
+    if text not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {text!r}; available: {', '.join(names)}"
+        )
+    return text
+
+
+def _add_backend_flag(p: argparse.ArgumentParser, default_hint: str) -> None:
+    # One definition for every command so the flag's validation and
+    # help can never drift apart; the name list in the help is rendered
+    # from the registry, not hand-edited.
+    p.add_argument("--backend", type=_backend_arg, default=None, metavar="NAME",
+                   help="execution backend: "
+                        f"{', '.join(available_backends())} "
+                        f"(default: {default_hint})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser with every subcommand attached.
 
@@ -103,13 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--backend", default=None, metavar="NAME",
-                       help="execution backend: "
-                            f"{', '.join(available_backends())} "
-                            "(default: serial, or process when --workers > 1)")
+        _add_backend_flag(p, "serial, or process when --workers > 1")
         p.add_argument("--workers", type=_positive_int, default=None,
                        help="worker threads/processes (default: 1, or the "
                             "backend's own sizing when --backend is given)")
+        p.add_argument("--spool", default=None, metavar="DIR",
+                       help="shared spool directory for --backend cluster, "
+                            "so external `repro worker --spool DIR` agents "
+                            "receive the chunks (default: a private "
+                            "per-run temp spool served by spawned local "
+                            "workers)")
         p.add_argument("--cache-dir", default=None,
                        help=f"result store directory (default {default_cache_dir()})")
         p.add_argument("--max-bytes", type=int, default=None,
@@ -128,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--utilizations", type=_float_list, default=[1.0],
                          help="comma-separated cluster utilisations in [0,1]")
     p_sweep.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    p_sweep.add_argument("--shards", type=_positive_int, default=None,
+                         help="fan the grid out as N hash-assigned shards "
+                              "(each shard is its own restartable run; "
+                              "shard results compose in one store)")
     add_common(p_sweep)
 
     p_eval = sub.add_parser("eval", help="hardware-in-the-loop dataset evaluation")
@@ -159,11 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--json", metavar="PATH", default=None,
                         help="also write the span summary as JSON "
                              "('-' for stdout)")
-    p_prof.add_argument("--backend", default=None, metavar="NAME",
-                        help="execution backend for the profiled jobs "
-                             f"({', '.join(available_backends())}; "
-                             "default serial — profiles merge across "
-                             "workers either way)")
+    _add_backend_flag(p_prof, "serial — profiles merge across workers either way")
     p_prof.add_argument("--workers", type=_positive_int, default=None,
                         help="worker threads/processes for the chosen backend")
     p_prof.add_argument("--quiet", action="store_true",
@@ -175,6 +222,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="size target for evict (default "
                               "$REPRO_CACHE_MAX_BYTES)")
+    p_cache.add_argument("--detail", action="store_true",
+                         help="with stats: per-entry hit counts (top "
+                              "entries with kind and compute cost) and "
+                              "the entry-age histogram")
+    p_cache.add_argument("--top", type=_positive_int, default=10,
+                         help="how many entries --detail lists (default 10)")
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="cluster work-queue agent: claim, execute and publish "
+             "spooled job chunks",
+    )
+    p_worker.add_argument("--spool", required=True, metavar="DIR",
+                          help="the shared spool directory a broker "
+                               "(`repro sweep --backend cluster --spool "
+                               "DIR`, or any ClusterBackend/Broker) "
+                               "submits chunks into")
+    p_worker.add_argument("--worker-id", default=None,
+                          help="lease owner name (default host-pid-nonce)")
+    p_worker.add_argument("--poll", type=_positive_float, default=0.1,
+                          metavar="SECONDS",
+                          help="sleep between empty spool scans (default 0.1)")
+    p_worker.add_argument("--lease-ttl", type=_positive_float, default=30.0,
+                          metavar="SECONDS",
+                          help="claim lifetime; heartbeats refresh it at "
+                               "ttl/3 (default 30)")
+    p_worker.add_argument("--drain", action="store_true",
+                          help="exit once the spool has no unfinished "
+                               "chunks (default: poll forever)")
+    p_worker.add_argument("--max-chunks", type=_positive_int, default=None,
+                          help="exit after publishing this many chunks")
+    p_worker.add_argument("--cache-dir", default=None,
+                          help="shared result store for read/write-through "
+                               f"(default {default_cache_dir()})")
+    p_worker.add_argument("--max-bytes", type=int, default=None,
+                          help="store size cap in bytes (default "
+                               "$REPRO_CACHE_MAX_BYTES or uncapped)")
+    p_worker.add_argument("--no-cache", action="store_true",
+                          help="execute without the shared store")
+    p_worker.add_argument("--quiet", action="store_true",
+                          help="suppress per-chunk progress output")
 
     p_serve = sub.add_parser(
         "serve", help="async streaming server: NDJSON requests over TCP/stdio"
@@ -201,7 +289,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _make_executor(args):
     name = args.backend or default_backend_name(args.workers)
-    return make_backend(name, workers=args.workers)
+    kwargs = {}
+    if getattr(args, "spool", None) is not None:
+        if name != "cluster":
+            raise ValueError(
+                f"--spool only applies to --backend cluster (got {name!r})"
+            )
+        kwargs["spool_dir"] = args.spool
+    return make_backend(name, workers=args.workers, **kwargs)
 
 
 def _make_cache(args) -> ResultStore | None:
@@ -244,6 +339,7 @@ def _cmd_sweep(args) -> int:
         executor=_make_executor(args),
         cache=cache,
         progress=_make_progress(args),
+        shards=args.shards,
     )
     if args.csv:
         sys.stdout.write(report.to_csv())
@@ -415,6 +511,26 @@ def _cmd_cache(args) -> int:
     print(f"lifetime: {life['hits']} hit(s), {life['misses']} miss(es) "
           f"(hit rate {life['hit_rate']:.0%}), {life['stores']} stored, "
           f"{life['corrupt']} corrupt")
+    if args.detail:
+        from ..analysis.tables import render_table
+
+        detail = store.entry_stats(limit=args.top)
+        hist = "  ".join(f"{label}:{n}" for label, n in
+                         detail["age_histogram"].items())
+        print(f"entry ages: {hist}")
+        rows = [
+            [r["hash"][:12], r["hits"], r["kind"] or "?",
+             f"{r['age_s']:.0f}", r["bytes"],
+             "?" if r["duration_s"] is None else f"{r['duration_s']:.3f}"]
+            for r in detail["top"]
+        ]
+        print(render_table(
+            ["entry", "hits", "kind", "age [s]", "bytes", "compute [s]"],
+            rows,
+            title=f"top {len(rows)} of {detail['entries']} entr"
+                  f"{'y' if detail['entries'] == 1 else 'ies'} by hits "
+                  f"({detail['tracked_hits']} recorded hit(s))",
+        ))
     return 0
 
 
@@ -464,12 +580,47 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from .dist import worker_loop
+
+    store = None
+    if not args.no_cache:
+        store = open_store(args.cache_dir, max_bytes=args.max_bytes)
+
+    def on_chunk(chunk_id: str, n_jobs: int, elapsed: float) -> None:
+        if not args.quiet:
+            print(f"[worker] chunk {chunk_id}: {n_jobs} job(s) in "
+                  f"{elapsed:.3f}s", file=sys.stderr)
+
+    if not args.quiet:
+        mode = "drain" if args.drain else "daemon"
+        print(f"[worker] attached to spool {args.spool} ({mode} mode, "
+              f"lease ttl {args.lease_ttl:g}s)", file=sys.stderr)
+    try:
+        done = worker_loop(
+            args.spool,
+            worker_id=args.worker_id,
+            store=store,
+            poll_s=args.poll,
+            lease_ttl_s=args.lease_ttl,
+            drain=args.drain,
+            max_chunks=args.max_chunks,
+            on_chunk=on_chunk,
+        )
+    except KeyboardInterrupt:
+        done = None  # Ctrl-C is the normal way to stop a daemon worker
+    if not args.quiet and done is not None:
+        print(f"[worker] done: {done} chunk(s) published", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "eval": _cmd_eval,
     "profile": _cmd_profile,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
 }
 
 

@@ -1,0 +1,892 @@
+"""Distributed work queue: broker, workers and the ``cluster`` backend.
+
+This module turns the single-machine runtime into a fleet.  Three
+pieces cooperate through a *spool directory* — a durable, filesystem
+-backed work queue any number of machines can share (NFS, a bind
+mount, or just ``/tmp`` for a local fleet):
+
+* :class:`Broker` — owned by the submitting process.  It splits a job
+  list into hashed chunks, writes them into the spool, then collects
+  chunk results as workers land them, **re-queueing** any chunk whose
+  worker lease expired (crashed or SIGKILLed worker) and converting
+  unrecoverable chunks into structured ``ok=False`` results — the same
+  failure semantics as :mod:`repro.runtime.backends`.
+* :func:`worker_loop` / ``repro worker`` — the pull agent.  It claims
+  chunks with an atomic lease file, heartbeats the lease while
+  executing each job through the existing runner registry
+  (:func:`repro.runtime.jobs.execute_job`), optionally short-circuits
+  and write-throughs the shared content-addressed
+  :class:`~repro.runtime.store.ResultStore`, and writes one ordered
+  result file per chunk.
+* :class:`ClusterBackend` — registered as ``cluster`` in the backend
+  registry.  ``run()`` spools the specs, spawns (or attaches to) the
+  workers, and returns ordered, bit-identical
+  :class:`~repro.runtime.backends.JobResult` lists, so
+  ``tests/test_backend_parity.py`` holds it to the exact contract the
+  in-process backends obey.
+
+Spool layout (all writes atomic: temp file + ``os.replace``, claims
+via ``O_CREAT | O_EXCL``)::
+
+    spool/
+    ├── chunks/   <chunk_id>.chunk   # pending work units
+    ├── claims/   <chunk_id>.claim   # worker leases (JSON, wall-clock expiry)
+    └── results/  <chunk_id>.json    # ordered result records per chunk
+
+Chunks containing only payload-free specs are JSON (inspectable,
+portable across machines); chunks carrying live payloads
+(``sample_eval``) are pickled, which confines them to workers sharing
+the code tree — the same constraint the process backend already has.
+
+Crash safety rests on idempotence: equal job hash ⇒ equal result, so
+a lease takeover that races a slow-but-alive worker merely computes
+the same chunk twice and the atomic result replace keeps whichever
+landed last — never a torn or mixed file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import pathlib
+import pickle
+import socket
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+
+from ._fsutil import atomic_write_bytes
+from .backends import JobResult, _execute_one, register_backend
+from .jobs import JobSpec, spec_from_doc, spec_to_doc
+from .progress import BrokerTelemetry
+
+__all__ = [
+    "DIST_SCHEMA",
+    "DistError",
+    "BrokerStats",
+    "Broker",
+    "ClusterBackend",
+    "worker_loop",
+    "claim_chunk",
+    "release_claim",
+    "read_claim",
+    "write_chunk_result",
+]
+
+#: Version stamp on every chunk, claim and result envelope; a spool
+#: written by a different schema reads as corrupt, never as wrong work.
+DIST_SCHEMA = 1
+
+#: Subdirectories making up a spool.
+_SPOOL_DIRS = ("chunks", "claims", "results")
+
+
+class DistError(RuntimeError):
+    """An unrecoverable distributed-execution failure (dead fleet,
+    exhausted retries at the broker level).  Per-job failures never
+    raise this — they come back as structured ``ok=False`` results."""
+
+
+def _spool_dirs(spool: pathlib.Path) -> tuple[pathlib.Path, pathlib.Path, pathlib.Path]:
+    """Create (if needed) and return the spool's three subdirectories."""
+    dirs = tuple(spool / name for name in _SPOOL_DIRS)
+    for d in dirs:
+        d.mkdir(parents=True, exist_ok=True)
+    return dirs
+
+
+#: The spool's atomic-write primitive (shared with the store sidecars).
+_atomic_write = atomic_write_bytes
+
+
+def _default_worker_id() -> str:
+    """hostname-pid-nonce: unique per agent, readable in claim files."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+# -- chunk encoding ---------------------------------------------------------
+
+def _encode_chunk(chunk_id: str, index: int, specs: list[JobSpec]) -> bytes:
+    """Serialise one chunk: JSON when every spec is payload-free
+    (portable, inspectable), pickle otherwise (live payloads)."""
+    if all(s.payload is None for s in specs):
+        doc = {
+            "schema": DIST_SCHEMA,
+            "chunk": chunk_id,
+            "index": index,
+            "jobs": [spec_to_doc(s) for s in specs],
+        }
+        return json.dumps(doc).encode()
+    return pickle.dumps(
+        {"schema": DIST_SCHEMA, "chunk": chunk_id, "index": index, "specs": specs},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _decode_chunk(data: bytes) -> list[JobSpec]:
+    """Decode a chunk file back into its ordered spec list.
+
+    Raises ``ValueError`` on any corruption (truncated write, hand
+    edits, schema drift) — the worker converts that into a structured
+    chunk-level failure instead of crashing.
+    """
+    try:
+        if data[:1] == b"\x80":  # pickle protocol 2+ magic
+            doc = pickle.loads(data)
+            specs = doc["specs"]
+        else:
+            doc = json.loads(data.decode())
+            specs = [spec_from_doc(j) for j in doc["jobs"]]
+    except Exception as exc:  # json/pickle/KeyError/... → one corruption shape
+        raise ValueError(f"corrupt spool chunk: {type(exc).__name__}: {exc}") from exc
+    if doc.get("schema") != DIST_SCHEMA:
+        raise ValueError(
+            f"corrupt spool chunk: unsupported schema {doc.get('schema')!r}"
+        )
+    if not isinstance(specs, list) or not all(isinstance(s, JobSpec) for s in specs):
+        raise ValueError("corrupt spool chunk: no spec list")
+    return specs
+
+
+def _chunk_digest(specs: list[JobSpec]) -> str:
+    """Content digest of a chunk: the hash of its member job hashes."""
+    h = hashlib.sha256()
+    for s in specs:
+        h.update(s.job_hash.encode())
+    return h.hexdigest()[:12]
+
+
+# -- claims (leases) --------------------------------------------------------
+
+def _claim_path(spool: pathlib.Path, chunk_id: str) -> pathlib.Path:
+    return spool / "claims" / f"{chunk_id}.claim"
+
+
+def _claim_doc(worker_id: str, lease_ttl_s: float) -> bytes:
+    now = time.time()
+    return json.dumps(
+        {
+            "schema": DIST_SCHEMA,
+            "worker": worker_id,
+            "pid": os.getpid(),
+            "claimed_at": now,
+            "expires": now + lease_ttl_s,
+        }
+    ).encode()
+
+
+def read_claim(spool: str | os.PathLike, chunk_id: str) -> dict | None:
+    """The current claim document for ``chunk_id``, or None.
+
+    A vanished or unreadable claim reads as None — the chunk is (or is
+    about to become) claimable again.
+    """
+    try:
+        return json.loads(_claim_path(pathlib.Path(spool), chunk_id).read_bytes())
+    except (OSError, ValueError):
+        return None
+
+
+def claim_chunk(
+    spool: str | os.PathLike,
+    chunk_id: str,
+    worker_id: str,
+    lease_ttl_s: float,
+) -> bool:
+    """Try to lease ``chunk_id`` for ``worker_id``; True on success.
+
+    The claim lands as an ``os.link`` of a fully written temp file, so
+    it appears atomically *with its content* and exactly one of any
+    number of racing workers wins (the link fails with ``EEXIST`` for
+    everyone else) — a reader can never observe a half-written lease.
+    An *expired* existing claim (dead worker) is taken over with an
+    atomic replace; if two workers race that takeover both may briefly
+    hold the lease, which is safe — results are idempotent by the
+    equal-hash ⇒ equal-result contract and land via atomic replace.
+    """
+    spool = pathlib.Path(spool)
+    path = _claim_path(spool, chunk_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(_claim_doc(worker_id, lease_ttl_s))
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            existing = read_claim(spool, chunk_id)
+            if existing is not None and existing.get("expires", 0) > time.time():
+                return False  # live lease held by someone else
+            # Expired (or corrupt) lease: take it over atomically.
+            try:
+                os.replace(tmp, path)
+            except OSError:
+                return False
+            tmp = None  # consumed by the replace
+            return True
+        except OSError:
+            return False
+    finally:
+        if tmp is not None:
+            pathlib.Path(tmp).unlink(missing_ok=True)
+
+
+def release_claim(spool: str | os.PathLike, chunk_id: str) -> None:
+    """Drop the lease on ``chunk_id`` (missing-ok)."""
+    _claim_path(pathlib.Path(spool), chunk_id).unlink(missing_ok=True)
+
+
+class _Heartbeat:
+    """Background lease refresher: rewrites the claim at ttl/3 cadence
+    while the worker executes, so a healthy-but-slow chunk is never
+    requeued under its worker."""
+
+    def __init__(self, spool: pathlib.Path, chunk_id: str, worker_id: str,
+                 lease_ttl_s: float) -> None:
+        self._spool = spool
+        self._chunk_id = chunk_id
+        self._worker_id = worker_id
+        self._ttl = lease_ttl_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._ttl / 3.0):
+            try:
+                _atomic_write(
+                    _claim_path(self._spool, self._chunk_id),
+                    _claim_doc(self._worker_id, self._ttl),
+                )
+            except OSError:
+                pass  # an unwritable spool costs lease freshness only
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+# -- results ----------------------------------------------------------------
+
+def _result_path(spool: pathlib.Path, chunk_id: str) -> pathlib.Path:
+    return spool / "results" / f"{chunk_id}.json"
+
+
+def _result_to_record(result: JobResult) -> dict:
+    return {
+        "job_hash": result.job_hash,
+        "kind": result.kind,
+        "ok": result.ok,
+        "value": result.value,
+        "error": result.error,
+        "duration_s": result.duration_s,
+        "cached": result.cached,
+    }
+
+
+def _record_to_result(record: dict) -> JobResult:
+    return JobResult(
+        job_hash=record["job_hash"],
+        kind=record["kind"],
+        ok=bool(record["ok"]),
+        value=record["value"],
+        error=record["error"],
+        duration_s=float(record["duration_s"]),
+        cached=bool(record.get("cached", False)),
+    )
+
+
+def write_chunk_result(
+    spool: str | os.PathLike,
+    chunk_id: str,
+    worker_id: str,
+    records: list[dict] | None = None,
+    chunk_error: str | None = None,
+) -> None:
+    """Atomically publish one chunk's outcome into the spool.
+
+    Either ``records`` (one ordered dict per job, the
+    :class:`~repro.runtime.backends.JobResult` fields) or
+    ``chunk_error`` (a chunk-level failure such as a corrupt chunk
+    file, which the broker expands into per-job structured failures).
+    """
+    doc: dict = {"schema": DIST_SCHEMA, "chunk": chunk_id, "worker": worker_id}
+    if chunk_error is not None:
+        doc["chunk_error"] = chunk_error
+    else:
+        doc["records"] = records or []
+    _atomic_write(_result_path(pathlib.Path(spool), chunk_id), json.dumps(doc).encode())
+
+
+# -- worker -----------------------------------------------------------------
+
+def _execute_spec(spec: JobSpec, store) -> JobResult:
+    """Run one spec, short-circuiting and write-through-ing ``store``."""
+    if store is not None:
+        try:
+            hit = store.get(spec)
+        except OSError:
+            hit = None
+        if hit is not None:
+            return JobResult(
+                job_hash=hit.job_hash, kind=hit.kind, ok=True, value=hit.value,
+                error=None, duration_s=hit.duration_s, cached=True,
+            )
+    result = _execute_one(spec)
+    if store is not None and result.ok:
+        try:
+            store.put(spec, result.value, result.duration_s)
+        except (OSError, TypeError, ValueError):
+            pass  # memoisation lost, result kept
+    return result
+
+
+def _safe_record(result: JobResult) -> dict:
+    """A result record guaranteed to survive ``json.dumps`` — a runner
+    returning non-JSON values becomes a structured failure, matching
+    the cache layer's treatment of unserialisable results."""
+    record = _result_to_record(result)
+    try:
+        json.dumps(record)
+        return record
+    except (TypeError, ValueError) as exc:
+        return {
+            "job_hash": result.job_hash, "kind": result.kind, "ok": False,
+            "value": None,
+            "error": f"TypeError: result not JSON-serialisable: {exc}",
+            "duration_s": result.duration_s, "cached": False,
+        }
+
+
+def _pending_chunks(spool: pathlib.Path) -> list[pathlib.Path]:
+    """Chunk files with no published result yet, oldest run first."""
+    out = []
+    for path in sorted((spool / "chunks").glob("*.chunk")):
+        if not _result_path(spool, path.stem).exists():
+            out.append(path)
+    return out
+
+
+def worker_loop(
+    spool_dir: str | os.PathLike,
+    worker_id: str | None = None,
+    store=None,
+    poll_s: float = 0.1,
+    lease_ttl_s: float = 30.0,
+    drain: bool = False,
+    max_chunks: int | None = None,
+    stop: threading.Event | None = None,
+    on_chunk=None,
+) -> int:
+    """Pull-execute-publish loop: the body of ``repro worker``.
+
+    Scans the spool for unleased chunks, claims one atomically,
+    executes its jobs in order through the runner registry (with
+    ``store`` read/write-through when given), and publishes the ordered
+    result file.  Runs until ``stop`` is set, ``max_chunks`` chunks
+    have been processed, or — with ``drain=True`` — the spool has no
+    unfinished chunks left.
+
+    Args:
+        spool_dir: the shared spool directory.
+        worker_id: lease owner name (default ``host-pid-nonce``).
+        store: optional :class:`~repro.runtime.store.ResultStore` to
+            short-circuit hits from and write fresh successes into.
+        poll_s: sleep between empty scans.
+        lease_ttl_s: claim lifetime; heartbeats refresh it at ttl/3.
+        drain: exit once no unfinished chunk remains (a batch agent);
+            False keeps the agent polling forever (a fleet daemon).
+        max_chunks: stop after this many chunks (None = unbounded).
+        stop: optional event that ends the loop from another thread.
+        on_chunk: optional callback ``(chunk_id, n_jobs, elapsed_s)``
+            fired after each published chunk.
+
+    Returns:
+        The number of chunks this worker published.
+    """
+    spool = pathlib.Path(spool_dir)
+    _spool_dirs(spool)
+    worker_id = worker_id or _default_worker_id()
+    done = 0
+    while not (stop is not None and stop.is_set()):
+        pending = _pending_chunks(spool)
+        claimed = None
+        for path in pending:
+            if claim_chunk(spool, path.stem, worker_id, lease_ttl_s):
+                claimed = path
+                break
+        if claimed is None:
+            if drain and not pending:
+                break
+            time.sleep(poll_s)
+            continue
+        chunk_id = claimed.stem
+        started = time.perf_counter()
+        try:
+            data = claimed.read_bytes()
+        except OSError:
+            # The chunk file vanished between our scan and claim:
+            # another worker already published it (it unlinks the chunk
+            # only after the atomic result write).  Stand down quietly —
+            # publishing an error here could clobber the real result.
+            release_claim(spool, chunk_id)
+            continue
+        with _Heartbeat(spool, chunk_id, worker_id, lease_ttl_s):
+            try:
+                specs = _decode_chunk(data)
+            except ValueError as exc:
+                write_chunk_result(spool, chunk_id, worker_id,
+                                   chunk_error=f"{exc}")
+                claimed.unlink(missing_ok=True)  # terminal: retrying cannot help
+                release_claim(spool, chunk_id)
+                done += 1
+                continue
+            records = [_safe_record(_execute_spec(spec, store)) for spec in specs]
+            write_chunk_result(spool, chunk_id, worker_id, records=records)
+        claimed.unlink(missing_ok=True)
+        release_claim(spool, chunk_id)
+        done += 1
+        if on_chunk is not None:
+            on_chunk(chunk_id, len(records), time.perf_counter() - started)
+        if max_chunks is not None and done >= max_chunks:
+            break
+    if store is not None:
+        try:
+            store.flush_stats()
+        except (OSError, AttributeError):
+            pass
+    return done
+
+
+# -- broker -----------------------------------------------------------------
+
+@dataclass
+class BrokerStats:
+    """Counters for one broker run, reported by benchmarks and tests."""
+
+    chunks_submitted: int = 0
+    chunks_completed: int = 0
+    requeues: int = 0
+    chunk_failures: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class _Chunk:
+    """Broker-side state for one spooled chunk."""
+
+    chunk_id: str
+    index: int
+    specs: list[JobSpec]
+    attempts: int = 0
+    results: list[JobResult] | None = None
+
+
+class Broker:
+    """Submits hashed job chunks into a spool and collects their results.
+
+    The broker is the authoritative side of the queue: it keeps the
+    ordered spec list in memory, so even a chunk whose spool entry is
+    corrupted or whose workers keep dying resolves to structured
+    per-job failures in the right positions.  ``submit`` then
+    ``collect`` is the whole lifecycle; :class:`ClusterBackend` wraps
+    both behind the standard backend contract.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str | os.PathLike,
+        lease_ttl_s: float = 30.0,
+        poll_s: float = 0.05,
+        max_attempts: int = 3,
+        telemetry: BrokerTelemetry | None = None,
+    ) -> None:
+        """Args: the spool directory, the worker lease TTL, the collect
+        poll interval, the per-chunk retry budget (lease requeues and
+        corrupt result files both consume it) and an optional
+        :class:`~repro.runtime.progress.BrokerTelemetry` sink."""
+        if lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        self.spool = pathlib.Path(spool_dir)
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_s = poll_s
+        self.max_attempts = max_attempts
+        self.telemetry = telemetry or BrokerTelemetry()
+        self.stats = BrokerStats()
+        self._chunks: list[_Chunk] = []
+        self._run = uuid.uuid4().hex[:8]
+        _spool_dirs(self.spool)
+
+    @property
+    def chunk_ids(self) -> list[str]:
+        """The submitted chunk ids, in delivery order."""
+        return [c.chunk_id for c in self._chunks]
+
+    def submit(self, specs: list[JobSpec], chunk_size: int | None = None) -> list[str]:
+        """Split ``specs`` into chunks and write them into the spool.
+
+        Chunk ids embed a run nonce, the chunk index and a digest of
+        the member job hashes, so two brokers sharing one spool can
+        never collide and a chunk is self-identifying in listings.
+        Returns the chunk ids in input (= delivery) order.
+        """
+        specs = list(specs)
+        if chunk_size is None:
+            chunk_size = max(1, len(specs) // 8 or 1)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        for index, start in enumerate(range(0, len(specs), chunk_size)):
+            members = specs[start:start + chunk_size]
+            chunk_id = f"{self._run}-{index:05d}-{_chunk_digest(members)}"
+            _atomic_write(
+                self.spool / "chunks" / f"{chunk_id}.chunk",
+                _encode_chunk(chunk_id, index, members),
+            )
+            self._chunks.append(_Chunk(chunk_id=chunk_id, index=index, specs=members))
+            self.stats.chunks_submitted += 1
+        return self.chunk_ids
+
+    def outstanding(self) -> list[str]:
+        """Chunk ids submitted but not yet resolved to results."""
+        return [c.chunk_id for c in self._chunks if c.results is None]
+
+    def has_unconsumed_results(self) -> bool:
+        """True when some outstanding chunk already has a result file
+        on disk that ``collect`` has not ingested yet (used by the
+        cluster backend's watchdog to avoid declaring a drained fleet
+        dead while its last results are still being read)."""
+        return any(
+            _result_path(self.spool, c.chunk_id).exists()
+            for c in self._chunks if c.results is None
+        )
+
+    def expire_worker(self, worker_id: str) -> int:
+        """Requeue every outstanding chunk leased by ``worker_id``.
+
+        The cluster backend calls this the moment one of its local
+        worker processes dies, so recovery does not wait out the lease
+        TTL.  Returns the number of chunks requeued.
+        """
+        requeued = 0
+        for chunk in self._chunks:
+            if chunk.results is not None:
+                continue
+            claim = read_claim(self.spool, chunk.chunk_id)
+            if claim is not None and claim.get("worker") == worker_id:
+                self._requeue(chunk, f"worker {worker_id} died")
+                requeued += 1
+        return requeued
+
+    def _requeue(self, chunk: _Chunk, why: str) -> None:
+        """Release a chunk back to the queue (or fail it permanently
+        once its retry budget is spent)."""
+        chunk.attempts += 1
+        _result_path(self.spool, chunk.chunk_id).unlink(missing_ok=True)
+        if chunk.attempts >= self.max_attempts:
+            self._fail_chunk(chunk, f"chunk gave up after {chunk.attempts} "
+                                    f"attempt(s); last cause: {why}")
+            return
+        # Re-spool before releasing the claim: the worker may have
+        # unlinked the chunk file when it published the (now discarded)
+        # result, and a free claim on a missing chunk would strand it.
+        chunk_path = self.spool / "chunks" / f"{chunk.chunk_id}.chunk"
+        if not chunk_path.exists():
+            _atomic_write(chunk_path,
+                          _encode_chunk(chunk.chunk_id, chunk.index, chunk.specs))
+        release_claim(self.spool, chunk.chunk_id)
+        self.stats.requeues += 1
+        self.telemetry.on_requeue(chunk.chunk_id, chunk.attempts, why)
+
+    def _fail_chunk(self, chunk: _Chunk, error: str) -> None:
+        """Resolve every job of a chunk as a structured failure."""
+        chunk.results = [
+            JobResult(job_hash=s.job_hash, kind=s.kind, ok=False, value=None,
+                      error=f"DistError: {error}", duration_s=0.0)
+            for s in chunk.specs
+        ]
+        self.stats.chunk_failures += 1
+        self._cleanup_chunk(chunk)
+
+    def _cleanup_chunk(self, chunk: _Chunk) -> None:
+        (self.spool / "chunks" / f"{chunk.chunk_id}.chunk").unlink(missing_ok=True)
+        release_claim(self.spool, chunk.chunk_id)
+
+    def _ingest(self, chunk: _Chunk) -> None:
+        """Try to consume a published result file for ``chunk``."""
+        path = _result_path(self.spool, chunk.chunk_id)
+        try:
+            doc = json.loads(path.read_bytes())
+        except OSError:
+            return  # not published yet (or already consumed by cleanup)
+        except ValueError:
+            path.unlink(missing_ok=True)
+            self._requeue(chunk, "corrupt result file")
+            return
+        if doc.get("chunk_error") is not None:
+            # Deterministic chunk-level failure (corrupt spool entry):
+            # retrying cannot help, so it resolves immediately.
+            self._fail_chunk(chunk, str(doc["chunk_error"]))
+            path.unlink(missing_ok=True)
+            return
+        records = doc.get("records")
+        valid = (
+            doc.get("schema") == DIST_SCHEMA
+            and isinstance(records, list)
+            and len(records) == len(chunk.specs)
+            and all(
+                isinstance(r, dict) and r.get("job_hash") == s.job_hash
+                for r, s in zip(records, chunk.specs)
+            )
+        )
+        if valid:
+            try:
+                results = [_record_to_result(r) for r in records]
+            except (KeyError, TypeError, ValueError):
+                valid = False  # field drift: same corruption path as below
+        if not valid:
+            path.unlink(missing_ok=True)
+            self._requeue(chunk, "result file does not match the chunk's "
+                                 "specs or schema")
+            return
+        chunk.results = results
+        self.stats.chunks_completed += 1
+        self.telemetry.on_chunk(chunk.chunk_id, len(records),
+                                str(doc.get("worker", "?")))
+        path.unlink(missing_ok=True)
+        self._cleanup_chunk(chunk)
+
+    def _expire_leases(self) -> None:
+        """Requeue chunks whose lease outlived its TTL (dead worker)."""
+        now = time.time()
+        for chunk in self._chunks:
+            if chunk.results is not None:
+                continue
+            if _result_path(self.spool, chunk.chunk_id).exists():
+                continue  # published; ingest will pick it up this poll
+            claim = read_claim(self.spool, chunk.chunk_id)
+            if claim is not None and claim.get("expires", 0) < now:
+                self._requeue(chunk, f"lease expired (worker "
+                                     f"{claim.get('worker', '?')})")
+
+    def collect(self, on_result=None, timeout: float | None = None,
+                watchdog=None) -> list[JobResult]:
+        """Wait for every submitted chunk and return ordered results.
+
+        Results are delivered strictly in submission order: chunk *i*'s
+        jobs (and their ``on_result`` callbacks, fired here in the
+        calling process) are released only after every chunk before it —
+        exactly the ordering contract of the in-process backends.
+        ``watchdog`` is an optional zero-argument callable invoked every
+        poll (the cluster backend uses it to respawn dead local
+        workers); ``timeout`` bounds the whole wait and raises
+        ``TimeoutError`` listing the unresolved chunks.
+        """
+        start = time.perf_counter()
+        delivered = 0
+        out: list[JobResult] = []
+        while True:
+            for chunk in self._chunks:
+                if chunk.results is None:
+                    self._ingest(chunk)
+            self._expire_leases()
+            while delivered < len(self._chunks) and (
+                self._chunks[delivered].results is not None
+            ):
+                for result in self._chunks[delivered].results:
+                    out.append(result)
+                    if on_result is not None:
+                        on_result(result)
+                delivered += 1
+            if delivered >= len(self._chunks):
+                break
+            if watchdog is not None:
+                watchdog()
+            if timeout is not None and time.perf_counter() - start > timeout:
+                raise TimeoutError(
+                    f"cluster run timed out after {timeout:g}s with "
+                    f"{len(self.outstanding())} chunk(s) outstanding: "
+                    f"{', '.join(self.outstanding()[:4])}"
+                )
+            time.sleep(self.poll_s)
+        self.stats.elapsed_s = time.perf_counter() - start
+        return out
+
+    def close(self) -> None:
+        """Remove this run's leftover spool files (best effort)."""
+        for chunk in self._chunks:
+            _result_path(self.spool, chunk.chunk_id).unlink(missing_ok=True)
+            self._cleanup_chunk(chunk)
+
+
+# -- the cluster backend ----------------------------------------------------
+
+def _spawned_worker(spool_dir: str, worker_id: str, poll_s: float,
+                    lease_ttl_s: float) -> None:
+    """Entry point of a worker process spawned by :class:`ClusterBackend`.
+
+    Runs a draining :func:`worker_loop` with no store attached — the
+    submitting side's :func:`~repro.runtime.executor.run_jobs` already
+    layers the cache, so worker-side write-through would double-count.
+    """
+    worker_loop(spool_dir, worker_id=worker_id, poll_s=poll_s,
+                lease_ttl_s=lease_ttl_s, drain=True)
+
+
+@register_backend("cluster")
+class ClusterBackend:
+    """Broker + worker fleet behind the standard backend contract.
+
+    ``run()`` spools the specs as hashed chunks, spawns ``workers``
+    local worker processes (or, with ``spawn_workers=False``, relies on
+    external ``repro worker`` agents already attached to
+    ``spool_dir``), and collects ordered, bit-identical results.  A
+    worker that dies mid-chunk is detected by the watchdog (local) or
+    by lease expiry (external), its chunks are requeued, and a
+    replacement is spawned — the sweep finishes with identical results
+    either way.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        spool_dir: str | os.PathLike | None = None,
+        chunk_size: int | None = None,
+        chunks_per_worker: int = 2,
+        lease_ttl_s: float = 30.0,
+        poll_s: float = 0.02,
+        max_attempts: int = 3,
+        spawn_workers: bool = True,
+        start_method: str | None = None,
+        timeout: float | None = None,
+        telemetry: BrokerTelemetry | None = None,
+    ) -> None:
+        """Args mirror the process backend (workers, chunk sizing,
+        start method) plus the queue knobs: ``spool_dir`` (None = a
+        private temp spool per run), ``lease_ttl_s``/``max_attempts``
+        for dead-worker recovery, ``spawn_workers=False`` to attach to
+        an external fleet, and ``timeout`` as a hard bound on one run."""
+        self.workers = workers if workers is not None else max(2, min(4, os.cpu_count() or 2))
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be positive")
+        self.spool_dir = spool_dir
+        self.chunk_size = chunk_size
+        self.chunks_per_worker = chunks_per_worker
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_s = poll_s
+        self.max_attempts = max_attempts
+        self.spawn_workers = spawn_workers
+        self.start_method = start_method
+        self.timeout = timeout
+        self.telemetry = telemetry
+        self.last_stats: BrokerStats | None = None
+
+    def _chunk_size_for(self, n_specs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(n_specs / (self.workers * self.chunks_per_worker)))
+
+    def _spawn(self, ctx, spool: pathlib.Path, seq: int):
+        worker_id = f"local-{self._run_nonce}-{seq}"
+        proc = ctx.Process(
+            target=_spawned_worker,
+            args=(str(spool), worker_id, self.poll_s, self.lease_ttl_s),
+            daemon=True,
+        )
+        proc.start()
+        return worker_id, proc
+
+    def run(self, specs: list[JobSpec], on_result=None) -> list[JobResult]:
+        """Execute ``specs`` over the cluster queue.
+
+        Returns one result per spec in input order; raising jobs and
+        unrecoverable chunks become structured ``ok=False`` records,
+        matching every other backend.  With spawned workers a dead
+        worker is replaced (bounded respawn budget) and its chunks are
+        requeued immediately; if the whole fleet dies with work left,
+        a :class:`DistError` is raised — a crashed pool, not a result.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        tmp = None
+        if self.spool_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-spool-")
+            spool = pathlib.Path(tmp.name)
+        else:
+            spool = pathlib.Path(self.spool_dir)
+        self._run_nonce = uuid.uuid4().hex[:6]
+        broker = Broker(
+            spool,
+            lease_ttl_s=self.lease_ttl_s,
+            poll_s=self.poll_s,
+            max_attempts=self.max_attempts,
+            telemetry=self.telemetry,
+        )
+        procs: dict[str, object] = {}
+        try:
+            broker.submit(specs, chunk_size=self._chunk_size_for(len(specs)))
+            watchdog = None
+            if self.spawn_workers:
+                ctx = multiprocessing.get_context(self.start_method)
+                n_procs = min(self.workers, len(broker.chunk_ids))
+                seq = [0]
+                for _ in range(n_procs):
+                    wid, proc = self._spawn(ctx, spool, seq[0])
+                    procs[wid] = proc
+                    seq[0] += 1
+                respawn_budget = [2 * self.workers]
+
+                def watchdog() -> None:
+                    for wid, proc in list(procs.items()):
+                        if proc.is_alive():
+                            continue
+                        proc.join()
+                        died = proc.exitcode != 0
+                        procs.pop(wid)
+                        if died:
+                            broker.expire_worker(wid)
+                            if broker.outstanding() and respawn_budget[0] > 0:
+                                respawn_budget[0] -= 1
+                                new_id, new_proc = self._spawn(ctx, spool, seq[0])
+                                procs[new_id] = new_proc
+                                seq[0] += 1
+                    if (not procs and broker.outstanding()
+                            and not broker.has_unconsumed_results()):
+                        raise DistError(
+                            f"all cluster workers exited with "
+                            f"{len(broker.outstanding())} chunk(s) outstanding"
+                        )
+
+            results = broker.collect(on_result=on_result, timeout=self.timeout,
+                                     watchdog=watchdog)
+            self.last_stats = broker.stats
+            return results
+        finally:
+            for proc in procs.values():
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - last resort
+                    proc.kill()
+                    proc.join()
+            broker.close()
+            if tmp is not None:
+                tmp.cleanup()

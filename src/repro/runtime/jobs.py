@@ -47,6 +47,8 @@ __all__ = [
     "deployment_fingerprint",
     "execute_job",
     "register_runner",
+    "spec_to_doc",
+    "spec_from_doc",
 ]
 
 #: Bumped whenever a runner's result layout changes; part of every job
@@ -110,6 +112,39 @@ class JobSpec:
     def params(self) -> dict:
         """The decoded key document."""
         return json.loads(self.key)
+
+
+def spec_to_doc(spec: JobSpec) -> dict:
+    """A payload-free spec as a plain JSON document.
+
+    This is the wire/spool encoding the distributed work queue
+    (:mod:`repro.runtime.dist`) writes into chunk files: ``kind`` plus
+    the canonical ``key`` are the spec's entire identity, so the
+    receiving process rebuilds an equal-hash spec with
+    :func:`spec_from_doc`.  Specs carrying a live payload (``sample_eval``)
+    cannot cross a JSON boundary and are rejected — the dist layer
+    falls back to pickle for those.
+    """
+    if spec.payload is not None:
+        raise ValueError(
+            f"{spec.kind} spec carries an in-memory payload and cannot be "
+            "encoded as JSON; serialise the whole spec (pickle) instead"
+        )
+    return {"kind": spec.kind, "key": spec.key}
+
+
+def spec_from_doc(doc: dict) -> JobSpec:
+    """Rebuild a payload-free :class:`JobSpec` from :func:`spec_to_doc`.
+
+    Validates the document shape (string ``kind``, JSON-decodable
+    string ``key``) so a corrupt spool entry degrades to a structured
+    error, never to a spec with a garbage identity.
+    """
+    kind, key = doc.get("kind"), doc.get("key")
+    if not isinstance(kind, str) or not isinstance(key, str):
+        raise ValueError(f"malformed spec document: {doc!r}")
+    json.loads(key)  # raises ValueError on a non-JSON key
+    return JobSpec(kind=kind, key=key)
 
 
 # -- spec factories ---------------------------------------------------------

@@ -21,6 +21,7 @@ __all__ = [
     "JobEvent",
     "LatencyRecorder",
     "ProfileAggregator",
+    "BrokerTelemetry",
 ]
 
 
@@ -156,6 +157,25 @@ class ProfileAggregator(Progress):
     def summary(self) -> dict:
         """The merged :meth:`~repro.runtime.profile.Profiler.summary`."""
         return self.profiler.summary()
+
+
+class BrokerTelemetry(Progress):
+    """Chunk-level hooks for the distributed broker, on top of the
+    job-level :class:`Progress` protocol.
+
+    The broker (:class:`repro.runtime.dist.Broker`) reports queue
+    events through these two extra callbacks — both fire in the
+    submitting process, so subclasses can keep unlocked state.  The
+    no-op base doubles as the default sink; benchmarks subclass it to
+    measure requeue latency.
+    """
+
+    def on_chunk(self, chunk_id: str, n_jobs: int, worker_id: str) -> None:
+        """Called once per chunk whose results were ingested."""
+
+    def on_requeue(self, chunk_id: str, attempt: int, why: str) -> None:
+        """Called when a chunk is released back to the queue (expired
+        lease, dead worker, corrupt result file)."""
 
 
 @dataclass(frozen=True)

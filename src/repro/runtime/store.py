@@ -36,6 +36,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from ._fsutil import atomic_write_bytes
 from .cache import CachedResult, CacheStats, ResultCache, default_cache_dir
 from .jobs import JobSpec
 
@@ -82,6 +83,11 @@ _FLAT_RECHECK_S = 60.0
 #: Counter fields persisted to the ``stats.json`` sidecar — the
 #: lifetime hit/miss/store/corrupt totals ``repro cache stats`` prints.
 _STATS_FIELDS = ("hits", "misses", "stores", "corrupt")
+
+#: Upper edges (seconds) of the entry-age histogram buckets reported by
+#: :meth:`ResultStore.entry_stats`; the last bucket is unbounded.
+_AGE_BUCKETS = ((60.0, "<1m"), (600.0, "<10m"), (3600.0, "<1h"),
+                (86400.0, "<1d"), (float("inf"), ">=1d"))
 
 
 def default_max_bytes() -> int | None:
@@ -134,6 +140,10 @@ class ResultStore(ResultCache):
         # any index read) — losing them to a crash costs recency
         # accuracy only.
         self._pending_touches: list[str] = []
+        # Per-entry hit-count deltas, merged into the usage.json
+        # sidecar alongside the lifetime counters — the telemetry
+        # cost-aware eviction will be built on.
+        self._entry_hits: dict[str, int] = {}
         # Counter values already merged into the stats sidecar; the
         # delta against ``self.stats`` is what the next flush adds.
         self._merged_stats = CacheStats()
@@ -197,6 +207,11 @@ class ResultStore(ResultCache):
     def stats_path(self) -> pathlib.Path:
         """The ``stats.json`` sidecar holding lifetime counter totals."""
         return self.root / "stats.json"
+
+    @property
+    def usage_path(self) -> pathlib.Path:
+        """The ``usage.json`` sidecar holding per-entry hit counts."""
+        return self.root / "usage.json"
 
     @property
     def _lock_path(self) -> pathlib.Path:
@@ -360,25 +375,26 @@ class ResultStore(ResultCache):
                 f: getattr(self.stats, f) - getattr(self._merged_stats, f)
                 for f in _STATS_FIELDS
             }
-            if not any(delta.values()):
+            if not any(delta.values()) and not self._entry_hits:
                 return
             try:
                 with self._index_lock():
                     totals = self._read_lifetime()
                     for f in _STATS_FIELDS:
                         totals[f] += delta[f]
-                    fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-                    try:
-                        with os.fdopen(fd, "w") as fh:
-                            json.dump(totals, fh)
-                        os.replace(tmp, self.stats_path)
-                    except OSError:
-                        pathlib.Path(tmp).unlink(missing_ok=True)
-                        raise
+                    atomic_write_bytes(self.stats_path, json.dumps(totals).encode())
+                    # The replace landed: record the merge *before* any
+                    # further failable step, or a later failure would
+                    # re-add this delta on the next flush.
+                    for f in _STATS_FIELDS:
+                        setattr(self._merged_stats, f, getattr(self.stats, f))
+                    with contextlib.suppress(OSError):
+                        # A failed usage merge keeps its deltas buffered
+                        # in _entry_hits for the next flush; it must not
+                        # disturb the already-recorded counter merge.
+                        self._merge_entry_usage()
             except OSError:
                 return
-            for f in _STATS_FIELDS:
-                setattr(self._merged_stats, f, getattr(self.stats, f))
 
     def lifetime_stats(self) -> dict:
         """Hit/miss/store/corrupt totals across every run of this store.
@@ -397,12 +413,125 @@ class ResultStore(ResultCache):
         totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
         return totals
 
+    # -- per-entry usage telemetry ----------------------------------------
+    def _read_usage(self) -> dict[str, int]:
+        """The raw ``usage.json`` per-entry hit counts (empty if absent
+        or corrupt — telemetry damage must never crash a sweep)."""
+        try:
+            raw = json.loads(self.usage_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        out: dict[str, int] = {}
+        for k, v in raw.items():
+            if isinstance(k, str) and _HASH_LINE.match(k):
+                try:
+                    out[k] = int(v)
+                except (TypeError, ValueError):
+                    continue
+        return out
+
+    def _write_usage(self, usage: dict[str, int]) -> None:
+        """Atomically replace ``usage.json`` (caller holds the lock)."""
+        atomic_write_bytes(self.usage_path, json.dumps(usage).encode())
+
+    def _merge_entry_usage(self) -> None:
+        """Add this instance's buffered per-entry hit deltas into
+        ``usage.json``.  Runs under the exclusive index lock (called
+        from :meth:`flush_stats`), so concurrent processes each add
+        exactly their own counts.  Deltas for entries that no longer
+        exist (evicted since the hits were buffered) are dropped — the
+        sidecar tracks live entries, not the store's history.  A write
+        failure keeps the deltas buffered for the next flush."""
+        if not self._entry_hits:
+            return
+        usage = self._read_usage()
+        for job_hash, n in self._entry_hits.items():
+            if not self.path(job_hash).exists():
+                continue
+            usage[job_hash] = usage.get(job_hash, 0) + n
+        self._write_usage(usage)
+        self._entry_hits = {}
+
+    def entry_stats(self, limit: int | None = 20) -> dict:
+        """Per-entry usage telemetry: hit counts and an age histogram.
+
+        Flushes buffered counters first, then reports, for every live
+        entry, its lifetime hit count (from ``usage.json``) and its age
+        (seconds since the entry file was last written).  The ``top``
+        list holds the ``limit`` most-hit entries enriched with each
+        envelope's ``kind`` and original compute ``duration_s`` — the
+        inputs a cost-aware eviction policy needs (hot, slow-to-
+        recompute entries are the ones worth keeping past plain LRU).
+
+        Returns a dict with ``entries`` (total live entries),
+        ``tracked_hits`` (sum of recorded hit counts),
+        ``age_histogram`` (bucket label → entry count) and ``top``
+        (list of ``{hash, hits, age_s, bytes, kind, duration_s}``).
+        """
+        self.flush_stats()
+        usage = self._read_usage()
+        scanned = self._scan()
+        # Drop records whose entry is gone (evicted by a process whose
+        # buffered hits merged after the prune): the sidecar tracks
+        # live entries only.  Best effort — a lock/write failure just
+        # defers the cleanup to the next reader.
+        live = {job_hash for job_hash, _, _, _ in scanned}
+        if set(usage) - live:
+            usage = {h: n for h, n in usage.items() if h in live}
+            try:
+                with self._index_lock():
+                    # Re-read under the lock: a concurrent merge may
+                    # have landed since the unlocked read above.
+                    fresh = self._read_usage()
+                    pruned = {h: n for h, n in fresh.items() if h in live}
+                    if len(pruned) != len(fresh):
+                        self._write_usage(pruned)
+            except OSError:
+                pass
+        now = time.time()
+        hist = {label: 0 for _, label in _AGE_BUCKETS}
+        rows = []
+        for job_hash, path, size, mtime in scanned:
+            age = max(0.0, now - mtime)
+            for edge, label in _AGE_BUCKETS:
+                if age < edge:
+                    hist[label] += 1
+                    break
+            rows.append({"hash": job_hash, "hits": usage.get(job_hash, 0),
+                         "age_s": age, "bytes": size, "path": path})
+        rows.sort(key=lambda r: (-r["hits"], r["hash"]))
+        top = rows if limit is None else rows[:limit]
+        for row in top:
+            path = row.pop("path")
+            row["kind"], row["duration_s"] = None, None
+            try:
+                entry = json.loads(path.read_text())
+                if isinstance(entry, dict):  # valid JSON non-objects stay None
+                    row["kind"] = entry.get("kind")
+                    row["duration_s"] = float(entry.get("duration_s", 0.0))
+            except (OSError, ValueError, TypeError):
+                pass  # entry evicted or corrupt mid-scan: telemetry only
+        for row in rows[len(top):]:
+            row.pop("path", None)
+        return {
+            "entries": len(scanned),
+            "tracked_hits": sum(usage.values()),
+            "age_histogram": hist,
+            "top": top,
+        }
+
     # -- cache interface --------------------------------------------------
     def get(self, spec: JobSpec) -> CachedResult | None:
-        """The stored result for ``spec``, or None; hits are touched."""
+        """The stored result for ``spec``, or None; hits are touched
+        and counted in the per-entry usage telemetry."""
         self._adopt_flat(spec.job_hash)
         hit = super().get(spec)
         if hit is not None:
+            self._entry_hits[spec.job_hash] = (
+                self._entry_hits.get(spec.job_hash, 0) + 1
+            )
             self._touch(spec.job_hash)
         return hit
 
@@ -466,8 +595,10 @@ class ResultStore(ResultCache):
         counters, returning how many entries were deleted."""
         n = super().clear()
         self._pending_touches = []
+        self._entry_hits = {}
         self.index_path.unlink(missing_ok=True)
         self.stats_path.unlink(missing_ok=True)
+        self.usage_path.unlink(missing_ok=True)
         # Forget unmerged deltas too: a cleared store starts its
         # lifetime counters from zero.
         self._merged_stats = CacheStats(**{
@@ -568,14 +699,16 @@ class ResultStore(ResultCache):
 
             entries.sort(key=lru_key)
             removed = 0
+            removed_hashes: set[str] = set()
             survivors = []
             for job_hash, path, size, _ in entries:
                 if total > target_bytes:
                     try:
                         path.unlink()
                         removed += 1
+                        removed_hashes.add(job_hash)
                     except FileNotFoundError:
-                        pass  # another process got there first
+                        removed_hashes.add(job_hash)  # someone else removed it
                     except OSError:
                         survivors.append(job_hash)
                         continue
@@ -586,6 +719,14 @@ class ResultStore(ResultCache):
             survivors.sort(key=lambda h: ranks.get(h, -1))
             written = self._rewrite_index(survivors, snapshot_bytes=len(raw_snapshot))
             self._compact_floor = max(_COMPACT_THRESHOLD_BYTES, 2 * written)
+            if removed_hashes:
+                # Evicted entries leave the usage telemetry too, so the
+                # sidecar tracks live entries, not the store's history.
+                usage = self._read_usage()
+                pruned = {h: n for h, n in usage.items() if h not in removed_hashes}
+                if len(pruned) != len(usage):
+                    with contextlib.suppress(OSError):
+                        self._write_usage(pruned)
             return removed
 
     def _rewrite_index(self, hashes: list[str], snapshot_bytes: int) -> int:

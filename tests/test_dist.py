@@ -1,0 +1,485 @@
+"""Distributed work-queue subsystem: broker, workers, cluster backend.
+
+The cross-backend parity harness (``test_backend_parity.py``) already
+holds the registered ``cluster`` backend to the ordered/bit-identical/
+structured-failure contract; this suite covers what parity cannot see:
+the spool protocol itself (atomic claims, duplicate-claim races, lease
+expiry and takeover), fault injection (a worker SIGKILLed mid-chunk, a
+corrupt spool entry, a corrupt result file, a poison job that keeps
+killing its workers), worker-side store read/write-through, and the
+hash-assigned sharding that lets one sweep span machines and still
+compose in a single result store.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    Broker,
+    BrokerTelemetry,
+    ClusterBackend,
+    ResultStore,
+    available_backends,
+    canonical_json,
+    dse_point_job,
+    make_backend,
+    register_runner,
+    run_dse_sweep,
+    run_jobs,
+    shard_jobs,
+    spec_from_doc,
+    spec_to_doc,
+    worker_loop,
+)
+from repro.runtime.dist import claim_chunk, read_claim, release_claim
+from repro.runtime.jobs import JobSpec
+
+# Registered at import time so fork-started worker processes inherit
+# them (the same rule the production runners follow).
+
+
+@register_runner("dist_sleep")
+def _run_dist_sleep(params, payload):
+    time.sleep(params.get("sleep_s", 0.0))
+    return {"echo": params["x"], "squared": params["x"] ** 2}
+
+
+@register_runner("dist_die")
+def _run_dist_die(params, payload):
+    os._exit(3)  # simulates a worker hard-crash mid-job
+
+
+def sleep_job(x: int, sleep_s: float = 0.0) -> JobSpec:
+    return JobSpec(kind="dist_sleep",
+                   key=canonical_json({"x": x, "sleep_s": sleep_s}))
+
+
+def die_job(x: int) -> JobSpec:
+    return JobSpec(kind="dist_die", key=canonical_json({"x": x}))
+
+
+def payload_bytes(results) -> bytes:
+    return json.dumps(
+        [{"hash": r.job_hash, "kind": r.kind, "ok": r.ok,
+          "value": r.value, "error": r.error} for r in results],
+        sort_keys=True,
+    ).encode()
+
+
+def drain_worker(spool, **kwargs):
+    return worker_loop(spool, drain=True, poll_s=0.01, **kwargs)
+
+
+def spawn_worker(spool, worker_id, lease_ttl_s=30.0):
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(
+        target=worker_loop, args=(str(spool),),
+        kwargs=dict(worker_id=worker_id, poll_s=0.01,
+                    lease_ttl_s=lease_ttl_s, drain=False),
+        daemon=True,
+    )
+    proc.start()
+    return proc
+
+
+def wait_for(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestSpoolProtocol:
+    def test_submit_writes_one_chunk_file_per_chunk(self, tmp_path):
+        broker = Broker(tmp_path)
+        ids = broker.submit([sleep_job(i) for i in range(6)], chunk_size=2)
+        assert len(ids) == 3
+        files = sorted(p.stem for p in (tmp_path / "chunks").glob("*.chunk"))
+        assert files == sorted(ids)
+        # Chunk ids are self-identifying: run nonce, index, content digest.
+        for i, chunk_id in enumerate(ids):
+            nonce, index, digest = chunk_id.split("-")
+            assert int(index) == i and len(digest) == 12
+
+    def test_payload_free_chunks_are_inspectable_json(self, tmp_path):
+        broker = Broker(tmp_path)
+        (chunk_id,) = broker.submit([sleep_job(7)], chunk_size=4)
+        doc = json.loads((tmp_path / "chunks" / f"{chunk_id}.chunk").read_text())
+        assert doc["jobs"][0]["kind"] == "dist_sleep"
+        assert spec_from_doc(doc["jobs"][0]).job_hash == sleep_job(7).job_hash
+
+    def test_duplicate_claim_race_has_one_winner(self, tmp_path):
+        broker = Broker(tmp_path)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        assert claim_chunk(tmp_path, chunk_id, "worker-a", 30.0) is True
+        assert claim_chunk(tmp_path, chunk_id, "worker-b", 30.0) is False
+        assert read_claim(tmp_path, chunk_id)["worker"] == "worker-a"
+        release_claim(tmp_path, chunk_id)
+        assert claim_chunk(tmp_path, chunk_id, "worker-b", 30.0) is True
+
+    def test_many_threads_racing_one_claim(self, tmp_path):
+        broker = Broker(tmp_path)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def racer(name):
+            barrier.wait()
+            if claim_chunk(tmp_path, chunk_id, name, 30.0):
+                wins.append(name)
+
+        threads = [threading.Thread(target=racer, args=(f"w{i}",))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+
+    def test_expired_claim_is_taken_over(self, tmp_path):
+        broker = Broker(tmp_path)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        assert claim_chunk(tmp_path, chunk_id, "dead-worker", 0.05)
+        time.sleep(0.1)
+        assert claim_chunk(tmp_path, chunk_id, "live-worker", 30.0) is True
+        assert read_claim(tmp_path, chunk_id)["worker"] == "live-worker"
+
+    def test_spec_doc_round_trip_and_payload_rejection(self):
+        spec = sleep_job(3)
+        assert spec_from_doc(spec_to_doc(spec)) == spec
+        with pytest.raises(ValueError, match="payload"):
+            spec_to_doc(JobSpec(kind="x", key="{}", payload=object()))
+        with pytest.raises(ValueError):
+            spec_from_doc({"kind": "x"})
+        with pytest.raises(ValueError):
+            spec_from_doc({"kind": "x", "key": "not json"})
+
+
+class TestBrokerCollect:
+    def test_in_thread_worker_produces_serial_results(self, tmp_path):
+        jobs = [sleep_job(i) for i in range(7)]
+        reference = run_jobs(jobs, executor="serial")
+        broker = Broker(tmp_path)
+        broker.submit(jobs, chunk_size=3)
+        thread = threading.Thread(target=drain_worker, args=(tmp_path,))
+        thread.start()
+        seen = []
+        results = broker.collect(on_result=lambda r: seen.append(r.job_hash),
+                                 timeout=30)
+        thread.join()
+        assert payload_bytes(results) == payload_bytes(reference.results)
+        assert seen == [j.job_hash for j in jobs]  # parent-side, input order
+        assert broker.stats.chunks_completed == 3
+        # The spool is clean afterwards: no chunks, claims or results.
+        for sub in ("chunks", "claims", "results"):
+            assert list((tmp_path / sub).iterdir()) == []
+
+    def test_corrupt_spool_chunk_becomes_structured_failures(self, tmp_path):
+        jobs = [sleep_job(i) for i in range(4)]
+        broker = Broker(tmp_path)
+        ids = broker.submit(jobs, chunk_size=2)
+        # Corrupt the second chunk's spool entry in place.
+        path = tmp_path / "chunks" / f"{ids[1]}.chunk"
+        path.write_bytes(b"\x00garbage not json nor pickle")
+        thread = threading.Thread(target=drain_worker, args=(tmp_path,))
+        thread.start()
+        results = broker.collect(timeout=30)
+        thread.join()
+        assert [r.ok for r in results] == [True, True, False, False]
+        for r in results[2:]:
+            assert "corrupt spool chunk" in r.error
+            assert r.job_hash in {j.job_hash for j in jobs[2:]}
+        assert broker.stats.chunk_failures == 1
+
+    def test_corrupt_result_file_requeues_and_recomputes(self, tmp_path):
+        jobs = [sleep_job(i) for i in range(2)]
+        broker = Broker(tmp_path, poll_s=0.01)
+        (chunk_id,) = broker.submit(jobs, chunk_size=2)
+        (tmp_path / "results" / f"{chunk_id}.json").write_text("{torn")
+        requeues = []
+
+        class Recording(BrokerTelemetry):
+            """Records requeue events for the assertion below."""
+
+            def on_requeue(self, chunk_id, attempt, why):
+                requeues.append((chunk_id, attempt, why))
+
+        broker.telemetry = Recording()
+        # A daemon-mode worker: a draining one could scan before the
+        # broker discards the corrupt result (nothing pending yet) and
+        # exit without ever recomputing.
+        stop = threading.Event()
+        thread = threading.Thread(target=worker_loop, args=(tmp_path,),
+                                  kwargs=dict(poll_s=0.01, stop=stop))
+        thread.start()
+        try:
+            results = broker.collect(timeout=30)
+        finally:
+            stop.set()
+            thread.join()
+        reference = run_jobs(jobs, executor="serial")
+        assert payload_bytes(results) == payload_bytes(reference.results)
+        assert broker.stats.requeues >= 1
+        assert requeues and requeues[0][0] == chunk_id
+
+    def test_retry_budget_exhaustion_fails_the_chunk(self, tmp_path):
+        jobs = [sleep_job(1)]
+        broker = Broker(tmp_path, max_attempts=1, poll_s=0.01)
+        (chunk_id,) = broker.submit(jobs, chunk_size=1)
+        (tmp_path / "results" / f"{chunk_id}.json").write_text("{torn")
+        results = broker.collect(timeout=30)  # no workers needed
+        assert [r.ok for r in results] == [False]
+        assert "gave up after 1 attempt" in results[0].error
+
+    def test_collect_timeout_lists_outstanding_chunks(self, tmp_path):
+        broker = Broker(tmp_path, poll_s=0.01)
+        broker.submit([sleep_job(1)], chunk_size=1)
+        with pytest.raises(TimeoutError, match="1 chunk\\(s\\) outstanding"):
+            broker.collect(timeout=0.1)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Broker(tmp_path, lease_ttl_s=0)
+        with pytest.raises(ValueError):
+            Broker(tmp_path, max_attempts=0)
+        with pytest.raises(ValueError):
+            Broker(tmp_path).submit([sleep_job(1)], chunk_size=0)
+
+
+class TestWorkerLoop:
+    def test_drain_on_empty_spool_returns_zero(self, tmp_path):
+        assert worker_loop(tmp_path, drain=True) == 0
+
+    def test_max_chunks_bounds_one_worker(self, tmp_path):
+        broker = Broker(tmp_path)
+        broker.submit([sleep_job(i) for i in range(4)], chunk_size=1)
+        assert worker_loop(tmp_path, drain=True, max_chunks=2) == 2
+        assert worker_loop(tmp_path, drain=True) == 2  # the rest
+
+    def test_store_read_and_write_through(self, tmp_path):
+        jobs = [sleep_job(i) for i in range(3)]
+        store = ResultStore(tmp_path / "store")
+        # Pre-compute job 1 into the store: the worker must serve it as
+        # a cache hit and compute only the other two.
+        run_jobs([jobs[1]], executor="serial", cache=store)
+        broker = Broker(tmp_path / "spool")
+        broker.submit(jobs, chunk_size=3)
+        worker_store = ResultStore(tmp_path / "store")
+        thread = threading.Thread(
+            target=drain_worker, args=(tmp_path / "spool",),
+            kwargs=dict(store=worker_store),
+        )
+        thread.start()
+        results = broker.collect(timeout=30)
+        thread.join()
+        assert [r.cached for r in results] == [False, True, False]
+        assert [r.ok for r in results] == [True] * 3
+        # Fresh successes were written through: a replay hits everything.
+        replay = run_jobs(jobs, executor="serial", cache=ResultStore(tmp_path / "store"))
+        assert replay.stats.hits == 3 and replay.stats.misses == 0
+
+    def test_corrupt_chunk_does_not_stall_the_worker(self, tmp_path):
+        broker = Broker(tmp_path)
+        ids = broker.submit([sleep_job(i) for i in range(2)], chunk_size=1)
+        (tmp_path / "chunks" / f"{ids[0]}.chunk").write_bytes(b"junk")
+        assert worker_loop(tmp_path, drain=True) == 2
+        doc = json.loads((tmp_path / "results" / f"{ids[0]}.json").read_text())
+        assert "corrupt spool chunk" in doc["chunk_error"]
+
+
+class TestKillRecovery:
+    """A worker SIGKILLed mid-chunk must not cost results or order."""
+
+    def test_lease_expiry_requeue_produces_identical_results(self, tmp_path):
+        jobs = [sleep_job(i, sleep_s=0.3) for i in range(4)]
+        reference = run_jobs(jobs, executor="serial")
+        broker = Broker(tmp_path, lease_ttl_s=0.6, poll_s=0.02)
+        broker.submit(jobs, chunk_size=2)
+        victim = spawn_worker(tmp_path, "victim", lease_ttl_s=0.6)
+        assert wait_for(lambda: list((tmp_path / "claims").glob("*.claim")))
+        time.sleep(0.1)  # ensure the victim is inside a job, mid-chunk
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join()
+        rescuer = spawn_worker(tmp_path, "rescuer", lease_ttl_s=0.6)
+        try:
+            results = broker.collect(timeout=60)
+        finally:
+            rescuer.kill()
+            rescuer.join()
+        assert payload_bytes(results) == payload_bytes(reference.results)
+        assert broker.stats.requeues >= 1
+
+    def test_cluster_backend_survives_a_worker_kill(self, tmp_path):
+        """The acceptance bar: bit-identical ordered results from the
+        registered backend even after one of its workers is SIGKILLed
+        mid-chunk (the watchdog requeues and respawns)."""
+        jobs = [sleep_job(i, sleep_s=0.25) for i in range(6)]
+        reference = run_jobs(jobs, executor="serial")
+        requeues = []
+
+        class Recording(BrokerTelemetry):
+            """Lets the fault injector observe requeues as they happen."""
+
+            def on_requeue(self, chunk_id, attempt, why):
+                requeues.append(chunk_id)
+
+        backend = ClusterBackend(workers=2, spool_dir=tmp_path,
+                                 chunk_size=1, lease_ttl_s=30.0,
+                                 timeout=120.0, telemetry=Recording())
+
+        def killer():
+            # Kill lease-holding workers until one kill provably landed
+            # mid-chunk (the broker requeued its chunk).  A kill that
+            # slips between chunks just costs a respawn; retry.
+            deadline = time.monotonic() + 30.0
+            while not requeues and time.monotonic() < deadline:
+                for path in (tmp_path / "claims").glob("*.claim"):
+                    try:
+                        claim = json.loads(path.read_text())
+                    except (OSError, ValueError):
+                        continue
+                    pid = claim.get("pid")
+                    if pid and pid != os.getpid():
+                        try:
+                            os.kill(pid, signal.SIGKILL)
+                        except ProcessLookupError:
+                            continue
+                        break
+                wait_for(lambda: requeues, timeout=0.3)
+
+        thread = threading.Thread(target=killer)
+        thread.start()
+        run = run_jobs(jobs, executor=backend)
+        thread.join()
+        assert requeues, "the fault injector never landed a mid-chunk kill"
+        assert payload_bytes(run.results) == payload_bytes(reference.results)
+        assert backend.last_stats is not None
+        assert backend.last_stats.requeues >= 1
+
+    def test_poison_job_resolves_to_structured_failure(self, tmp_path):
+        """A job that hard-kills every worker it touches must exhaust
+        its retry budget and come back as ok=False in position — other
+        jobs unaffected — instead of hanging or crashing the sweep."""
+        jobs = [sleep_job(0), die_job(1), sleep_job(2)]
+        backend = ClusterBackend(workers=2, spool_dir=tmp_path, chunk_size=1,
+                                 lease_ttl_s=30.0, max_attempts=2,
+                                 timeout=120.0)
+        run = run_jobs(jobs, executor=backend)
+        assert [r.ok for r in run.results] == [True, False, True]
+        assert "gave up after 2 attempt" in run.results[1].error
+        assert run.results[0].value == {"echo": 0, "squared": 0}
+
+
+class TestClusterBackend:
+    def test_registered_and_resolvable(self):
+        assert "cluster" in available_backends()
+        backend = make_backend("cluster", workers=2)
+        assert isinstance(backend, ClusterBackend)
+        assert backend.workers == 2
+
+    def test_empty_job_list_short_circuits(self):
+        assert ClusterBackend(workers=2).run([]) == []
+
+    def test_external_fleet_mode(self, tmp_path):
+        """spawn_workers=False: the backend only brokers; execution is
+        done by externally attached agents (here: a worker thread)."""
+        jobs = [sleep_job(i) for i in range(5)]
+        reference = run_jobs(jobs, executor="serial")
+        stop = threading.Event()
+        agent = threading.Thread(
+            target=worker_loop, args=(tmp_path,),
+            kwargs=dict(poll_s=0.01, stop=stop),
+        )
+        agent.start()
+        try:
+            backend = ClusterBackend(workers=2, spool_dir=tmp_path,
+                                     spawn_workers=False, timeout=60.0)
+            run = run_jobs(jobs, executor=backend)
+        finally:
+            stop.set()
+            agent.join()
+        assert payload_bytes(run.results) == payload_bytes(reference.results)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ClusterBackend(workers=0)
+        with pytest.raises(ValueError):
+            ClusterBackend(chunk_size=0)
+        with pytest.raises(ValueError):
+            ClusterBackend(chunks_per_worker=0)
+
+
+class TestShardedSweep:
+    def test_shard_jobs_is_a_stable_partition(self):
+        jobs = [dse_point_job(n) for n in range(1, 13)]
+        shards = shard_jobs(jobs, 4)
+        assert sum(len(s) for s in shards) == len(jobs)
+        flat = {j.job_hash for s in shards for j in s}
+        assert flat == {j.job_hash for j in jobs}
+        # Pure function of job identity: order and grid shape don't matter.
+        again = shard_jobs(list(reversed(jobs)), 4)
+        assert [{j.job_hash for j in s} for s in again] == [
+            {j.job_hash for j in s} for s in shards
+        ]
+        with pytest.raises(ValueError):
+            shard_jobs(jobs, 0)
+
+    def test_sharded_sweep_composes_in_one_store(self, tmp_path):
+        """Acceptance: a sweep across 2+ shards meets in one store and
+        replays >=90% from cache, with a table identical to unsharded."""
+        store = ResultStore(tmp_path)
+        sharded = run_dse_sweep(slices=(1, 2, 4, 8), voltages=(None, 0.9),
+                                shards=3, cache=store)
+        whole = run_dse_sweep(slices=(1, 2, 4, 8), voltages=(None, 0.9))
+        assert sharded.rows == whole.rows
+        assert sharded.run.stats.total == 8
+        replay = run_dse_sweep(slices=(1, 2, 4, 8), voltages=(None, 0.9),
+                               cache=ResultStore(tmp_path))
+        assert replay.run.stats.hit_rate >= 0.9
+        assert replay.rows == whole.rows
+
+    def test_sharded_sweep_through_cluster_backend(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sharded = run_dse_sweep(slices=(1, 8), shards=2,
+                                executor=make_backend("cluster", workers=2),
+                                cache=store)
+        whole = run_dse_sweep(slices=(1, 8))
+        assert sharded.rows == whole.rows
+
+
+class TestResultSchemaDrift:
+    def test_schema_drifted_result_reads_as_corrupt_not_crash(self, tmp_path):
+        """A result envelope from a different DIST_SCHEMA (or with
+        drifted record fields) must take the requeue/structured-failure
+        path, never raise out of collect()."""
+        jobs = [sleep_job(1)]
+        broker = Broker(tmp_path, max_attempts=1, poll_s=0.01)
+        (chunk_id,) = broker.submit(jobs, chunk_size=1)
+        (tmp_path / "results" / f"{chunk_id}.json").write_text(json.dumps({
+            "schema": 99, "chunk": chunk_id, "worker": "future",
+            "records": [{"job_hash": jobs[0].job_hash, "kind": "dist_sleep",
+                         "ok": True, "value": {}, "error": None,
+                         "duration_s": 0.0}],
+        }))
+        results = broker.collect(timeout=30)
+        assert [r.ok for r in results] == [False]
+        assert "schema" in results[0].error
+
+    def test_field_drifted_record_reads_as_corrupt_not_crash(self, tmp_path):
+        jobs = [sleep_job(2)]
+        broker = Broker(tmp_path, max_attempts=1, poll_s=0.01)
+        (chunk_id,) = broker.submit(jobs, chunk_size=1)
+        (tmp_path / "results" / f"{chunk_id}.json").write_text(json.dumps({
+            "schema": 1, "chunk": chunk_id, "worker": "w",
+            "records": [{"job_hash": jobs[0].job_hash, "ok": True}],
+        }))
+        results = broker.collect(timeout=30)  # must not raise KeyError
+        assert [r.ok for r in results] == [False]

@@ -93,3 +93,113 @@ def test_cache_stats_and_clear(tmp_path, capsys):
     assert "removed 2" in capsys.readouterr().out
     assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
     assert "0 entries" in capsys.readouterr().out
+
+
+def test_backend_flag_validates_against_registry_at_parse_time(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--backend", "warp-drive", "--no-cache", "--quiet"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown backend 'warp-drive'" in err
+    assert "cluster" in err  # the live registry renders the name list
+
+
+def test_backend_flag_accepts_late_registered_backends(capsys):
+    from repro.runtime import SerialBackend, register_backend
+    from repro.runtime.backends import _BACKENDS
+
+    @register_backend("late-bird")
+    class LateBird(SerialBackend):
+        """Registered after module import: must still parse."""
+        name = "late-bird"
+
+    try:
+        argv = ["sweep", "--slices", "1", "--backend", "late-bird",
+                "--no-cache", "--quiet", "--csv"]
+        assert main(argv) == 0
+    finally:
+        _BACKENDS.pop("late-bird", None)
+
+
+def test_sweep_cluster_backend_matches_serial_csv(tmp_path, capsys):
+    base = ["sweep", "--slices", "1,8", "--quiet", "--csv", "--no-cache"]
+    assert main(base) == 0
+    serial_csv = capsys.readouterr().out
+    assert main(base + ["--backend", "cluster", "--workers", "2"]) == 0
+    assert capsys.readouterr().out == serial_csv
+
+
+def test_sweep_shards_compose_in_one_store(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    base = ["sweep", "--slices", "1,2,4,8", "--cache-dir", cache_dir, "--quiet"]
+    assert main(base + ["--shards", "3"]) == 0
+    sharded_out = capsys.readouterr().out
+    assert "4 job(s)" in sharded_out
+    # The whole-grid rerun replays the shard runs' entries: 100% hits.
+    assert main(base) == 0
+    out = capsys.readouterr().out
+    assert "4 cache hit(s), 0 computed" in out
+    assert "hit rate 100%" in out
+
+
+def test_cache_stats_detail_lists_entries(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    argv = ["sweep", "--slices", "1,8", "--cache-dir", cache_dir, "--quiet"]
+    main(argv)
+    main(argv)  # second run: two cache hits to count
+    capsys.readouterr()
+    assert main(["cache", "stats", "--detail", "--top", "1",
+                 "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entry ages:" in out
+    assert "top 1 of 2 entries" in out
+    assert "dse_point" in out
+    assert "2 recorded hit(s)" in out
+
+
+def test_worker_drains_a_spool(tmp_path, capsys):
+    from repro.runtime import Broker, dse_point_job, run_jobs
+
+    spool = tmp_path / "spool"
+    broker = Broker(spool)
+    jobs = [dse_point_job(n) for n in (1, 2, 4, 8)]
+    broker.submit(jobs, chunk_size=2)
+    assert main(["worker", "--spool", str(spool), "--drain",
+                 "--cache-dir", str(tmp_path / "store")]) == 0
+    err = capsys.readouterr().err
+    assert "2 chunk(s) published" in err
+    results = broker.collect(timeout=30)
+    reference = run_jobs(jobs, executor="serial")
+    assert [r.value for r in results] == [r.value for r in reference.results]
+    # Write-through happened: a replay against the store is all hits.
+    from repro.runtime import ResultStore
+
+    replay = run_jobs(jobs, executor="serial",
+                      cache=ResultStore(tmp_path / "store"))
+    assert replay.stats.hits == len(jobs)
+
+
+def test_worker_requires_spool():
+    with pytest.raises(SystemExit) as exc:
+        main(["worker", "--drain"])
+    assert exc.value.code == 2
+
+
+def test_sweep_spool_flag_feeds_external_workers(tmp_path, capsys):
+    spool = tmp_path / "spool"
+    argv = ["sweep", "--slices", "1,8", "--backend", "cluster", "--workers",
+            "2", "--spool", str(spool), "--no-cache", "--quiet", "--csv"]
+    assert main(argv) == 0
+    assert (spool / "chunks").is_dir()  # the shared queue was used
+    assert main(["sweep", "--slices", "1,8", "--no-cache", "--quiet",
+                 "--csv"]) == 0
+    # Byte-identical CSV between the spooled and in-process runs.
+    lines = capsys.readouterr().out.splitlines()
+    half = len(lines) // 2
+    assert lines[:half] == lines[half:]
+
+
+def test_spool_flag_rejected_for_non_cluster_backends(tmp_path, capsys):
+    assert main(["sweep", "--slices", "1", "--backend", "serial", "--spool",
+                 str(tmp_path), "--no-cache", "--quiet"]) == 2
+    assert "--spool only applies to --backend cluster" in capsys.readouterr().err

@@ -464,3 +464,127 @@ class TestConcurrentWriters:
         store._scan = racing_scan
         store.evict(0)  # must not raise despite the vanished entry
         assert len(ResultStore(tmp_path)) == 0
+
+
+class TestEntryTelemetry:
+    """Per-entry hit counts + age histogram (`repro cache stats --detail`)."""
+
+    def test_hits_are_counted_per_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a, b = put_blob(store, "a"), put_blob(store, "b")
+        for _ in range(3):
+            assert store.get(a) is not None
+        assert store.get(b) is not None
+        detail = store.entry_stats()
+        assert detail["entries"] == 2
+        assert detail["tracked_hits"] == 4
+        by_hash = {r["hash"]: r for r in detail["top"]}
+        assert by_hash[a.job_hash]["hits"] == 3
+        assert by_hash[b.job_hash]["hits"] == 1
+        # Top list is sorted by hits, carries kind and compute cost.
+        assert detail["top"][0]["hash"] == a.job_hash
+        assert detail["top"][0]["kind"] == "blob"
+        assert detail["top"][0]["duration_s"] == 0.0
+
+    def test_counts_accumulate_across_instances(self, tmp_path):
+        a = put_blob(ResultStore(tmp_path), "a")
+        for _ in range(2):
+            s = ResultStore(tmp_path)
+            assert s.get(a) is not None
+            s.flush_stats()
+        detail = ResultStore(tmp_path).entry_stats()
+        assert detail["tracked_hits"] == 2
+
+    def test_age_histogram_buckets_every_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for tag in "abc":
+            put_blob(store, tag)
+        hist = store.entry_stats()["age_histogram"]
+        assert sum(hist.values()) == 3
+        assert hist["<1m"] == 3
+
+    def test_top_limit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for tag in "abcdef":
+            put_blob(store, tag)
+        detail = store.entry_stats(limit=2)
+        assert len(detail["top"]) == 2 and detail["entries"] == 6
+
+    def test_eviction_prunes_usage_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [put_blob(store, t) for t in "abcd"]
+        for spec in specs:
+            assert store.get(spec) is not None
+        store.flush_stats()
+        assert len(store._read_usage()) == 4
+        store.evict(0)  # everything goes
+        assert store._read_usage() == {}
+        assert store.entry_stats()["entries"] == 0
+
+    def test_clear_removes_usage_sidecar(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        assert store.get(spec) is not None
+        store.flush_stats()
+        assert store.usage_path.exists()
+        store.clear()
+        assert not store.usage_path.exists()
+        assert store.entry_stats()["tracked_hits"] == 0
+
+    def test_corrupt_usage_sidecar_degrades_to_empty(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        store.usage_path.write_text("not json at all")
+        assert store.get(spec) is not None  # reads still work
+        store.flush_stats()                 # merge over the corrupt file
+        detail = store.entry_stats()
+        assert detail["top"][0]["hits"] == 1
+
+    def test_failed_usage_merge_never_double_counts_lifetime_stats(self, tmp_path):
+        """A usage-sidecar write failure after the stats merge landed
+        must not re-add the same counter delta on the next flush."""
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        assert store.get(spec) is not None
+        original = store._write_usage
+        calls = {"n": 0}
+
+        def flaky(usage):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("disk full")
+            return original(usage)
+
+        store._write_usage = flaky
+        store.flush_stats()  # stats merge lands, usage merge fails
+        store.flush_stats()  # retry: usage merges, stats must not re-add
+        totals = store._read_lifetime()
+        assert totals["hits"] == 1 and totals["stores"] == 1
+        assert store._read_usage() == {spec.job_hash: 1}
+
+    def test_buffered_hits_for_evicted_entries_are_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        assert store.get(spec) is not None  # hit buffered, not yet merged
+        store.evict(0)                      # entry gone before the flush
+        store.flush_stats()
+        assert store._read_usage() == {}
+
+    def test_entry_stats_prunes_dead_usage_records(self, tmp_path):
+        import json as _json
+
+        store = ResultStore(tmp_path)
+        put_blob(store, "a")
+        dead = "f" * 64
+        store.usage_path.write_text(_json.dumps({dead: 7}))
+        detail = store.entry_stats()
+        assert detail["tracked_hits"] == 0
+        assert dead not in store._read_usage()
+
+    def test_entry_stats_tolerates_non_dict_entry_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = put_blob(store, "a")
+        store.path(spec.job_hash).write_text("[]")  # valid JSON, not an object
+        detail = store.entry_stats()
+        assert detail["top"][0]["kind"] is None
+        assert detail["top"][0]["duration_s"] is None
