@@ -29,7 +29,8 @@ BENCH_JSON_SUITE = benchmarks/bench_fig5b_perf.py \
                    benchmarks/bench_runtime_scaling.py \
                    benchmarks/bench_serve_latency.py \
                    benchmarks/bench_cosim_fuzz.py \
-                   benchmarks/bench_dist_throughput.py
+                   benchmarks/bench_dist_throughput.py \
+                   benchmarks/bench_obs_overhead.py
 
 .PHONY: test test-parity test-serve test-dist docs-check lint bench-smoke \
         bench-serve bench-gate bench-baseline sweep-smoke profile-smoke \

@@ -79,9 +79,20 @@ worker kill.  Dataset sharding
 (:class:`repro.events.ShardedDataset`,
 :func:`~repro.runtime.sweep.shard_jobs`, ``repro sweep --shards N``)
 splits big workloads into hash-assigned shards whose job subtrees
-compose in one shared store.  ``docs/ARCHITECTURE.md`` maps the
-whole stack; ``docs/RUNTIME_API.md`` documents this package's public
-API surface.
+compose in one shared store.
+
+:mod:`.obs` is the observability core the whole stack reports into: a
+process-wide :class:`~repro.runtime.obs.MetricsRegistry` of labeled
+counters/gauges/histograms whose snapshots merge across processes, an
+append-only NDJSON :class:`~repro.runtime.obs.Journal` of structured
+events, and trace spans (:func:`~repro.runtime.obs.span`) whose IDs
+propagate sweep → broker chunk → worker → store write-through → serve
+response — surviving requeue-after-kill, so a chunk's retries share
+one trace.  Enabled per process by ``--obs-dir``/``$REPRO_OBS_DIR``
+and read back by ``repro metrics`` (JSON or Prometheus text), the
+serving ``metrics`` op, and the ``repro top`` live fleet dashboard.
+``docs/ARCHITECTURE.md`` maps the whole stack; ``docs/RUNTIME_API.md``
+documents this package's public API surface.
 """
 
 from .jobs import (
@@ -138,6 +149,17 @@ from .dist import (
     DistError,
     worker_loop,
 )
+from .obs import (
+    Journal,
+    MetricsRegistry,
+    SpanContext,
+    current_span,
+    get_registry,
+    read_journal,
+    read_metrics,
+    span,
+)
+from .obs import configure as configure_obs
 from .serve import (
     WIRE_KINDS,
     AsyncServer,
@@ -224,4 +246,13 @@ __all__ = [
     "ClusterBackend",
     "DistError",
     "worker_loop",
+    "MetricsRegistry",
+    "Journal",
+    "SpanContext",
+    "span",
+    "current_span",
+    "get_registry",
+    "configure_obs",
+    "read_journal",
+    "read_metrics",
 ]

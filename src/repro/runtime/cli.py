@@ -26,7 +26,20 @@ Subcommands:
   stdio (``--stdio``), coalesce them into micro-batches
   (``--batch-window``/``--max-batch``), answer cache hits straight
   from the store and stream per-job results back as they complete;
+* ``repro metrics`` — snapshot the observability directory's merged
+  metric registry (``--json`` for the raw snapshot, ``--prom`` for
+  Prometheus text exposition, default a human summary);
+* ``repro top`` — live terminal dashboard over a running cluster
+  sweep's event journal: queue depth, in-flight leases, chunks/s,
+  requeues, cache hit rate and worker liveness (``--once`` renders a
+  single frame for scripts and CI);
 * ``repro --version`` — the package version.
+
+Observability is enabled by ``--obs-dir DIR`` (or ``$REPRO_OBS_DIR``):
+every command then journals structured events to
+``DIR/journal.ndjson`` and flushes its metric registry snapshot under
+``DIR/metrics/`` on exit, which ``repro metrics``/``repro top`` merge
+into one fleet-wide view.
 
 ``--backend`` selects the execution backend on every run command; the
 accepted names are derived from the live registry at parse time (any
@@ -49,6 +62,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from . import obs
 from .backends import available_backends, default_backend_name, make_backend
 from .cache import default_cache_dir
 from .progress import ConsoleProgress, Progress
@@ -121,6 +135,17 @@ def _backend_arg(text: str) -> str:
     return text
 
 
+def _add_obs_flag(p: argparse.ArgumentParser) -> None:
+    # One definition so every command names the observability switch
+    # identically; the env default is resolved by obs.configure at run
+    # time, not frozen into the parser.
+    p.add_argument("--obs-dir", default=None, metavar="DIR",
+                   help="observability directory: journal events to "
+                        "DIR/journal.ndjson and flush metric snapshots "
+                        "under DIR/metrics/ (default $REPRO_OBS_DIR, "
+                        "else off)")
+
+
 def _add_backend_flag(p: argparse.ArgumentParser, default_hint: str) -> None:
     # One definition for every command so the flag's validation and
     # help can never drift apart; the name list in the help is rendered
@@ -166,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the result store entirely")
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress output")
+        _add_obs_flag(p)
 
     p_sweep = sub.add_parser("sweep", help="run a design-space sweep")
     p_sweep.add_argument("--slices", type=_int_list, default=[1, 2, 4, 8],
@@ -215,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker threads/processes for the chosen backend")
     p_prof.add_argument("--quiet", action="store_true",
                         help="suppress per-job progress output")
+    _add_obs_flag(p_prof)
 
     p_cache = sub.add_parser("cache", help="inspect, evict or clear the result store")
     p_cache.add_argument("action", choices=("stats", "evict", "clear"))
@@ -263,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="execute without the shared store")
     p_worker.add_argument("--quiet", action="store_true",
                           help="suppress per-chunk progress output")
+    _add_obs_flag(p_worker)
 
     p_serve = sub.add_parser(
         "serve", help="async streaming server: NDJSON requests over TCP/stdio"
@@ -284,6 +312,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dispatch as soon as this many requests "
                               "coalesced (default 32)")
     add_common(p_serve)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="snapshot the merged observability metrics registry",
+    )
+    group = p_metrics.add_mutually_exclusive_group()
+    group.add_argument("--json", action="store_true",
+                       help="emit the raw merged snapshot document")
+    group.add_argument("--prom", action="store_true",
+                       help="emit Prometheus text exposition format")
+    _add_obs_flag(p_metrics)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live fleet dashboard over the observability journal",
+    )
+    p_top.add_argument("--interval", type=_positive_float, default=1.0,
+                       metavar="SECONDS",
+                       help="refresh cadence (default 1.0)")
+    p_top.add_argument("--window", type=_positive_float, default=10.0,
+                       metavar="SECONDS",
+                       help="throughput averaging window (default 10)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (scripts/CI)")
+    _add_obs_flag(p_top)
     return parser
 
 
@@ -462,10 +515,17 @@ def _cmd_profile(args) -> int:
         progress = _TeeProgress(aggregator) if args.quiet else _TeeProgress(
             aggregator, ConsoleProgress()
         )
-        run = run_jobs(jobs, executor=_make_executor(args), progress=progress)
+        executor = _make_executor(args)
+        run = run_jobs(jobs, executor=executor, progress=progress)
         if run.failures():
             print(run.failures()[0].error, file=sys.stderr)
             return 1
+        # Cluster backends additionally collect the workers' own runtime
+        # spans (store round-trips, chunk wall time) broker-side; fold
+        # them into the job-level profile so the table covers the fleet.
+        worker_prof = getattr(executor, "last_worker_profile", None)
+        if worker_prof:
+            aggregator.profiler.merge(worker_prof)
         summary = aggregator.summary()
         profiled = aggregator.profiled
         mode = "vectorised"
@@ -614,6 +674,185 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _resolved_obs_dir(args):
+    """The observability directory for metrics/top, or None (with a
+    usage message printed) when neither --obs-dir nor $REPRO_OBS_DIR
+    names one."""
+    target = obs.configure(args.obs_dir)
+    if target is None:
+        print(f"repro {args.command}: error: no observability directory "
+              "(pass --obs-dir or set $REPRO_OBS_DIR)", file=sys.stderr)
+    return target
+
+
+def _cmd_metrics(args) -> int:
+    import json as _json
+
+    target = _resolved_obs_dir(args)
+    if target is None:
+        return 2
+    registry = obs.read_metrics(target)
+    if args.json:
+        print(_json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+        return 0
+    if args.prom:
+        sys.stdout.write(registry.render_prometheus())
+        return 0
+    names = registry.names()
+    if not names:
+        print(f"metrics: no snapshots under {target}/metrics yet")
+        return 0
+    print(f"metrics @ {target} — {len(names)} metric(s)")
+    for name in names:
+        metric = registry._metrics[name]
+        if metric.kind == "histogram":
+            series = metric._snapshot_series()
+            count = sum(s["count"] for s in series)
+            if not count:
+                print(f"  {name} (histogram): empty")
+                continue
+            total = sum(s["sum"] for s in series)
+            # Merge bucket counts across every labeled series for a
+            # fleet-wide p99 (per-label quantiles stay in --json/--prom).
+            counts = [0] * len(metric.buckets)
+            for s in series:
+                for i, c in enumerate(s["counts"]):
+                    counts[i] += c
+            rank = max(1, -(-99 * count // 100))
+            seen, p99 = 0, metric.buckets[-1]
+            for bound, c in zip(metric.buckets, counts):
+                seen += c
+                if seen >= rank:
+                    p99 = bound
+                    break
+            print(f"  {name} (histogram): {count} sample(s), "
+                  f"mean {total / count * 1e3:.2f} ms, p99 <= {p99 * 1e3:.2f} ms")
+        else:
+            parts = ", ".join(
+                f"{dict(s['labels']) or 'total'}={s['value']:g}"
+                for s in metric._snapshot_series()[:6])
+            print(f"  {name} ({metric.kind}): {parts}")
+    return 0
+
+
+class _TopState:
+    """Accumulates journal events into the figures ``repro top`` shows."""
+
+    def __init__(self, window_s: float) -> None:
+        """Args: ``window_s`` — the chunks/s averaging window."""
+        import collections
+
+        self.window_s = window_s
+        self.submits = 0
+        self.completes = 0
+        self.requeues = 0
+        self.failures = 0
+        self.claims = 0
+        self.jobs_done = 0
+        self.traces: set[str] = set()
+        self.workers: dict[str, float] = {}
+        self.complete_ts: collections.deque = collections.deque(maxlen=4096)
+
+    def apply(self, ev: dict) -> None:
+        """Fold one journal event into the counters."""
+        name = ev.get("event")
+        ts = float(ev.get("ts", 0.0))
+        if "trace_id" in ev:
+            self.traces.add(ev["trace_id"])
+        worker = ev.get("worker")
+        if worker:
+            self.workers[worker] = max(ts, self.workers.get(worker, 0.0))
+        if name == "chunk.submit":
+            self.submits += 1
+        elif name == "chunk.complete":
+            self.completes += 1
+            self.jobs_done += int(ev.get("jobs", 0))
+            self.complete_ts.append(ts)
+        elif name == "chunk.requeue":
+            self.requeues += 1
+        elif name == "chunk.failed":
+            self.failures += 1
+        elif name == "worker.claim":
+            self.claims += 1
+
+    def render(self, registry, now: float) -> str:
+        """One dashboard frame (plain text, no escape codes)."""
+        queue_depth = max(0, self.submits - self.completes - self.failures)
+        in_flight = max(0, self.claims - self.completes - self.requeues)
+        recent = sum(1 for t in self.complete_ts if now - t <= self.window_s)
+        rate = recent / self.window_s
+        hits = misses = 0.0
+        store = registry._metrics.get("repro_store_events_total")
+        if store is not None:
+            hits = store.value(op="hit")
+            misses = store.value(op="miss")
+        hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        live_cutoff = now - max(15.0, 3 * self.window_s)
+        live = sorted(w for w, t in self.workers.items() if t >= live_cutoff)
+        lines = [
+            f"repro top — {len(self.traces)} trace(s), "
+            f"{self.jobs_done} job(s) done",
+            f"  queue depth     {queue_depth:>6}   (submitted {self.submits}, "
+            f"completed {self.completes}, failed {self.failures})",
+            f"  in-flight       {in_flight:>6}   (claims {self.claims}, "
+            f"requeues {self.requeues})",
+            f"  chunks/s        {rate:>8.1f} (last {self.window_s:g}s)",
+            f"  requeues        {self.requeues:>6}",
+            f"  cache hit rate  {hit_rate:>7.0%}  ({hits:g} hit(s), "
+            f"{misses:g} miss(es))",
+            f"  workers         {len(live)}/{len(self.workers)} live",
+        ]
+        for w in live[:8]:
+            lines.append(f"    {w}  last seen {now - self.workers[w]:.1f}s ago")
+        return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time as _time
+
+    target = _resolved_obs_dir(args)
+    if target is None:
+        return 2
+    journal_path = target / "journal.ndjson"
+    state = _TopState(window_s=args.window)
+    offset = 0
+    buffer = b""
+
+    def drain() -> None:
+        nonlocal offset, buffer
+        try:
+            with open(journal_path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except OSError:
+            return
+        offset += len(data)
+        buffer += data
+        import json as _json
+
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            try:
+                state.apply(_json.loads(line))
+            except ValueError:
+                continue  # torn or foreign line: skip, keep tailing
+    try:
+        while True:
+            drain()
+            frame = state.render(obs.read_metrics(target), now=_time.time())
+            if args.once:
+                print(frame)
+                return 0
+            # Clear + home between frames, like watch(1); the frame
+            # itself stays escape-free so --once output is grep-able.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()  # leave the last frame intact; exit on the next line
+        return 0
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "eval": _cmd_eval,
@@ -621,6 +860,8 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "worker": _cmd_worker,
+    "metrics": _cmd_metrics,
+    "top": _cmd_top,
 }
 
 
@@ -635,6 +876,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         jobs, 2 on usage/domain errors (which print to stderr).
     """
     args = build_parser().parse_args(argv)
+    obs.configure(getattr(args, "obs_dir", None))
     try:
         return _COMMANDS[args.command](args)
     except (ValueError, OSError) as exc:
@@ -644,6 +886,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         # never reach here.
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Persist this process's metric snapshot so `repro metrics` /
+        # `repro top` in another terminal can merge it (no-op when the
+        # observability directory is unset).
+        obs.flush_metrics()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -60,9 +60,11 @@ import time
 import uuid
 from dataclasses import dataclass
 
+from . import obs
 from ._fsutil import atomic_write_bytes
 from .backends import JobResult, _execute_one, register_backend
 from .jobs import JobSpec, spec_from_doc, spec_to_doc
+from .profile import Profiler
 from .progress import BrokerTelemetry
 
 __all__ = [
@@ -111,9 +113,15 @@ def _default_worker_id() -> str:
 
 # -- chunk encoding ---------------------------------------------------------
 
-def _encode_chunk(chunk_id: str, index: int, specs: list[JobSpec]) -> bytes:
+def _encode_chunk(chunk_id: str, index: int, specs: list[JobSpec],
+                  trace: obs.SpanContext | None = None) -> bytes:
     """Serialise one chunk: JSON when every spec is payload-free
-    (portable, inspectable), pickle otherwise (live payloads)."""
+    (portable, inspectable), pickle otherwise (live payloads).
+
+    ``trace`` embeds the chunk's span context in the document, so every
+    worker attempt — including a requeue after a SIGKILL, which reuses
+    the chunk's original context — executes under one trace.
+    """
     if all(s.payload is None for s in specs):
         doc = {
             "schema": DIST_SCHEMA,
@@ -121,16 +129,19 @@ def _encode_chunk(chunk_id: str, index: int, specs: list[JobSpec]) -> bytes:
             "index": index,
             "jobs": [spec_to_doc(s) for s in specs],
         }
+        if trace is not None:
+            doc["trace"] = trace.to_doc()
         return json.dumps(doc).encode()
-    return pickle.dumps(
-        {"schema": DIST_SCHEMA, "chunk": chunk_id, "index": index, "specs": specs},
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
+    doc = {"schema": DIST_SCHEMA, "chunk": chunk_id, "index": index, "specs": specs}
+    if trace is not None:
+        doc["trace"] = trace.to_doc()
+    return pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def _decode_chunk(data: bytes) -> list[JobSpec]:
-    """Decode a chunk file back into its ordered spec list.
+def _decode_chunk(data: bytes) -> tuple[list[JobSpec], obs.SpanContext | None]:
+    """Decode a chunk file back into ``(ordered specs, trace context)``.
 
+    The trace context is ``None`` for chunks written without one.
     Raises ``ValueError`` on any corruption (truncated write, hand
     edits, schema drift) — the worker converts that into a structured
     chunk-level failure instead of crashing.
@@ -150,7 +161,7 @@ def _decode_chunk(data: bytes) -> list[JobSpec]:
         )
     if not isinstance(specs, list) or not all(isinstance(s, JobSpec) for s in specs):
         raise ValueError("corrupt spool chunk: no spec list")
-    return specs
+    return specs, obs.SpanContext.from_doc(doc.get("trace"))
 
 
 def _chunk_digest(specs: list[JobSpec]) -> str:
@@ -265,6 +276,13 @@ class _Heartbeat:
                 )
             except OSError:
                 pass  # an unwritable spool costs lease freshness only
+            else:
+                obs.get_registry().counter(
+                    "repro_worker_heartbeats_total",
+                    "Lease refreshes written by workers.").inc(
+                        worker=self._worker_id)
+                obs.emit("worker.heartbeat", worker=self._worker_id,
+                         chunk=self._chunk_id)
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -311,6 +329,7 @@ def write_chunk_result(
     worker_id: str,
     records: list[dict] | None = None,
     chunk_error: str | None = None,
+    obs_doc: dict | None = None,
 ) -> None:
     """Atomically publish one chunk's outcome into the spool.
 
@@ -318,22 +337,35 @@ def write_chunk_result(
     :class:`~repro.runtime.backends.JobResult` fields) or
     ``chunk_error`` (a chunk-level failure such as a corrupt chunk
     file, which the broker expands into per-job structured failures).
+    ``obs_doc`` optionally piggybacks the worker's observability
+    payload — ``{"metrics": <snapshot>, "profile": <summary>}`` — which
+    the broker merges on ingest; old brokers ignore the extra key.
     """
     doc: dict = {"schema": DIST_SCHEMA, "chunk": chunk_id, "worker": worker_id}
     if chunk_error is not None:
         doc["chunk_error"] = chunk_error
     else:
         doc["records"] = records or []
+    if obs_doc:
+        doc["obs"] = obs_doc
     _atomic_write(_result_path(pathlib.Path(spool), chunk_id), json.dumps(doc).encode())
 
 
 # -- worker -----------------------------------------------------------------
 
-def _execute_spec(spec: JobSpec, store) -> JobResult:
-    """Run one spec, short-circuiting and write-through-ing ``store``."""
+def _execute_spec(spec: JobSpec, store, profiler: Profiler | None = None) -> JobResult:
+    """Run one spec, short-circuiting and write-through-ing ``store``.
+
+    With a ``profiler``, the store read, the execution and the store
+    write-through are timed as ``worker.store.get`` /
+    ``worker.execute`` / ``worker.store.put`` spans — the worker's own
+    runtime profile shipped back to the broker in the result envelope.
+    """
+    prof = profiler or Profiler(enabled=False)
     if store is not None:
         try:
-            hit = store.get(spec)
+            with prof.span("worker.store.get"):
+                hit = store.get(spec)
         except OSError:
             hit = None
         if hit is not None:
@@ -341,10 +373,12 @@ def _execute_spec(spec: JobSpec, store) -> JobResult:
                 job_hash=hit.job_hash, kind=hit.kind, ok=True, value=hit.value,
                 error=None, duration_s=hit.duration_s, cached=True,
             )
-    result = _execute_one(spec)
+    with prof.span("worker.execute"):
+        result = _execute_one(spec)
     if store is not None and result.ok:
         try:
-            store.put(spec, result.value, result.duration_s)
+            with prof.span("worker.store.put"):
+                store.put(spec, result.value, result.duration_s)
         except (OSError, TypeError, ValueError):
             pass  # memoisation lost, result kept
     return result
@@ -442,7 +476,7 @@ def worker_loop(
             continue
         with _Heartbeat(spool, chunk_id, worker_id, lease_ttl_s):
             try:
-                specs = _decode_chunk(data)
+                specs, trace = _decode_chunk(data)
             except ValueError as exc:
                 write_chunk_result(spool, chunk_id, worker_id,
                                    chunk_error=f"{exc}")
@@ -450,8 +484,32 @@ def worker_loop(
                 release_claim(spool, chunk_id)
                 done += 1
                 continue
-            records = [_safe_record(_execute_spec(spec, store)) for spec in specs]
-            write_chunk_result(spool, chunk_id, worker_id, records=records)
+            # Execute under the chunk's trace (embedded by the broker at
+            # submit and preserved across requeues), so store writes and
+            # any nested spans share the sweep's trace ID.  The worker's
+            # own runtime spans ship back in the result envelope rather
+            # than a local journal — the broker may be on another
+            # machine, and it relays them into its journal on ingest.
+            prof = Profiler()
+            with obs.activate(trace):
+                obs.emit("worker.claim", worker=worker_id, chunk=chunk_id,
+                         jobs=len(specs))
+                records = [_safe_record(_execute_spec(spec, store, prof))
+                           for spec in specs]
+            chunk_s = time.perf_counter() - started
+            prof.add("worker.chunk", chunk_s)
+            chunk_metrics = obs.MetricsRegistry()
+            chunk_metrics.counter(
+                "repro_worker_chunks_total",
+                "Chunks published by worker.").inc(worker=worker_id)
+            chunk_metrics.histogram(
+                "repro_worker_chunk_seconds",
+                "Wall-clock seconds per published chunk.").observe(
+                    chunk_s, worker=worker_id)
+            write_chunk_result(
+                spool, chunk_id, worker_id, records=records,
+                obs_doc={"metrics": chunk_metrics.snapshot(),
+                         "profile": prof.summary()})
         claimed.unlink(missing_ok=True)
         release_claim(spool, chunk_id)
         done += 1
@@ -464,6 +522,7 @@ def worker_loop(
             store.flush_stats()
         except (OSError, AttributeError):
             pass
+    obs.flush_metrics()
     return done
 
 
@@ -489,6 +548,9 @@ class _Chunk:
     specs: list[JobSpec]
     attempts: int = 0
     results: list[JobResult] | None = None
+    #: The chunk's span context, fixed at submit: every attempt
+    #: (including requeues) runs and is journaled under this identity.
+    trace: obs.SpanContext | None = None
 
 
 class Broker:
@@ -524,8 +586,19 @@ class Broker:
         self.max_attempts = max_attempts
         self.telemetry = telemetry or BrokerTelemetry()
         self.stats = BrokerStats()
+        #: Fleet-wide merge of the workers' own runtime spans
+        #: (``worker.execute``, ``worker.store.*``), accumulated from
+        #: the ``obs`` payload of every ingested result envelope.
+        self.worker_profile = Profiler()
         self._chunks: list[_Chunk] = []
         self._run = uuid.uuid4().hex[:8]
+        self._metrics = obs.get_registry().counter(
+            "repro_broker_events_total",
+            "Broker queue events by op (submit, complete, requeue, "
+            "lease_expired, chunk_failed).")
+        self._queue_gauge = obs.get_registry().gauge(
+            "repro_broker_outstanding_chunks",
+            "Chunks submitted but not yet resolved.")
         _spool_dirs(self.spool)
 
     @property
@@ -546,15 +619,27 @@ class Broker:
             chunk_size = max(1, len(specs) // 8 or 1)
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        # One trace for the whole submission, parented on the ambient
+        # span (run_jobs' ``run.jobs``) when there is one; each chunk
+        # gets its own span ID under it, embedded in the spool document.
+        parent = obs.current_span()
+        trace_id = parent.trace_id if parent else obs.new_id()
         for index, start in enumerate(range(0, len(specs), chunk_size)):
             members = specs[start:start + chunk_size]
             chunk_id = f"{self._run}-{index:05d}-{_chunk_digest(members)}"
+            trace = obs.SpanContext(
+                trace_id=trace_id, span_id=obs.new_id(),
+                parent_id=parent.span_id if parent else None)
             _atomic_write(
                 self.spool / "chunks" / f"{chunk_id}.chunk",
-                _encode_chunk(chunk_id, index, members),
+                _encode_chunk(chunk_id, index, members, trace=trace),
             )
-            self._chunks.append(_Chunk(chunk_id=chunk_id, index=index, specs=members))
+            self._chunks.append(
+                _Chunk(chunk_id=chunk_id, index=index, specs=members, trace=trace))
             self.stats.chunks_submitted += 1
+            self._metrics.inc(op="submit")
+            obs.emit("chunk.submit", ctx=trace, chunk=chunk_id, jobs=len(members))
+        self._queue_gauge.set(len(self.outstanding()))
         return self.chunk_ids
 
     def outstanding(self) -> list[str]:
@@ -600,12 +685,20 @@ class Broker:
         # Re-spool before releasing the claim: the worker may have
         # unlinked the chunk file when it published the (now discarded)
         # result, and a free claim on a missing chunk would strand it.
+        # The re-encoded chunk carries the *original* trace context, so
+        # the retry shares one trace with the killed attempt.
         chunk_path = self.spool / "chunks" / f"{chunk.chunk_id}.chunk"
         if not chunk_path.exists():
             _atomic_write(chunk_path,
-                          _encode_chunk(chunk.chunk_id, chunk.index, chunk.specs))
+                          _encode_chunk(chunk.chunk_id, chunk.index, chunk.specs,
+                                        trace=chunk.trace))
         release_claim(self.spool, chunk.chunk_id)
         self.stats.requeues += 1
+        self._metrics.inc(op="requeue")
+        if "lease expired" in why:
+            self._metrics.inc(op="lease_expired")
+        obs.emit("chunk.requeue", ctx=chunk.trace, chunk=chunk.chunk_id,
+                 attempt=chunk.attempts, why=why)
         self.telemetry.on_requeue(chunk.chunk_id, chunk.attempts, why)
 
     def _fail_chunk(self, chunk: _Chunk, error: str) -> None:
@@ -616,6 +709,10 @@ class Broker:
             for s in chunk.specs
         ]
         self.stats.chunk_failures += 1
+        self._metrics.inc(op="chunk_failed")
+        self._queue_gauge.set(len(self.outstanding()))
+        obs.emit("chunk.failed", ctx=chunk.trace, chunk=chunk.chunk_id,
+                 error=error)
         self._cleanup_chunk(chunk)
 
     def _cleanup_chunk(self, chunk: _Chunk) -> None:
@@ -661,10 +758,37 @@ class Broker:
             return
         chunk.results = results
         self.stats.chunks_completed += 1
+        self._merge_obs(chunk, doc)
+        self._metrics.inc(op="complete")
+        self._queue_gauge.set(len(self.outstanding()))
+        obs.emit("chunk.complete", ctx=chunk.trace, chunk=chunk.chunk_id,
+                 worker=str(doc.get("worker", "?")), jobs=len(records),
+                 attempt=chunk.attempts + 1)
         self.telemetry.on_chunk(chunk.chunk_id, len(records),
                                 str(doc.get("worker", "?")))
         path.unlink(missing_ok=True)
         self._cleanup_chunk(chunk)
+
+    def _merge_obs(self, chunk: _Chunk, doc: dict) -> None:
+        """Fold the worker's piggybacked observability payload (chunk
+        metrics snapshot + the worker's own runtime profile) into the
+        broker's registry and :attr:`worker_profile`; malformed payloads
+        are dropped rather than failing the ingest."""
+        payload = doc.get("obs")
+        if not isinstance(payload, dict):
+            return
+        metrics = payload.get("metrics")
+        if isinstance(metrics, dict):
+            try:
+                obs.get_registry().merge(metrics)
+            except (ValueError, TypeError, KeyError):
+                pass
+        profile = payload.get("profile")
+        if isinstance(profile, dict):
+            try:
+                self.worker_profile.merge(profile)
+            except (ValueError, TypeError, KeyError):
+                pass
 
     def _expire_leases(self) -> None:
         """Requeue chunks whose lease outlived its TTL (dead worker)."""
@@ -796,6 +920,10 @@ class ClusterBackend:
         self.timeout = timeout
         self.telemetry = telemetry
         self.last_stats: BrokerStats | None = None
+        #: After a run: the fleet-merged worker runtime profile summary
+        #: (``repro profile --backend cluster`` folds this in so
+        #: distributed profiles match local ones).
+        self.last_worker_profile: dict | None = None
 
     def _chunk_size_for(self, n_specs: int) -> int:
         if self.chunk_size is not None:
@@ -877,8 +1005,10 @@ class ClusterBackend:
             results = broker.collect(on_result=on_result, timeout=self.timeout,
                                      watchdog=watchdog)
             self.last_stats = broker.stats
+            self.last_worker_profile = broker.worker_profile.summary()
             return results
         finally:
+            obs.flush_metrics()
             for proc in procs.values():
                 proc.join(timeout=2.0)
                 if proc.is_alive():

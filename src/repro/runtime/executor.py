@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from . import obs
 from .backends import (
     Backend,
     JobResult,
@@ -126,53 +127,68 @@ def run_jobs(
         executor=getattr(executor, "name", type(executor).__name__),
         workers=getattr(executor, "workers", 1),
     )
-    start = time.perf_counter()
-    progress.on_start(len(specs))
+    registry = obs.get_registry()
+    jobs_total = registry.counter(
+        "repro_jobs_total", "Job completions by kind and status.")
+    job_seconds = registry.histogram(
+        "repro_job_duration_seconds", "Computed job wall-clock seconds by kind.")
+    with obs.span("run.jobs", total=len(specs), executor=stats.executor,
+                  workers=stats.workers):
+        obs.emit("run.start", total=len(specs), executor=stats.executor)
+        start = time.perf_counter()
+        progress.on_start(len(specs))
 
-    slots: list[JobResult | None] = [None] * len(specs)
-    pending: list[tuple[int, JobSpec]] = []
-    done = 0
-    for i, spec in enumerate(specs):
-        hit = cache.get(spec) if cache is not None else None
-        if hit is not None:
-            slots[i] = JobResult(
-                job_hash=hit.job_hash,
-                kind=hit.kind,
-                ok=True,
-                value=hit.value,
-                error=None,
-                duration_s=hit.duration_s,
-                cached=True,
-            )
-            stats.hits += 1
-            done += 1
-            progress.on_job(done, len(specs), slots[i])
-        else:
-            pending.append((i, spec))
-
-    if pending:
-        counter = {"done": done}
-
-        def on_result(result: JobResult) -> None:
-            counter["done"] += 1
-            progress.on_job(counter["done"], len(specs), result)
-
-        computed = executor.run([spec for _, spec in pending], on_result=on_result)
-        for (i, spec), result in zip(pending, computed):
-            slots[i] = result
-            if result.ok:
-                stats.misses += 1
-                if cache is not None:
-                    # A write failure (disk full, read-only directory, a
-                    # custom runner returning non-JSON values) costs the
-                    # memoisation, never the already-computed results.
-                    try:
-                        cache.put(spec, result.value, result.duration_s)
-                    except (OSError, TypeError, ValueError):
-                        stats.cache_errors += 1
+        slots: list[JobResult | None] = [None] * len(specs)
+        pending: list[tuple[int, JobSpec]] = []
+        done = 0
+        for i, spec in enumerate(specs):
+            hit = cache.get(spec) if cache is not None else None
+            if hit is not None:
+                slots[i] = JobResult(
+                    job_hash=hit.job_hash,
+                    kind=hit.kind,
+                    ok=True,
+                    value=hit.value,
+                    error=None,
+                    duration_s=hit.duration_s,
+                    cached=True,
+                )
+                stats.hits += 1
+                done += 1
+                jobs_total.inc(kind=spec.kind, status="cached")
+                progress.on_job(done, len(specs), slots[i])
             else:
-                stats.failures += 1
+                pending.append((i, spec))
 
-    stats.elapsed_s = time.perf_counter() - start
-    progress.on_finish(stats)
+        if pending:
+            counter = {"done": done}
+
+            def on_result(result: JobResult) -> None:
+                counter["done"] += 1
+                progress.on_job(counter["done"], len(specs), result)
+
+            computed = executor.run([spec for _, spec in pending], on_result=on_result)
+            for (i, spec), result in zip(pending, computed):
+                slots[i] = result
+                if result.ok:
+                    stats.misses += 1
+                    jobs_total.inc(kind=spec.kind, status="ok")
+                    job_seconds.observe(result.duration_s, kind=spec.kind)
+                    if cache is not None:
+                        # A write failure (disk full, read-only directory, a
+                        # custom runner returning non-JSON values) costs the
+                        # memoisation, never the already-computed results.
+                        try:
+                            cache.put(spec, result.value, result.duration_s)
+                        except (OSError, TypeError, ValueError):
+                            stats.cache_errors += 1
+                else:
+                    stats.failures += 1
+                    jobs_total.inc(kind=spec.kind, status="failed")
+
+        stats.elapsed_s = time.perf_counter() - start
+        progress.on_finish(stats)
+        obs.emit("run.end", total=stats.total, hits=stats.hits,
+                 misses=stats.misses, failures=stats.failures,
+                 elapsed_s=stats.elapsed_s)
     return RunReport(results=tuple(slots), stats=stats)

@@ -61,13 +61,21 @@ class Profiler:
     merge, so per-worker profiles combine into one fleet view.
     """
 
-    def __init__(self) -> None:
-        """Start an empty profiler; elapsed time counts from here."""
+    def __init__(self, enabled: bool = True) -> None:
+        """Start an empty profiler; elapsed time counts from here.
+
+        ``enabled=False`` makes every :meth:`add` (and therefore every
+        :meth:`span`) a no-op, so call sites can thread one profiler
+        object unconditionally and pay nothing when profiling is off.
+        """
+        self.enabled = enabled
         self.spans: dict[str, SpanStats] = {}
         self._started = time.perf_counter()
 
     def add(self, name: str, wall_s: float, count: int = 1, events: int = 0) -> None:
         """Accumulate one measurement into the span called ``name``."""
+        if not self.enabled:
+            return
         span = self.spans.get(name)
         if span is None:
             span = self.spans[name] = SpanStats(name)
@@ -113,6 +121,14 @@ class Profiler:
     def render(self, title: str = "profile") -> str:
         """Human-readable per-stage table of the recorded spans."""
         return render_profile(self.summary(), title=title)
+
+    def journal(self, **attrs) -> int:
+        """Emit each recorded span as a ``profile.span`` event into the
+        observability journal (:func:`repro.runtime.obs.emit_profile`);
+        returns the number of events written (0 when obs is off)."""
+        from . import obs
+
+        return obs.emit_profile(self.summary(), **attrs)
 
     def __iter__(self) -> Iterator[SpanStats]:
         """Iterate spans in descending wall-time order."""

@@ -11,6 +11,7 @@ order, so they are free to keep state without locks.
 from __future__ import annotations
 
 import collections
+import math
 import sys
 from dataclasses import dataclass, field
 
@@ -100,18 +101,24 @@ class LatencyRecorder:
         self.count += 1
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100, nearest-rank) of the window.
+        """The ``q``-th percentile (0-100, exact nearest-rank) of the window.
 
-        Returns 0.0 while no samples have been observed; raises
-        ``ValueError`` outside [0, 100].
+        Uses the nearest-rank definition ``rank = ceil(q/100 * n)``
+        (with p0 mapping to the minimum), which is exact for every
+        sample count.  The previous ``round()``-based rank suffered
+        banker's rounding at small ``n`` — e.g. the p50 of five samples
+        returned the second order statistic instead of the median, and
+        mid-range percentiles could land one rank low.  Returns 0.0
+        while no samples have been observed; raises ``ValueError``
+        outside [0, 100].
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if not self._window:
             return 0.0
         ordered = sorted(self._window)
-        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
-        return ordered[rank]
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
     def summary(self) -> dict:
         """``count``/``mean_s``/``p50_s``/``p99_s``/``max_s`` over the window."""

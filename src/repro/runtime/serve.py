@@ -46,6 +46,7 @@ import json
 import sys
 from dataclasses import dataclass, field
 
+from . import obs
 from .backends import Backend, JobResult, arun, make_backend
 from .cache import ResultCache
 from .jobs import (
@@ -226,6 +227,19 @@ class AsyncServer:
         self._batcher: asyncio.Task | None = None
         self._dispatches: set[asyncio.Task] = set()
         self._closing = False
+        registry = obs.get_registry()
+        self._m_requests = registry.counter(
+            "repro_serve_requests_total",
+            "Serve requests by kind and status (cached, ok, failed, rejected).")
+        self._m_batches = registry.counter(
+            "repro_serve_batches_total", "Micro-batches dispatched.")
+        self._m_latency = registry.histogram(
+            "repro_serve_latency_seconds",
+            "End-to-end request latency, cache hits included.")
+        self._g_in_flight = registry.gauge(
+            "repro_serve_in_flight", "Requests currently being answered.")
+        self._g_queue_depth = registry.gauge(
+            "repro_serve_queue_depth", "Requests waiting for a batch slot.")
 
     # -- lifecycle --------------------------------------------------------
     async def __aenter__(self) -> "AsyncServer":
@@ -266,6 +280,7 @@ class AsyncServer:
             await self._batcher
         await self._drain_dispatches()
         self._flush_cache_stats()
+        obs.flush_metrics()
 
     async def _drain_dispatches(self) -> None:
         while self._dispatches:
@@ -296,17 +311,22 @@ class AsyncServer:
         """
         if self._closing:
             self.telemetry.rejected += 1
+            self._m_requests.inc(kind=spec.kind, status="rejected")
             raise RuntimeError("server is closed")
         self._ensure_batcher()
         loop = asyncio.get_running_loop()
         start = loop.time()
         self.telemetry.requests += 1
         self.telemetry.in_flight += 1
+        self._g_in_flight.set(self.telemetry.in_flight)
         try:
             hit = await self._cache_get(spec)
             if hit is not None:
                 self.telemetry.cache_hits += 1
-                self.telemetry.latency.observe(loop.time() - start)
+                elapsed = loop.time() - start
+                self.telemetry.latency.observe(elapsed)
+                self._m_requests.inc(kind=spec.kind, status="cached")
+                self._m_latency.observe(elapsed)
                 return JobResult(
                     job_hash=hit.job_hash,
                     kind=hit.kind,
@@ -321,16 +341,23 @@ class AsyncServer:
                 # flight; the sentinel is already queued, so this
                 # request would never be dispatched.
                 self.telemetry.rejected += 1
+                self._m_requests.inc(kind=spec.kind, status="rejected")
                 raise RuntimeError("server is closed")
             pending = _Pending(spec=spec, future=loop.create_future(),
                                enqueued_at=start)
             self._queue.put_nowait(pending)  # same loop step as the check
             self.telemetry.queue_depth = self._queue.qsize()
+            self._g_queue_depth.set(self.telemetry.queue_depth)
             result: JobResult = await pending.future
-            self.telemetry.latency.observe(loop.time() - start)
+            elapsed = loop.time() - start
+            self.telemetry.latency.observe(elapsed)
+            self._m_requests.inc(kind=spec.kind,
+                                 status="ok" if result.ok else "failed")
+            self._m_latency.observe(elapsed)
             return result
         finally:
             self.telemetry.in_flight -= 1
+            self._g_in_flight.set(self.telemetry.in_flight)
 
     async def stream(self, specs: list[JobSpec]):
         """Answer many jobs, yielding each result as soon as it exists.
@@ -425,6 +452,7 @@ class AsyncServer:
         successes through to the cache."""
         self.telemetry.batches += 1
         self.telemetry.dispatched += len(batch)
+        self._m_batches.inc()
         delivered = 0
         try:
             async for result in arun(self.backend, [p.spec for p in batch]):
@@ -510,18 +538,31 @@ async def _answer_line(server: AsyncServer, line: bytes | str, send) -> None:
         if op == "stats":
             await send({"id": rid, "ok": True, "stats": server.stats()})
             return
+        if op == "metrics":
+            # Prometheus text exposition of the process-wide registry —
+            # the same registry `repro metrics` and `repro top` read.
+            await send({"id": rid, "ok": True,
+                        "content_type": "text/plain; version=0.0.4",
+                        "metrics": obs.get_registry().render_prometheus()})
+            return
         if op is not None:
-            raise ValueError(f"unknown op {op!r}; ops: ping, stats")
+            raise ValueError(f"unknown op {op!r}; ops: ping, stats, metrics")
         spec = request_to_spec(request)
     except (ValueError, RecursionError) as exc:
         await send({"id": rid, "ok": False, "error": f"bad request: {exc}"})
         return
     try:
-        result = await server.submit(spec)
+        with obs.span("serve.request", kind=spec.kind) as ctx:
+            result = await server.submit(spec)
     except RuntimeError as exc:
         await send({"id": rid, "ok": False, "error": str(exc)})
         return
-    await send(_result_response(rid, result))
+    response = _result_response(rid, result)
+    if obs.get_journal() is not None:
+        # Close the trace loop for journaled deployments: the client
+        # can correlate its answer with the server-side span events.
+        response["trace_id"] = ctx.trace_id
+    await send(response)
 
 
 async def _serve_lines(server: AsyncServer, readline, send) -> None:

@@ -36,6 +36,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from . import obs
 from ._fsutil import atomic_write_bytes
 from .cache import CachedResult, CacheStats, ResultCache, default_cache_dir
 from .jobs import JobSpec
@@ -52,6 +53,14 @@ MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 #: One index line: a full SHA-256 job hash.
 _HASH_LINE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _store_events():
+    """The shared ``repro_store_events_total`` counter (labels:
+    ``op=hit|miss|store|evict``) on the process-wide registry."""
+    return obs.get_registry().counter(
+        "repro_store_events_total",
+        "Result-store operations by op (hit, miss, store, evict).")
 
 #: Index size past which a touch triggers opportunistic compaction, so
 #: the log stays bounded even on uncapped stores that never evict.
@@ -533,6 +542,9 @@ class ResultStore(ResultCache):
                 self._entry_hits.get(spec.job_hash, 0) + 1
             )
             self._touch(spec.job_hash)
+            _store_events().inc(op="hit")
+        else:
+            _store_events().inc(op="miss")
         return hit
 
     def _locked_get(self, spec: JobSpec) -> CachedResult | None:
@@ -575,6 +587,10 @@ class ResultStore(ResultCache):
                 pass
         super().put(spec, value, duration_s)
         self._touch(spec.job_hash)
+        _store_events().inc(op="store")
+        # The write-through step of the trace chain: journaled under the
+        # ambient span, so a chunk's store writes share its trace ID.
+        obs.emit("store.put", job_hash=spec.job_hash, kind=spec.kind)
         # A put already pays an entry write; flushing here keeps stored
         # results' recency durable (only hit touches stay buffered).
         self._flush_touches()
@@ -727,6 +743,10 @@ class ResultStore(ResultCache):
                 if len(pruned) != len(usage):
                     with contextlib.suppress(OSError):
                         self._write_usage(pruned)
+            if removed:
+                _store_events().inc(removed, op="evict")
+                obs.emit("store.evict", removed=removed,
+                         target_bytes=target_bytes)
             return removed
 
     def _rewrite_index(self, hashes: list[str], snapshot_bytes: int) -> int:

@@ -483,3 +483,85 @@ class TestResultSchemaDrift:
         }))
         results = broker.collect(timeout=30)  # must not raise KeyError
         assert [r.ok for r in results] == [False]
+
+
+class TestTracePropagation:
+    """One logical chunk = one trace, no matter how many workers die."""
+
+    @pytest.fixture()
+    def obs_dir(self, tmp_path):
+        from repro.runtime import obs
+
+        target = tmp_path / "obs"
+        old = obs.set_registry(obs.MetricsRegistry())
+        obs.configure(target)
+        try:
+            yield target
+        finally:
+            obs.configure(False)
+            obs.set_registry(old)
+
+    def test_kill_mid_chunk_requeue_keeps_one_trace(self, tmp_path, obs_dir):
+        """The acceptance bar: a chunk SIGKILLed mid-flight and retried
+        by another worker journals submit, requeue, claim and complete
+        under a single trace ID."""
+        from repro.runtime.obs import read_journal
+
+        spool = tmp_path / "spool"
+        jobs = [sleep_job(i, sleep_s=0.3) for i in range(4)]
+        broker = Broker(spool, lease_ttl_s=0.6, poll_s=0.02)
+        broker.submit(jobs, chunk_size=2)
+        victim = spawn_worker(spool, "victim", lease_ttl_s=0.6)
+        assert wait_for(lambda: list((spool / "claims").glob("*.claim")))
+        time.sleep(0.1)  # ensure the victim is inside a job, mid-chunk
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join()
+        rescuer = spawn_worker(spool, "rescuer", lease_ttl_s=0.6)
+        try:
+            broker.collect(timeout=60)
+        finally:
+            rescuer.kill()
+            rescuer.join()
+        assert broker.stats.requeues >= 1
+
+        events = read_journal(obs_dir / "journal.ndjson")
+        by_chunk: dict = {}
+        for e in events:
+            if "chunk" in e and "trace_id" in e:
+                by_chunk.setdefault(e["chunk"], []).append(e)
+        requeued = [c for c, evs in by_chunk.items()
+                    if any(e["event"] == "chunk.requeue" for e in evs)]
+        assert requeued, "no chunk.requeue event journaled"
+        for chunk_id in requeued:
+            evs = by_chunk[chunk_id]
+            names = {e["event"] for e in evs}
+            assert {"chunk.submit", "chunk.requeue", "chunk.complete"} <= names
+            traces = {e["trace_id"] for e in evs}
+            assert len(traces) == 1, (
+                f"chunk {chunk_id} spans traces {traces}")
+            # Both attempts' workers adopted the chunk's context.
+            claims = [e for e in evs if e["event"] == "worker.claim"]
+            assert {e["worker"] for e in claims} >= {"victim", "rescuer"}
+        # Every chunk of one submit call shares the run's trace.
+        assert len({evs[0]["trace_id"] for evs in by_chunk.values()}) == 1
+
+    def test_worker_telemetry_merges_broker_side(self, tmp_path, obs_dir):
+        """Workers ship their own runtime spans and chunk metrics in
+        the result envelope; the broker folds them into the submitting
+        process's profile and registry (the `repro profile --backend
+        cluster` fix)."""
+        from repro.runtime import obs
+
+        jobs = [sleep_job(i) for i in range(4)]
+        backend = ClusterBackend(workers=2, spool_dir=tmp_path / "spool",
+                                 chunk_size=2, timeout=120.0)
+        run = run_jobs(jobs, executor=backend)
+        assert all(r.ok for r in run.results)
+        prof = backend.last_worker_profile
+        assert prof is not None
+        assert {"worker.chunk", "worker.execute"} <= set(prof["spans"])
+        assert prof["spans"]["worker.execute"]["count"] == 4
+        chunks = obs.get_registry().counter("repro_worker_chunks_total")
+        assert chunks.total() == 2
+        seconds = obs.get_registry().histogram("repro_worker_chunk_seconds")
+        assert sum(s["count"] for s in seconds._snapshot_series()) == 2

@@ -1,0 +1,380 @@
+"""Observability core: metrics registry, trace spans, event journal.
+
+Covers what the integration suites (``test_dist.py``, ``test_serve.py``)
+assume: labeled counters/gauges/histograms that snapshot to JSON and
+merge across processes, Prometheus text rendering, span nesting and
+context adoption, journal append semantics under concurrent writers
+(threads sharing one descriptor and forked processes appending to one
+file), per-process snapshot flush/merge, and the configure/env gates
+that keep all of it a no-op when observability is off.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.runtime import obs
+from repro.runtime.obs import (
+    Histogram,
+    Journal,
+    MetricsRegistry,
+    SpanContext,
+    read_journal,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs(monkeypatch):
+    # Every test runs with a private registry and observability off;
+    # tests that need a journal call obs.configure themselves.
+    old = obs.set_registry(MetricsRegistry())
+    monkeypatch.delenv(obs.OBS_DIR_ENV, raising=False)
+    obs.configure(False)
+    yield
+    obs.configure(False)
+    obs.set_registry(old)
+
+
+class TestCountersAndGauges:
+    def test_counter_labels_value_total(self):
+        c = MetricsRegistry().counter("jobs_total", "help text")
+        c.inc(kind="eval", status="ok")
+        c.inc(2, kind="eval", status="ok")
+        c.inc(kind="eval", status="failed")
+        assert c.value(kind="eval", status="ok") == 3
+        assert c.value(status="ok", kind="eval") == 3  # order-insensitive
+        assert c.value(kind="eval", status="failed") == 1
+        assert c.value(kind="never") == 0.0
+        assert c.total() == 4
+
+    def test_counter_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("jobs_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_sets_and_goes_negative(self):
+        g = MetricsRegistry().gauge("queue_depth")
+        g.set(5, shard="a")
+        g.inc(-2, shard="a")
+        assert g.value(shard="a") == 3
+        g.set(-1, shard="a")
+        assert g.value(shard="a") == -1
+
+
+class TestHistogram:
+    def test_observe_count_and_quantile(self):
+        h = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.quantile(0) == 0.01    # nearest rank 1 -> first bucket
+        assert h.quantile(50) == 0.1
+        assert h.quantile(100) == 1.0
+        h.observe(5.0)  # overflow lands past the last bound
+        assert h.quantile(100) == 1.0   # reported at bucket resolution
+        assert h.count() == 5
+
+    def test_quantile_validates_and_handles_empty(self):
+        h = Histogram("latency", buckets=(1.0,))
+        assert h.quantile(99) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(101)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.names() == ["a"]
+
+    def test_kind_mismatch_is_an_error(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("a")
+        with pytest.raises(ValueError, match="already registered"):
+            r.histogram("a")
+
+    def test_snapshot_merge_round_trip(self):
+        src = MetricsRegistry()
+        src.counter("jobs", "n").inc(3, kind="eval")
+        src.gauge("depth").set(7)
+        src.histogram("lat", buckets=(0.1, 1.0)).observe(0.05, op="get")
+        dst = MetricsRegistry()
+        dst.counter("jobs").inc(1, kind="eval")
+        dst.merge(src.snapshot())
+        dst.merge(src.snapshot())  # fleet view: two identical workers
+        assert dst.counter("jobs").value(kind="eval") == 7
+        assert dst.gauge("depth").value() == 14
+        assert dst.histogram("lat", buckets=(0.1, 1.0)).count(op="get") == 2
+
+    def test_merge_rejects_schema_and_kind_mismatches(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="schema"):
+            r.merge({"schema": 999, "metrics": {}})
+        with pytest.raises(ValueError, match="unknown kind"):
+            r.merge({"schema": obs.OBS_SCHEMA,
+                     "metrics": {"x": {"kind": "summary", "series": []}}})
+
+    def test_merge_rejects_histogram_bucket_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(0.2, 2.0)).observe(0.05)
+        with pytest.raises(ValueError):
+            b.merge(a.snapshot())
+
+    def test_snapshot_is_json_serializable(self):
+        r = MetricsRegistry()
+        r.counter("jobs").inc(kind="eval")
+        r.histogram("lat").observe(0.2)
+        doc = json.loads(json.dumps(r.snapshot()))
+        assert doc["schema"] == obs.OBS_SCHEMA
+        assert set(doc["metrics"]) == {"jobs", "lat"}
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        r = MetricsRegistry()
+        r.counter("repro_jobs_total", "Jobs by status.").inc(2, status="ok")
+        r.gauge("repro_depth").set(3)
+        text = r.render_prometheus()
+        assert "# HELP repro_jobs_total Jobs by status.\n" in text
+        assert "# TYPE repro_jobs_total counter\n" in text
+        assert 'repro_jobs_total{status="ok"} 2\n' in text
+        assert "# TYPE repro_depth gauge\n" in text
+        assert "repro_depth 3\n" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = r.render_prometheus()
+        assert 'lat_bucket{le="0.1"} 1\n' in text
+        assert 'lat_bucket{le="1"} 2\n' in text
+        assert 'lat_bucket{le="+Inf"} 3\n' in text
+        assert "lat_sum 5.55\n" in text
+        assert "lat_count 3\n" in text
+
+    def test_label_values_are_escaped(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(path='a"b\\c\nd')
+        text = r.render_prometheus()
+        assert r'c{path="a\"b\\c\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestSpans:
+    def test_root_span_starts_a_trace(self):
+        with obs.span("outer") as ctx:
+            assert obs.current_span() is ctx
+            assert ctx.parent_id is None
+            assert len(ctx.trace_id) == 16
+        assert obs.current_span() is None
+
+    def test_nested_span_shares_trace_and_links_parent(self):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert inner.span_id != outer.span_id
+            assert obs.current_span() is outer
+
+    def test_activate_adopts_a_deserialized_context(self):
+        wire = SpanContext(trace_id="t" * 16, span_id="s" * 16).to_doc()
+        ctx = SpanContext.from_doc(wire)
+        with obs.activate(ctx):
+            with obs.span("child") as child:
+                assert child.trace_id == "t" * 16
+                assert child.parent_id == "s" * 16
+        assert obs.current_span() is None
+
+    def test_activate_none_is_a_no_op(self):
+        with obs.activate(None):
+            with obs.span("root") as ctx:
+                assert ctx.parent_id is None
+
+    def test_span_journals_duration_and_status(self, tmp_path):
+        obs.configure(tmp_path)
+        with obs.span("work", items=3):
+            pass
+        with pytest.raises(RuntimeError):
+            with obs.span("broken"):
+                raise RuntimeError("boom")
+        events = read_journal(tmp_path / "journal.ndjson")
+        by_name = {e["event"]: e for e in events}
+        assert by_name["work"]["status"] == "ok"
+        assert by_name["work"]["items"] == 3
+        assert by_name["work"]["duration_s"] >= 0.0
+        assert by_name["broken"]["status"] == "RuntimeError"
+
+
+class TestJournal:
+    def test_emit_record_fields_and_seq(self, tmp_path):
+        j = Journal(tmp_path / "j.ndjson")
+        ctx = SpanContext(trace_id="t" * 16, span_id="s" * 16, parent_id="p" * 16)
+        j.emit("chunk.submit", ctx=ctx, chunk="c-0", jobs=4)
+        j.emit("chunk.complete", ctx=ctx)
+        j.close()
+        events = read_journal(tmp_path / "j.ndjson")
+        assert [e["seq"] for e in events] == [1, 2]
+        first = events[0]
+        assert first["event"] == "chunk.submit"
+        assert first["trace_id"] == "t" * 16
+        assert first["span_id"] == "s" * 16
+        assert first["parent_id"] == "p" * 16
+        assert first["chunk"] == "c-0" and first["jobs"] == 4
+        assert first["proc"] == obs.PROC_ID
+
+    def test_read_journal_skips_torn_and_blank_lines(self, tmp_path):
+        path = tmp_path / "j.ndjson"
+        path.write_text('{"event": "a", "seq": 1}\n\n{"event": "b", "se')
+        events = read_journal(path)
+        assert [e["event"] for e in events] == ["a"]
+        assert read_journal(tmp_path / "missing.ndjson") == []
+
+    def test_concurrent_thread_writers_never_tear_lines(self, tmp_path):
+        j = Journal(tmp_path / "j.ndjson")
+        threads = [
+            threading.Thread(target=lambda w=w: [
+                j.emit("tick", writer=w, payload="x" * 256) for _ in range(100)
+            ])
+            for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        j.close()
+        events = read_journal(tmp_path / "j.ndjson")
+        assert len(events) == 800  # every line parsed -> none torn
+        # One shared descriptor: seq totally orders the file's events.
+        assert sorted(e["seq"] for e in events) == list(range(1, 801))
+
+    def test_forked_writers_interleave_whole_lines(self, tmp_path):
+        """Forked children append to the inherited descriptor; the
+        at-fork hook gives each a fresh PROC_ID and seq scope, so the
+        shared file stays totally ordered per process."""
+        obs.configure(tmp_path)
+        obs.emit("parent.start")
+
+        def child(i):
+            for n in range(50):
+                obs.emit("child.tick", writer=i, payload="y" * 128)
+            os._exit(0)
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=child, args=(i,)) for i in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        events = read_journal(tmp_path / "journal.ndjson")
+        ticks = [e for e in events if e["event"] == "child.tick"]
+        assert len(ticks) == 200
+        by_proc = {}
+        for e in ticks:
+            by_proc.setdefault(e["proc"], []).append(e["seq"])
+        assert len(by_proc) == 4  # distinct identity per forked child
+        parent_proc = next(e["proc"] for e in events
+                           if e["event"] == "parent.start")
+        assert parent_proc not in by_proc
+        for seqs in by_proc.values():
+            assert seqs == sorted(seqs) == list(range(1, 51))
+
+
+class TestFlushAndReadMetrics:
+    def test_flush_then_read_merges_fleet_snapshots(self, tmp_path):
+        obs.configure(tmp_path)
+        obs.get_registry().counter("repro_jobs_total").inc(5, kind="eval")
+        path = obs.flush_metrics()
+        assert path is not None and path.parent == tmp_path / "metrics"
+        # A second process's snapshot, written independently.
+        other = MetricsRegistry()
+        other.counter("repro_jobs_total").inc(2, kind="eval")
+        doc = other.snapshot()
+        doc["proc"] = "otherhost-1-abcdef"
+        (tmp_path / "metrics" / "otherhost-1-abcdef.json").write_text(
+            json.dumps(doc))
+        merged = obs.read_metrics(tmp_path)
+        assert merged.counter("repro_jobs_total").value(kind="eval") == 7
+
+    def test_flush_is_idempotent_not_additive(self, tmp_path):
+        obs.configure(tmp_path)
+        obs.get_registry().counter("c").inc(3)
+        obs.flush_metrics()
+        obs.flush_metrics()  # same proc file overwritten, not doubled
+        assert obs.read_metrics(tmp_path).counter("c").total() == 3
+
+    def test_read_metrics_skips_unreadable_snapshots(self, tmp_path):
+        (tmp_path / "metrics").mkdir(parents=True)
+        (tmp_path / "metrics" / "bad.json").write_text("{not json")
+        good = MetricsRegistry()
+        good.counter("c").inc()
+        (tmp_path / "metrics" / "good.json").write_text(
+            json.dumps(good.snapshot()))
+        assert obs.read_metrics(tmp_path).counter("c").total() == 1
+
+    def test_flush_without_obs_dir_or_metrics_is_none(self, tmp_path):
+        assert obs.flush_metrics() is None          # observability off
+        obs.configure(tmp_path)
+        assert obs.flush_metrics() is None          # empty registry
+
+
+class TestConfiguration:
+    def test_disabled_emit_and_span_still_work(self):
+        assert obs.emit("anything", x=1) is None
+        with obs.span("quiet") as ctx:
+            assert ctx.trace_id  # context exists even with journal off
+        assert obs.get_journal() is None
+
+    def test_env_auto_configuration(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.OBS_DIR_ENV, str(tmp_path / "from-env"))
+        obs._STATE["configured"] = False  # simulate a fresh process
+        assert obs.get_journal() is not None
+        assert obs.obs_dir() == tmp_path / "from-env"
+        assert obs.emit("hello")["event"] == "hello"
+
+    def test_false_overrides_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.OBS_DIR_ENV, str(tmp_path))
+        obs.configure(False)
+        assert obs.obs_dir() is None
+        assert obs.emit("hello") is None
+
+    def test_reconfigure_moves_the_journal(self, tmp_path):
+        obs.configure(tmp_path / "a")
+        obs.emit("one")
+        obs.configure(tmp_path / "b")
+        obs.emit("two")
+        assert [e["event"] for e in
+                read_journal(tmp_path / "a" / "journal.ndjson")] == ["one"]
+        assert [e["event"] for e in
+                read_journal(tmp_path / "b" / "journal.ndjson")] == ["two"]
+
+    def test_emit_profile_writes_one_event_per_span(self, tmp_path):
+        obs.configure(tmp_path)
+        summary = {"total_s": 1.0, "spans": {
+            "sne.update": {"count": 3, "wall_s": 0.5, "events": 10,
+                           "events_per_s": 20.0},
+            "sne.fire": {"count": 1, "wall_s": 0.1, "events": 2,
+                         "events_per_s": 20.0},
+        }}
+        assert obs.emit_profile(summary, workload="fig5b") == 2
+        events = read_journal(tmp_path / "journal.ndjson")
+        spans = {e["span"] for e in events if e["event"] == "profile.span"}
+        assert spans == {"sne.update", "sne.fire"}
+        assert all(e["workload"] == "fig5b" for e in events)
+        obs.configure(False)
+        assert obs.emit_profile(summary) == 0

@@ -1,5 +1,7 @@
 """CLI surface: ``python -m repro sweep|eval|cache`` and ``--version``."""
 
+import json
+
 import pytest
 
 from repro import __version__
@@ -203,3 +205,54 @@ def test_spool_flag_rejected_for_non_cluster_backends(tmp_path, capsys):
     assert main(["sweep", "--slices", "1", "--backend", "serial", "--spool",
                  str(tmp_path), "--no-cache", "--quiet"]) == 2
     assert "--spool only applies to --backend cluster" in capsys.readouterr().err
+
+
+def test_metrics_and_top_need_an_obs_dir(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+    from repro.runtime import obs
+
+    obs.configure(False)
+    try:
+        assert main(["metrics"]) == 2
+        assert "--obs-dir" in capsys.readouterr().err
+        assert main(["top", "--once"]) == 2
+        assert "--obs-dir" in capsys.readouterr().err
+    finally:
+        obs.configure(False)
+
+
+def test_sweep_then_metrics_and_top(tmp_path, capsys):
+    from repro.runtime import obs
+
+    obs_dir = tmp_path / "obs"
+    # Earlier in-process main() calls accumulated into the global
+    # registry; start from a clean one so the counts below are exact.
+    obs.set_registry(obs.MetricsRegistry())
+    try:
+        assert main(["sweep", "--slices", "1,8", "--cache-dir",
+                     str(tmp_path / "cache"), "--quiet",
+                     "--obs-dir", str(obs_dir)]) == 0
+        assert (obs_dir / "journal.ndjson").is_file()
+        capsys.readouterr()
+
+        assert main(["metrics", "--obs-dir", str(obs_dir)]) == 0
+        human = capsys.readouterr().out
+        assert "repro_jobs_total" in human
+
+        assert main(["metrics", "--json", "--obs-dir", str(obs_dir)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        series = doc["metrics"]["repro_jobs_total"]["series"]
+        assert sum(s["value"] for s in series) == 2  # two design points
+
+        assert main(["metrics", "--prom", "--obs-dir", str(obs_dir)]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_jobs_total counter" in prom
+
+        assert main(["top", "--once", "--obs-dir", str(obs_dir)]) == 0
+        frame = capsys.readouterr().out
+        assert "queue depth" in frame and "cache hit rate" in frame
+        assert "\x1b[" not in frame  # --once frames stay grep-able
+    finally:
+        obs.configure(False)
+        obs.set_registry(obs.MetricsRegistry())

@@ -517,6 +517,41 @@ class TestTCPProtocol:
         assert {"requests", "in_flight", "queue_depth", "latency",
                 "cache_hit_ratio"} <= set(stats)
 
+    def test_metrics_op_returns_prometheus_text(self, tmp_path):
+        out = self._roundtrip(
+            [
+                json.dumps({"id": "j", "kind": "dse_point",
+                            "params": {"n_slices": 2}}),
+                json.dumps({"id": "m", "op": "metrics"}),
+            ],
+            tmp_path,
+        )
+        by_id = {o["id"]: o for o in out}
+        assert by_id["m"]["ok"]
+        assert by_id["m"]["content_type"].startswith("text/plain")
+        text = by_id["m"]["metrics"]
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "# TYPE repro_serve_latency_seconds histogram" in text
+        assert "# TYPE repro_serve_in_flight gauge" in text
+
+    def test_job_responses_carry_trace_ids_when_journal_on(self, tmp_path):
+        from repro.runtime import obs
+
+        obs.configure(tmp_path / "obs")
+        try:
+            out = self._roundtrip(
+                [json.dumps({"id": "a", "kind": "dse_point",
+                             "params": {"n_slices": 1}})],
+                tmp_path,
+            )
+            assert out[0]["ok"] and len(out[0]["trace_id"]) == 16
+            events = obs.read_journal(tmp_path / "obs" / "journal.ndjson")
+            spans = [e for e in events if e["event"] == "serve.request"]
+            assert spans and spans[0]["trace_id"] == out[0]["trace_id"]
+            assert spans[0]["status"] == "ok"
+        finally:
+            obs.configure(False)
+
 
 class TestStdioProtocol:
     def test_serve_stdio_answers_then_drains(self, tmp_path):
@@ -581,6 +616,29 @@ class TestTelemetry:
         with pytest.raises(ValueError):
             LatencyRecorder(maxlen=0)
         assert LatencyRecorder().summary()["p99_s"] == 0.0
+
+    def test_latency_recorder_small_samples_use_nearest_rank(self):
+        """Regression: the old round()-based rank under-reported mid
+        percentiles at small n — p50 of five samples picked the 2nd
+        order statistic (banker's rounding of 2.5), not the median."""
+        rec = LatencyRecorder(maxlen=16)
+        for s in (0.001, 0.002, 0.003, 0.004, 0.005):
+            rec.observe(s)
+        assert rec.percentile(50) == pytest.approx(0.003)  # the true median
+        # Nearest-rank: ceil(q/100 * n) over the sorted window.
+        assert rec.percentile(20) == pytest.approx(0.001)
+        assert rec.percentile(60) == pytest.approx(0.003)
+        assert rec.percentile(61) == pytest.approx(0.004)
+        # At n < 100, p99's nearest rank is the max — by definition,
+        # not by rounding accident.
+        assert rec.percentile(99) == pytest.approx(0.005)
+        qs = [rec.percentile(q) for q in range(0, 101, 5)]
+        assert qs == sorted(qs)  # monotone in q
+        pair = LatencyRecorder(maxlen=4)
+        pair.observe(0.010)
+        pair.observe(0.020)
+        assert pair.percentile(50) == pytest.approx(0.010)
+        assert pair.percentile(51) == pytest.approx(0.020)
 
     def test_snapshot_ratios(self):
         t = ServeTelemetry()
