@@ -18,6 +18,8 @@
 #                      run once per backend to demonstrate bit-identical
 #                      tables and the shared-store hit path
 #   make profile-smoke - hot-path profile of a small workload via the CLI
+#   make fuzz-kernels - kernel parity fuzz matrix (reference vs numpy vs
+#                      numba when importable) over adversarial draws
 #   make bench       - the full benchmark suite (slow)
 #   make clean-cache - drop the CLI's default on-disk result store
 
@@ -34,7 +36,7 @@ BENCH_JSON_SUITE = benchmarks/bench_fig5b_perf.py \
 
 .PHONY: test test-parity test-serve test-dist docs-check lint bench-smoke \
         bench-serve bench-gate bench-baseline sweep-smoke profile-smoke \
-        bench clean-cache
+        fuzz-kernels bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -71,6 +73,9 @@ bench-baseline:
 
 profile-smoke:
 	$(PYTHON) -m repro profile --per-class 1 --max-samples 4 --quiet
+
+fuzz-kernels:
+	$(PYTHON) -m repro.hw.fuzz 200 --kernels
 
 sweep-smoke:
 	$(PYTHON) -m repro sweep --slices 4,8 --backend process --workers 2 --cache-dir .repro_cache_smoke

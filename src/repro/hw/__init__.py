@@ -22,14 +22,24 @@ from .lif_datapath import (
     state_bounds,
 )
 from .cluster import Cluster, ClusterStats
+from .kernels import (
+    KERNEL_CHOICES,
+    KernelSet,
+    available_kernels,
+    default_kernel,
+    kernel_summary,
+    resolve_kernel,
+)
 from .mapper import (
     FanoutTable,
     LayerGeometry,
     LayerKind,
     LayerProgram,
+    PackedFanout,
     compile_layer,
     compile_network,
     fanout_table,
+    program_content_hash,
 )
 from .slice import Slice, SliceStats
 from .xbar import Crossbar, CrossbarStats
@@ -55,7 +65,18 @@ from .runner import (
     SampleResult,
     report_from_job_results,
 )
-from .fuzz import FuzzCase, FuzzResult, fuzz, random_case, run_case
+from .fuzz import (
+    FuzzCase,
+    FuzzResult,
+    KernelFuzzResult,
+    fuzz,
+    fuzz_kernels,
+    matrix_kernels,
+    random_case,
+    random_kernel_case,
+    run_case,
+    run_kernel_case,
+)
 
 __all__ = [
     "PAPER_CONFIG",
@@ -71,11 +92,19 @@ __all__ = [
     "state_bounds",
     "Cluster",
     "ClusterStats",
+    "KERNEL_CHOICES",
+    "KernelSet",
+    "available_kernels",
+    "default_kernel",
+    "kernel_summary",
+    "resolve_kernel",
     "LayerGeometry",
     "LayerKind",
     "LayerProgram",
     "FanoutTable",
+    "PackedFanout",
     "fanout_table",
+    "program_content_hash",
     "compile_layer",
     "compile_network",
     "Slice",
@@ -104,7 +133,12 @@ __all__ = [
     "report_from_job_results",
     "FuzzCase",
     "FuzzResult",
+    "KernelFuzzResult",
     "fuzz",
+    "fuzz_kernels",
+    "matrix_kernels",
     "random_case",
+    "random_kernel_case",
     "run_case",
+    "run_kernel_case",
 ]

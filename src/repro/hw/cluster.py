@@ -43,12 +43,23 @@ class Cluster:
         state_bits: int = 8,
         fifo_depth: int = 8,
         name: str = "cluster",
+        state: np.ndarray | None = None,
     ) -> None:
         if n_neurons < 1:
             raise ValueError("n_neurons must be positive")
         self.n_neurons = n_neurons
         self.state_bits = state_bits
-        self.state = np.zeros(n_neurons, dtype=np.int64)
+        if state is None:
+            state = np.zeros(n_neurons, dtype=np.int64)
+        else:
+            # A view into the owning slice's contiguous (clusters,
+            # neurons) matrix: the compiled kernels update the matrix,
+            # the per-event reference updates the views — one storage,
+            # no copies, bit-identical by construction.
+            if state.shape != (n_neurons,) or state.dtype != np.int64:
+                raise ValueError("state buffer must be int64 of length n_neurons")
+            state[...] = 0
+        self.state = state
         self.tlu = 0
         self.out_fifo = Fifo(fifo_depth, name=f"{name}.out")
         self.stats = ClusterStats()
@@ -78,7 +89,9 @@ class Cluster:
         if dt > 1:
             self.stats.tlu_skipped_steps += dt - 1
         if leak > 0:
-            self.state = leak_catchup(self.state, leak, dt)
+            # In place: the array may be a view into the owning slice's
+            # contiguous state matrix, which must observe the decay.
+            self.state[...] = leak_catchup(self.state, leak, dt)
         elif leak < 0:
             raise ValueError("leak must be non-negative")
         self.tlu = t

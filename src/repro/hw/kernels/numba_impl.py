@@ -1,0 +1,190 @@
+"""Numba-jit kernels for the SNE hot loop (preferred when importable).
+
+The update kernel is a fused serial loop — address filter, first-touch
+leak catch-up, per-(event, cluster) sequencer counts and the saturating
+accumulate in one pass over the assembled entries.  Serial execution in
+event order makes bit-identity with the per-event reference *trivial*:
+there is no fast-path/replay split to keep honest, every add clips
+exactly like :func:`repro.hw.lif_datapath.sat_add`.
+
+Import of this module never fails: ``AVAILABLE`` records whether numba
+imported, and the registry (:mod:`repro.hw.kernels`) falls back to the
+numpy shim — with a once-per-process warning — when it did not.  JIT
+compilation is paid once per process (``cache=True`` persists the
+machine code across processes where numba's cache directory allows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AVAILABLE", "DETAIL", "assemble", "update_step", "fire_step"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    AVAILABLE = True
+    DETAIL = f"numba {numba.__version__}"
+except ImportError as _exc:  # the container this grew in has no numba
+    numba = None
+    AVAILABLE = False
+    DETAIL = f"numba not importable ({_exc})"
+
+
+def _jit(func):
+    """``numba.njit(cache=True)`` when numba imported, else identity.
+
+    Keeping the decorator total lets the module define its kernels
+    unconditionally; the registry only hands them out when
+    ``AVAILABLE`` is true, so the undecorated forms are never hot.
+    """
+    if numba is None:
+        return func
+    return numba.njit(cache=True)(func)
+
+
+@_jit
+def _assemble(offsets, idx_flat, w_flat, flat):  # pragma: no cover - jit body
+    n = flat.shape[0]
+    total = 0
+    for k in range(n):
+        total += offsets[flat[k] + 1] - offsets[flat[k]]
+    idx = np.empty(total, np.int64)
+    w = np.empty(total, np.int64)
+    ev = np.empty(total, np.int64)
+    p = 0
+    for k in range(n):
+        f = flat[k]
+        for s in range(offsets[f], offsets[f + 1]):
+            idx[p] = idx_flat[s]
+            w[p] = w_flat[s]
+            ev[p] = k
+            p += 1
+    return idx, w, ev
+
+
+@_jit
+def _update_step(
+    state, tlus, t, leak, neuron_idx, weights, event_idx, n_events,
+    neuron_lo, neuron_hi, window, vlo, vhi,
+):  # pragma: no cover - jit body
+    n_clusters, per_cluster = state.shape
+    flat = state.reshape(-1)
+    counts = np.zeros((n_events, n_clusters), np.int64)
+    touched = np.zeros(n_clusters, np.bool_)
+    n_in = 0
+    for k in range(neuron_idx.shape[0]):
+        g = neuron_idx[k]
+        if g < neuron_lo or g >= neuron_hi:
+            continue
+        local = g - neuron_lo
+        c = local // per_cluster
+        if not touched[c]:
+            touched[c] = True
+            if leak > 0:
+                dt = t - tlus[c]
+                if dt > 0:
+                    dec = leak * dt
+                    base = c * per_cluster
+                    for j in range(per_cluster):
+                        v = flat[base + j]
+                        if v > 0:
+                            v -= dec
+                            flat[base + j] = v if v > 0 else 0
+                        elif v < 0:
+                            v += dec
+                            flat[base + j] = v if v < 0 else 0
+        counts[event_idx[k], c] += 1
+        n_in += 1
+        v = flat[local] + weights[k]
+        if v > vhi:
+            v = vhi
+        elif v < vlo:
+            v = vlo
+        flat[local] = v
+    cycles = np.empty(n_events, np.int64)
+    per_cluster_updates = np.zeros(n_clusters, np.int64)
+    events_touching = np.zeros(n_clusters, np.int64)
+    overrun_total = 0
+    for e in range(n_events):
+        m = 0
+        for c in range(n_clusters):
+            cc = counts[e, c]
+            if cc > m:
+                m = cc
+            per_cluster_updates[c] += cc
+            if cc > 0:
+                events_touching[c] += 1
+        over = m - window
+        if over > 0:
+            overrun_total += over
+            cycles[e] = window + over
+        else:
+            cycles[e] = window
+    return cycles, per_cluster_updates, events_touching, n_in, overrun_total
+
+
+@_jit
+def _fire_step(
+    state, dts, leak, threshold, neuron_lo, neuron_hi, plane, out_width,
+):  # pragma: no cover - jit body
+    n_clusters, per_cluster = state.shape
+    cap = n_clusters * per_cluster
+    f_ch = np.empty(cap, np.int64)
+    f_x = np.empty(cap, np.int64)
+    f_y = np.empty(cap, np.int64)
+    fires = np.zeros(n_clusters, np.int64)
+    m = 0
+    for c in range(n_clusters):
+        dec = leak * dts[c]
+        base = neuron_lo + c * per_cluster
+        for j in range(per_cluster):
+            v = state[c, j]
+            if dec > 0:
+                if v > 0:
+                    v -= dec
+                    if v < 0:
+                        v = 0
+                elif v < 0:
+                    v += dec
+                    if v > 0:
+                        v = 0
+            if v >= threshold:
+                state[c, j] = 0
+                fires[c] += 1
+                linear = base + j
+                if linear < neuron_hi:
+                    ch = linear // plane
+                    rem = linear - ch * plane
+                    i = rem // out_width
+                    f_ch[m] = ch
+                    f_x[m] = rem - i * out_width
+                    f_y[m] = i
+                    m += 1
+    return f_ch[:m].copy(), f_x[:m].copy(), f_y[:m].copy(), fires
+
+
+def assemble(offsets, idx_flat, w_flat, flat):
+    """CSR fanout gather (jit): same contract as the numpy shim."""
+    return _assemble(offsets, idx_flat, w_flat, flat)
+
+
+def update_step(
+    state, tlus, t, leak, neuron_idx, weights, event_idx, n_events,
+    neuron_lo, neuron_hi, window, vlo, vhi,
+):
+    """Fused UPDATE step (jit): same contract as the numpy shim."""
+    return _update_step(
+        state, tlus, int(t), int(leak),
+        np.ascontiguousarray(neuron_idx), np.ascontiguousarray(weights),
+        np.ascontiguousarray(event_idx), int(n_events),
+        int(neuron_lo), int(neuron_hi), int(window), int(vlo), int(vhi),
+    )
+
+
+def fire_step(state, dts, leak, threshold, neuron_lo, neuron_hi, plane, out_width):
+    """Fused TDM fire scan (jit): same contract as the numpy shim."""
+    return _fire_step(
+        state, np.ascontiguousarray(dts), int(leak), int(threshold),
+        int(neuron_lo), int(neuron_hi), int(plane), int(out_width),
+    )

@@ -18,8 +18,9 @@ accounting, which is what the reproduction measures.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
-import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,7 +37,9 @@ __all__ = [
     "LayerGeometry",
     "LayerProgram",
     "FanoutTable",
+    "PackedFanout",
     "fanout_table",
+    "program_content_hash",
     "compile_layer",
     "compile_network",
 ]
@@ -214,6 +217,24 @@ class LayerProgram:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class PackedFanout:
+    """CSR form of a layer's complete event fanout.
+
+    ``offsets[f]:offsets[f+1]`` delimits input coordinate ``f``'s fanout
+    inside the flat ``idx``/``w`` arrays.  This is the representation
+    the compiled kernels (:mod:`repro.hw.kernels`) gather from — one
+    contiguous lookup instead of a Python loop over per-coordinate
+    cache entries — and it is built from the exact
+    :meth:`LayerGeometry.affected_outputs` results, so kernel gathers
+    stay bit-identical to the per-event path by construction.
+    """
+
+    offsets: np.ndarray
+    idx: np.ndarray
+    w: np.ndarray
+
+
 class FanoutTable:
     """Batched :meth:`LayerGeometry.affected_outputs` lookup for one program.
 
@@ -230,15 +251,20 @@ class FanoutTable:
     def __init__(self, program: LayerProgram) -> None:
         g = program.geometry
         self._geometry = g
-        self._weights = np.asarray(program.weights)
+        # Snapshot the weights: the content-hash memo keys tables by the
+        # weight *values*, so a table must never see later in-place
+        # mutations of the program's array (that was the stale-fanout
+        # bug the hash keying fixes).
+        self._weights = np.array(program.weights, dtype=np.int64, copy=True)
         self._dense_w: np.ndarray | None = None
         if g.kind is LayerKind.DENSE:
             # [C_out, F_in] int64 matrix; one event's fanout is a column.
-            self._dense_w = np.asarray(program.weights, dtype=np.int64)
+            self._dense_w = self._weights
             self._dense_idx = np.arange(g.out_channels, dtype=np.int64)
         self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._packed: PackedFanout | None = None
 
-    def _flat(self, ch: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    def flat_ids(self, ch: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Linear input-coordinate ids, validated against the input plane."""
         g = self._geometry
         ch = np.asarray(ch, dtype=np.int64)
@@ -265,7 +291,7 @@ class FanoutTable:
         linear output neurons touched by each event, their synaptic
         weights, and the position of the owning event within the batch.
         """
-        flat = self._flat(ch, x, y)
+        flat = self.flat_ids(ch, x, y)
         n = flat.size
         g = self._geometry
         if self._dense_w is not None:
@@ -274,19 +300,7 @@ class FanoutTable:
             w = self._dense_w[:, flat].T.reshape(-1)
             ev = np.repeat(np.arange(n, dtype=np.int64), m)
             return idx, w, ev
-        cache = self._cache
-        parts: list[tuple[np.ndarray, np.ndarray]] = []
-        for k in range(n):
-            f = int(flat[k])
-            entry = cache.get(f)
-            if entry is None:
-                plane = g.in_height * g.in_width
-                c, rem = divmod(f, plane)
-                i, j = divmod(rem, g.in_width)
-                idx_k, w_k = g.affected_outputs(c, j, i, self._weights)
-                entry = (np.asarray(idx_k, dtype=np.int64), np.asarray(w_k, dtype=np.int64))
-                cache[f] = entry
-            parts.append(entry)
+        parts = [self._entry(int(flat[k])) for k in range(n)]
         sizes = np.fromiter((p[0].size for p in parts), count=n, dtype=np.int64)
         if n == 0 or int(sizes.sum()) == 0:
             empty = np.zeros(0, dtype=np.int64)
@@ -296,26 +310,108 @@ class FanoutTable:
         ev = np.repeat(np.arange(n, dtype=np.int64), sizes)
         return idx, w, ev
 
+    def _entry(self, f: int) -> tuple[np.ndarray, np.ndarray]:
+        """Memoised ``(neuron_idx, weights)`` fanout of one coordinate."""
+        entry = self._cache.get(f)
+        if entry is None:
+            g = self._geometry
+            plane = g.in_height * g.in_width
+            c, rem = divmod(f, plane)
+            i, j = divmod(rem, g.in_width)
+            idx_k, w_k = g.affected_outputs(c, j, i, self._weights)
+            entry = (np.asarray(idx_k, dtype=np.int64), np.asarray(w_k, dtype=np.int64))
+            self._cache[f] = entry
+        return entry
 
-#: id(program) -> FanoutTable, evicted by ``weakref.finalize`` when the
-#: program is collected (so a recycled id can never serve a stale table).
-_FANOUTS: dict[int, FanoutTable] = {}
+    def packed(self) -> PackedFanout:
+        """The whole input plane's fanout in CSR form (built once).
+
+        Dense layers pack directly from the weight matrix; conv and
+        depthwise layers concatenate the per-coordinate
+        ``affected_outputs`` entries, so the packed arrays are the
+        memoised entries laid end to end — the compiled kernels gather
+        from exactly what :meth:`gather` would have concatenated.
+        """
+        if self._packed is None:
+            g = self._geometry
+            n_coords = g.n_inputs
+            if self._dense_w is not None:
+                m = g.out_channels
+                offsets = np.arange(n_coords + 1, dtype=np.int64) * m
+                idx = np.tile(self._dense_idx, n_coords)
+                w = np.ascontiguousarray(self._dense_w.T).reshape(-1)
+                self._packed = PackedFanout(offsets, idx, w)
+            else:
+                entries = [self._entry(f) for f in range(n_coords)]
+                sizes = np.fromiter(
+                    (e[0].size for e in entries), count=n_coords, dtype=np.int64
+                )
+                offsets = np.zeros(n_coords + 1, dtype=np.int64)
+                np.cumsum(sizes, out=offsets[1:])
+                if int(offsets[-1]):
+                    idx = np.concatenate([e[0] for e in entries])
+                    w = np.concatenate([e[1] for e in entries])
+                else:
+                    idx = np.zeros(0, dtype=np.int64)
+                    w = np.zeros(0, dtype=np.int64)
+                self._packed = PackedFanout(offsets, idx, w)
+        return self._packed
+
+
+def program_content_hash(program: LayerProgram) -> str:
+    """Stable digest of everything a :class:`FanoutTable` depends on.
+
+    Geometry, weight values (shape + bytes) and the LIF parameters.
+    Two programs with equal content hash to the same key even when they
+    are distinct objects (repeated ``run_network`` invocations, the
+    pipelined path, jobs unpickled per worker), and an in-place
+    ``weights`` mutation *changes* the key — the stale-table bug the
+    old ``id(program)`` keying could not see.
+    """
+    g = program.geometry
+    h = hashlib.sha256()
+    h.update(
+        repr(
+            (
+                g.kind.value, g.in_channels, g.in_height, g.in_width,
+                g.out_channels, g.out_height, g.out_width,
+                g.kernel, g.stride, g.padding,
+                int(program.threshold), int(program.leak), bool(program.spiking),
+            )
+        ).encode()
+    )
+    w = np.ascontiguousarray(np.asarray(program.weights, dtype=np.int64))
+    h.update(repr(w.shape).encode())
+    h.update(w.tobytes())
+    return h.hexdigest()
+
+
+#: content hash -> FanoutTable, LRU-bounded.  Content keying (not
+#: ``id(program)``) means repeated runs, the pipelined path and
+#: per-worker unpickled copies of one program share a single table, and
+#: mutating a program's weights in place can never serve a stale one.
+_FANOUTS: "OrderedDict[str, FanoutTable]" = OrderedDict()
+_FANOUT_CACHE_CAP = 128
 
 
 def fanout_table(program: LayerProgram) -> FanoutTable:
     """The (cached) :class:`FanoutTable` of ``program``.
 
-    Tables are shared across slices, passes and repeated runs of the
-    same program object, and are kept out of the program itself so job
-    payloads pickle without dragging the cache across process
-    boundaries.
+    Tables are keyed by :func:`program_content_hash` and shared across
+    slices, passes, repeated runs and content-equal program copies; the
+    memo holds the most recently used ``_FANOUT_CACHE_CAP`` tables.
+    They are kept out of the program itself so job payloads pickle
+    without dragging the cache across process boundaries.
     """
-    key = id(program)
+    key = program_content_hash(program)
     table = _FANOUTS.get(key)
     if table is None:
         table = FanoutTable(program)
         _FANOUTS[key] = table
-        weakref.finalize(program, _FANOUTS.pop, key, None)
+        while len(_FANOUTS) > _FANOUT_CACHE_CAP:
+            _FANOUTS.popitem(last=False)
+    else:
+        _FANOUTS.move_to_end(key)
     return table
 
 

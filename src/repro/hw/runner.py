@@ -108,18 +108,24 @@ class HardwareEvaluator:
             raise ValueError("the final layer must be a classifier (1x1 plane)")
         self.n_classes = n_classes
 
-    def run_sample(self, stream, label: int, profiler=None) -> SampleResult:
+    def run_sample(
+        self, stream, label: int, profiler=None, kernel: str = "auto"
+    ) -> SampleResult:
         """Run one labelled stream through the cycle model.
 
         ``profiler`` (a :class:`repro.runtime.profile.Profiler`)
         receives the per-stage ``sne.*`` spans of the run plus one
         ``runner.sample`` span wrapping the whole inference.
+        ``kernel`` selects the SNE stage implementation
+        (:mod:`repro.hw.kernels`); every choice is bit-identical.
         """
         import time
 
         t0 = time.perf_counter() if profiler is not None else 0.0
         sne = SNE(self.config)
-        out_events, stats = sne.run_network(self.programs, stream, profiler=profiler)
+        out_events, stats = sne.run_network(
+            self.programs, stream, profiler=profiler, kernel=kernel
+        )
         if profiler is not None:
             profiler.add("runner.sample", time.perf_counter() - t0,
                          events=len(stream))
@@ -149,6 +155,7 @@ class HardwareEvaluator:
         dataset: EventDataset,
         max_samples: int | None = None,
         profile: bool = False,
+        kernel: str = "auto",
     ) -> list:
         """One runtime :class:`~repro.runtime.jobs.JobSpec` per sample.
 
@@ -158,7 +165,12 @@ class HardwareEvaluator:
         are served from the result cache.  ``profile=True`` builds
         profiling jobs: each result carries the per-stage span summary
         of its simulation (and hashes differently, so profiled and
-        plain results never share cache entries).
+        plain results never share cache entries).  ``kernel`` pins the
+        SNE kernel the workers run; like ``profile`` it enters the job
+        hash only when it deviates from ``"auto"``, so default jobs
+        keep their historical hashes and explicitly pinned runs (whose
+        profile spans reflect that kernel's timings) never share cache
+        entries with them.
         """
         from ..runtime.jobs import deployment_fingerprint, sample_eval_job
 
@@ -167,6 +179,7 @@ class HardwareEvaluator:
             sample_eval_job(
                 self.programs, self.config, sample.stream, sample.label,
                 power=self.power, deployment=deployment, profile=profile,
+                kernel=kernel,
             )
             for sample in self._select(dataset, max_samples)
         ]
@@ -178,6 +191,7 @@ class HardwareEvaluator:
         executor=None,
         cache=None,
         progress=None,
+        kernel: str = "auto",
     ) -> EvaluationReport:
         """Evaluate ``dataset``, optionally through the runtime stack.
 
@@ -190,24 +204,26 @@ class HardwareEvaluator:
         ``repro.runtime.ResultStore``) dispatches one job per sample
         through :func:`repro.runtime.executor.run_jobs`; results are
         identical to the serial path and come back in dataset order.
+        ``kernel`` selects the SNE kernel on every path (bit-identical
+        results either way).
         """
         if executor is None and cache is None:
             samples = self._select(dataset, max_samples)
             if progress is None:
                 return EvaluationReport(results=tuple(
-                    self.run_sample(sample.stream, sample.label)
+                    self.run_sample(sample.stream, sample.label, kernel=kernel)
                     for sample in samples
                 ))
-            return self._evaluate_inline(samples, progress)
+            return self._evaluate_inline(samples, progress, kernel=kernel)
         from ..runtime.executor import run_jobs
 
         run = run_jobs(
-            self.sample_jobs(dataset, max_samples),
+            self.sample_jobs(dataset, max_samples, kernel=kernel),
             executor=executor, cache=cache, progress=progress,
         )
         return report_from_job_results(run.results)
 
-    def _evaluate_inline(self, samples, progress) -> EvaluationReport:
+    def _evaluate_inline(self, samples, progress, kernel: str = "auto") -> EvaluationReport:
         """The plain serial loop, narrated through a progress sink.
 
         Deliberately does NOT delegate to ``run_jobs``: building job
@@ -224,7 +240,7 @@ class HardwareEvaluator:
         results = []
         for i, sample in enumerate(samples):
             t0 = time.perf_counter()
-            result = self.run_sample(sample.stream, sample.label)
+            result = self.run_sample(sample.stream, sample.label, kernel=kernel)
             results.append(result)
             stats.misses += 1
             progress.on_job(i + 1, len(samples), JobResult(

@@ -16,6 +16,7 @@ import numpy as np
 
 from .cluster import Cluster
 from .config import SNEConfig
+from .kernels import KernelSet, resolve_kernel
 from .lif_datapath import fire_mask, leak_catchup, state_bounds
 from .mapper import LayerProgram
 
@@ -44,12 +45,20 @@ class Slice:
     def __init__(self, config: SNEConfig, slice_idx: int = 0) -> None:
         self.config = config
         self.slice_idx = slice_idx
+        # One contiguous (clusters, neurons) membrane matrix; each
+        # cluster owns a row view.  The compiled kernels scan/accumulate
+        # the matrix directly, the per-event reference goes through the
+        # cluster views — same storage, so the paths cannot drift.
+        self.state = np.zeros(
+            (config.clusters_per_slice, config.neurons_per_cluster), dtype=np.int64
+        )
         self.clusters = [
             Cluster(
                 n_neurons=config.neurons_per_cluster,
                 state_bits=config.state_bits,
                 fifo_depth=config.cluster_fifo_depth,
                 name=f"slice{slice_idx}.cluster{i}",
+                state=self.state[i],
             )
             for i in range(config.clusters_per_slice)
         ]
@@ -152,6 +161,7 @@ class Slice:
         weights: np.ndarray,
         event_idx: np.ndarray,
         n_events: int,
+        kernels: KernelSet | None = None,
     ) -> np.ndarray:
         """Process all UPDATE events of one timestep in one batch.
 
@@ -160,6 +170,11 @@ class Slice:
         :class:`~repro.hw.mapper.FanoutTable` (global linear neuron
         indices, in event order); ``n_events`` is the number of events
         broadcast this step, including those whose fanout is empty.
+        The state arithmetic — address filter, first-touch leak
+        catch-up, saturating accumulate, sequencer counts — runs in the
+        selected :class:`~repro.hw.kernels.KernelSet` (the numpy shim
+        when ``kernels`` is None); this wrapper keeps the TLU registers
+        and per-cluster counters, which every kernel feeds identically.
         Returns the per-event cycle counts — element ``k`` is exactly
         what :meth:`process_update` would have returned for event ``k``
         — and leaves every counter (slice, cluster, gating, overrun)
@@ -167,92 +182,50 @@ class Slice:
         """
         program = self._require_program()
         cfg = self.config
-        in_range = (neuron_idx >= self._neuron_lo) & (neuron_idx < self._neuron_hi)
-        idx = neuron_idx[in_range] - self._neuron_lo
-        w = weights[in_range]
-        ev = event_idx[in_range]
-
-        per_cluster = cfg.neurons_per_cluster
+        ks = kernels if kernels is not None else resolve_kernel("numpy")
         n_clusters = cfg.clusters_per_slice
-        cluster_ids = idx // per_cluster
-        counts = np.bincount(
-            ev * n_clusters + cluster_ids, minlength=n_events * n_clusters
-        ).reshape(n_events, n_clusters)
-        max_updates = counts.max(axis=1) if n_events else np.zeros(0, dtype=np.int64)
-        overrun = np.maximum(max_updates - cfg.cycles_per_event, 0)
-        cycles = cfg.cycles_per_event + overrun
+        tlus = np.fromiter(
+            (c.tlu for c in self.clusters), dtype=np.int64, count=n_clusters
+        )
+        late = np.flatnonzero(tlus > t)
+        if late.size:
+            raise ValueError(
+                f"event time {t} precedes cluster TLU {int(tlus[late[0]])}; "
+                "streams must be time-sorted"
+            )
+        vlo, vhi = state_bounds(cfg.state_bits)
+        cycles, per_cluster_updates, events_touching, n_in, overrun_total = (
+            ks.update_step(
+                self.state, tlus, t, program.leak,
+                neuron_idx, weights, event_idx, int(n_events),
+                self._neuron_lo, self._neuron_hi, cfg.cycles_per_event, vlo, vhi,
+            )
+        )
 
-        # Per-cluster bookkeeping: catch-up (TLU) for the touched ones,
-        # activity/gating counters for all.
-        per_cluster_updates = counts.sum(axis=0)
-        events_touching = (counts > 0).sum(axis=0)
+        # Per-cluster bookkeeping: TLU advance for the touched ones,
+        # activity/gating counters for all (the kernel already applied
+        # the decay itself).
         for c, cluster in enumerate(self.clusters):
             seen = int(events_touching[c])
             if seen:
-                cluster.catch_up(t, program.leak)
+                dt = t - cluster.tlu
+                if dt > 1:
+                    cluster.stats.tlu_skipped_steps += dt - 1
+                cluster.tlu = t
                 cluster.stats.updates += int(per_cluster_updates[c])
                 cluster.stats.events_seen += seen
             gated = n_events - seen
             if gated:
                 cluster.stats.events_gated += gated
 
-        if idx.size:
-            self._scan_accumulate(idx, w)
-
-        n_in = int(idx.size)
         total_cycles = int(cycles.sum())
         self.stats.update_events += int(n_events)
-        self.stats.sops += n_in
-        self.stats.active_cluster_cycles += n_in
-        self.stats.gated_cluster_cycles += n_clusters * total_cycles - n_in
-        self.stats.sequencer_overrun_cycles += int(overrun.sum())
+        self.stats.sops += int(n_in)
+        self.stats.active_cluster_cycles += int(n_in)
+        self.stats.gated_cluster_cycles += n_clusters * total_cycles - int(n_in)
+        self.stats.sequencer_overrun_cycles += int(overrun_total)
         self.stats.busy_cycles += total_cycles
         return cycles
-
-    def _scan_accumulate(self, idx: np.ndarray, w: np.ndarray) -> None:
-        """Saturating accumulate of one step's entries, in event order.
-
-        ``idx`` is slice-local (0-based) and ``w`` parallel to it, both
-        concatenated in event order.  Saturation stays per event:
-        entries group per neuron (stable sort keeps event order), prefix
-        sums find the neurons whose running value never leaves the
-        membrane range — for those every clip is a no-op and the whole
-        sequence collapses into one add — and the rare saturating
-        neurons replay their updates serially.  Bit-identical to the
-        per-event :meth:`~repro.hw.cluster.Cluster.apply_update` chain.
-        """
-        cfg = self.config
-        per_cluster = cfg.neurons_per_cluster
-        lo, hi = state_bounds(cfg.state_bits)
-        clusters = self.clusters
-        n = idx.size
-        # Gather the current membrane of every addressed entry.
-        state_vec = np.concatenate([c.state for c in clusters])
-        entry_state = state_vec[idx]
-        order = np.argsort(idx, kind="stable")
-        sn = idx[order]
-        sw = w[order]
-        change = np.flatnonzero(sn[1:] != sn[:-1]) + 1
-        starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
-        ends = np.concatenate((change, np.array([n], dtype=np.int64))) - 1
-        cs = np.cumsum(sw)
-        seg_base = np.repeat(cs[starts] - sw[starts], np.diff(np.append(starts, n)))
-        running = entry_state[order] + (cs - seg_base)
-        neurons = sn[starts]
-        safe = (np.maximum.reduceat(running, starts) <= hi) & (
-            np.minimum.reduceat(running, starts) >= lo
-        )
-        final = running[ends].copy()
-        for k in np.flatnonzero(~safe):  # saturating accumulations replay serially
-            v = int(entry_state[order[starts[k]]])
-            for dw in sw[starts[k] : ends[k] + 1]:
-                v = min(hi, max(lo, v + int(dw)))
-            final[k] = v
-        ncids = neurons // per_cluster
-        nlocal = neurons % per_cluster
-        for c in np.unique(ncids):
-            sel = ncids == c
-            clusters[int(c)].state[nlocal[sel]] = final[sel]
 
     def process_fire(self, t: int) -> tuple[list[tuple[int, int, int, int]], int]:
         """FIRE_OP: scan every TDM neuron; emit (t, ch, x, y) output events.
@@ -284,11 +257,10 @@ class Slice:
                 f"fire time {t} precedes cluster TLU {int(tlus[late[0]])}; "
                 "streams must be time-sorted"
             )
-        states = np.stack([c.state for c in self.clusters])
         if program.leak > 0:
-            effective = leak_catchup(states, program.leak, (t - tlus)[:, None])
+            effective = leak_catchup(self.state, program.leak, (t - tlus)[:, None])
         else:
-            effective = states
+            effective = self.state
         mask = fire_mask(effective, program.threshold)
         for c in np.flatnonzero(mask.any(axis=1)):
             cluster = self.clusters[int(c)]
@@ -315,6 +287,47 @@ class Slice:
         self.stats.busy_cycles += cycles
         return events, cycles
 
+    def process_fire_packed(
+        self, t: int, kernels: KernelSet | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """FIRE_OP through a compiled kernel, events as packed arrays.
+
+        Same scan as :meth:`process_fire` — effective membrane against
+        the threshold, fired states zeroed, TDM slots beyond the mapped
+        interval silenced, identical cycle/stall/fire accounting — but
+        the emitted events come back as ``(out_ch, out_x, out_y)``
+        int64 arrays instead of a Python tuple list, which is what lets
+        the pipelined fire→next-layer hop skip the list round trip.
+        Returns ``(out_ch, out_x, out_y, cycles)``.
+        """
+        program = self._require_program()
+        cfg = self.config
+        ks = kernels if kernels is not None else resolve_kernel("numpy")
+        geometry = program.geometry
+        plane = geometry.out_height * geometry.out_width
+        tlus = np.fromiter((c.tlu for c in self.clusters), dtype=np.int64,
+                           count=len(self.clusters))
+        late = np.flatnonzero(t < tlus)
+        if late.size:
+            raise ValueError(
+                f"fire time {t} precedes cluster TLU {int(tlus[late[0]])}; "
+                "streams must be time-sorted"
+            )
+        out_ch, out_x, out_y, fires = ks.fire_step(
+            self.state, t - tlus, program.leak, program.threshold,
+            self._neuron_lo, self._neuron_hi, plane, geometry.out_width,
+        )
+        for c in np.flatnonzero(fires):
+            self.clusters[int(c)].stats.fires += int(fires[c])
+        total_fired = int(out_ch.size)
+        stall = self.stats_fifo_penalty(total_fired)
+        cycles = cfg.cycles_per_fire + stall
+        self.stats.fifo_stall_cycles += stall
+        self.stats.fire_events += 1
+        self.stats.output_events += total_fired
+        self.stats.busy_cycles += cycles
+        return out_ch, out_x, out_y, cycles
+
     def stats_fifo_penalty(self, total_fired: int) -> int:
         """Extra cycles when one fire burst exceeds the drain bandwidth.
 
@@ -329,8 +342,8 @@ class Slice:
     # -- inspection ----------------------------------------------------------
     def membrane_snapshot(self) -> np.ndarray:
         """Linear membrane vector of the mapped interval (tests/debug)."""
-        states = np.concatenate([c.state for c in self.clusters])
-        return states[: self._neuron_hi - self._neuron_lo]
+        flat = self.state.reshape(-1)
+        return flat[: self._neuron_hi - self._neuron_lo].copy()
 
     def utilization(self) -> float:
         """Fraction of cluster-cycles that performed a state update."""

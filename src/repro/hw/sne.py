@@ -26,6 +26,7 @@ import numpy as np
 
 from ..events.stream import EventStream
 from .config import SNEConfig
+from .kernels import resolve_kernel
 from .mapper import LayerProgram, fanout_table
 from .registers import RegisterFile
 from .slice import Slice
@@ -138,6 +139,7 @@ class SNE:
         trace=None,
         profiler=None,
         batched: bool = True,
+        kernel: str = "auto",
     ) -> tuple[EventStream, SNEStats]:
         """Execute one layer in time-multiplexed mode.
 
@@ -150,11 +152,17 @@ class SNE:
         ``profiler`` (a :class:`repro.runtime.profile.Profiler`)
         receives per-stage spans — ``sne.assemble`` / ``sne.update`` /
         ``sne.fire`` / ``sne.reset`` (+ ``sne.trace`` when tracing) —
-        with event counts, at per-pass granularity.  ``batched=False``
-        selects the per-event reference loop instead of the vectorised
-        one; both produce bit-identical outputs and statistics (the
-        parity the SNE test suite and the Fig. 5b speedup benchmark
-        pin down).
+        with event counts, at per-pass granularity.
+
+        ``kernel`` selects the batched stage implementation through the
+        :mod:`repro.hw.kernels` registry: ``"auto"`` (numba when
+        importable, else the numpy shim), ``"numba"``, ``"numpy"``, or
+        ``"reference"`` for the retained per-event loop.
+        ``batched=False`` also selects the reference loop (the original
+        dispatch the registry mirrors).  Every choice produces
+        bit-identical outputs and statistics (the parity the kernel
+        matrix in ``tests/test_kernels.py`` and the Fig. 5b speedup
+        benchmark pin down).
         """
         cfg = self.config
         program.validate_for(cfg)
@@ -165,9 +173,12 @@ class SNE:
                 f"{g.input_shape(stream.n_steps)}"
             )
         stats = SNEStats()
+        ks = resolve_kernel(kernel) if batched else None
         out_t, out_ch, out_x, out_y = [], [], [], []
+        fired_parts: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
         n_passes = program.n_passes(cfg)
-        table = fanout_table(program) if batched else None
+        table = fanout_table(program) if ks is not None else None
+        packed = table.packed() if ks is not None else None
 
         for pass_idx in range(n_passes):
             pass_lo, pass_hi = program.pass_neuron_range(cfg, pass_idx)
@@ -191,17 +202,18 @@ class SNE:
                 snapshot = self._activity_snapshot(active) if trace is not None else None
                 n = int(counts[step])
                 n_pass_events += n
-                if batched and n:
+                if ks is not None and n:
                     if profiler is not None:
                         t0 = _pc()
                     sel = slice(start, start + n)
-                    idx, w, ev = table.gather(stream.ch[sel], stream.x[sel], stream.y[sel])
+                    flat = table.flat_ids(stream.ch[sel], stream.x[sel], stream.y[sel])
+                    idx, w, ev = ks.assemble(packed.offsets, packed.idx, packed.w, flat)
                     if profiler is not None:
                         t1 = _pc()
                         assemble_s += t1 - t0
                     event_cycles = None
                     for sl, _, _ in active:
-                        cyc = sl.process_update_step(step, idx, w, ev, n)
+                        cyc = sl.process_update_step(step, idx, w, ev, n, kernels=ks)
                         event_cycles = (
                             cyc if event_cycles is None else np.maximum(event_cycles, cyc)
                         )
@@ -226,14 +238,21 @@ class SNE:
                 if profiler is not None:
                     t0 = _pc()
                 fire_cycles = cfg.cycles_per_fire
-                for sl, _, _ in active:
-                    events, cyc = sl.process_fire(step)
-                    fire_cycles = max(fire_cycles, cyc)
-                    for (t, o, x, y) in events:
-                        out_t.append(t)
-                        out_ch.append(o)
-                        out_x.append(x)
-                        out_y.append(y)
+                if ks is not None:
+                    for sl, _, _ in active:
+                        f_ch, f_x, f_y, cyc = sl.process_fire_packed(step, kernels=ks)
+                        fire_cycles = max(fire_cycles, cyc)
+                        if f_ch.size:
+                            fired_parts.append((step, f_ch, f_x, f_y))
+                else:
+                    for sl, _, _ in active:
+                        events, cyc = sl.process_fire(step)
+                        fire_cycles = max(fire_cycles, cyc)
+                        for (t, o, x, y) in events:
+                            out_t.append(t)
+                            out_ch.append(o)
+                            out_x.append(x)
+                            out_y.append(y)
                 pass_cycles += fire_cycles
                 if profiler is not None:
                     fire_s += _pc() - t0
@@ -287,6 +306,27 @@ class SNE:
             stats.dma_words_in += 1 + len(stream) + stream.n_steps
 
         stats.passes = n_passes
+        if ks is not None:
+            # Packed fire events: concatenate the per-(step, slice)
+            # arrays once instead of growing Python lists event by event.
+            if fired_parts:
+                arr_t = np.concatenate(
+                    [np.full(p[1].size, p[0], dtype=np.int64) for p in fired_parts]
+                )
+                arr_ch = np.concatenate([p[1] for p in fired_parts])
+                arr_x = np.concatenate([p[2] for p in fired_parts])
+                arr_y = np.concatenate([p[3] for p in fired_parts])
+            else:
+                arr_t = arr_ch = arr_x = arr_y = np.zeros(0, dtype=np.int64)
+            stats.dma_words_out += int(arr_t.size)
+            out_stream = EventStream(
+                arr_t.astype(np.int32),
+                arr_ch.astype(np.int32),
+                arr_x.astype(np.int32),
+                arr_y.astype(np.int32),
+                g.output_shape(stream.n_steps),
+            )
+            return out_stream, stats
         stats.dma_words_out += len(out_t)
         out_stream = EventStream(
             np.array(out_t, dtype=np.int32),
@@ -304,14 +344,15 @@ class SNE:
         stream: EventStream,
         profiler=None,
         batched: bool = True,
+        kernel: str = "auto",
     ) -> tuple[EventStream, SNEStats]:
         """Run layers back-to-back in time-multiplexed mode.
 
         Intermediate feature maps travel through external memory (the
-        DMA word counters accumulate accordingly).  ``profiler`` and
-        ``batched`` are forwarded to every :meth:`run_layer` call; the
-        profiler additionally receives one ``sne.layer.<name>`` span
-        per executed layer.
+        DMA word counters accumulate accordingly).  ``profiler``,
+        ``batched`` and ``kernel`` are forwarded to every
+        :meth:`run_layer` call; the profiler additionally receives one
+        ``sne.layer.<name>`` span per executed layer.
         """
         if not programs:
             raise ValueError("network must contain at least one program")
@@ -320,7 +361,7 @@ class SNE:
         for program in programs:
             t0 = _pc() if profiler is not None else 0.0
             current, layer_stats = self.run_layer(
-                program, current, profiler=profiler, batched=batched
+                program, current, profiler=profiler, batched=batched, kernel=kernel
             )
             if profiler is not None:
                 profiler.add(
@@ -336,6 +377,7 @@ class SNE:
         programs: list[LayerProgram],
         stream: EventStream,
         profiler=None,
+        kernel: str = "auto",
     ) -> tuple[EventStream, SNEStats]:
         """Run the whole network in layer-parallel mode (§III-D.5).
 
@@ -345,6 +387,13 @@ class SNE:
         busiest slice group (they execute concurrently).  ``profiler``
         receives the same ``sne.assemble`` / ``sne.update`` /
         ``sne.fire`` / ``sne.reset`` stage spans as :meth:`run_layer`.
+
+        ``kernel`` selects the stage implementation exactly as in
+        :meth:`run_layer`.  On the kernel paths the fire→next-layer hop
+        carries fired events as packed int64 arrays straight into the
+        next group's gather — no Python-list round trip; the
+        ``"reference"`` choice runs the per-event loop with the
+        original tuple hop.  All choices are bit-identical.
         """
         cfg = self.config
         if not programs:
@@ -385,8 +434,11 @@ class SNE:
             profiler.add("sne.reset", _pc() - t0,
                          events=sum(len(g) for g in groups))
 
+        ks = resolve_kernel(kernel)
         out_t, out_ch, out_x, out_y = [], [], [], []
+        fired_parts: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
         tables = [fanout_table(program) for program in programs]
+        packs = [table.packed() if ks is not None else None for table in tables]
         counts = stream.counts_per_step()
         start = 0
         assemble_s = update_s = fire_s = 0.0
@@ -397,40 +449,73 @@ class SNE:
             in_x = stream.x[sel].astype(np.int64)
             in_y = stream.y[sel].astype(np.int64)
             start += n
-            for table, group in zip(tables, groups):
+            for table, pack, group in zip(tables, packs, groups):
                 m = int(in_ch.size)
                 if m:
                     if profiler is not None:
                         t0 = _pc()
-                    idx, w, ev = table.gather(in_ch, in_x, in_y)
-                    if profiler is not None:
-                        t1 = _pc()
-                        assemble_s += t1 - t0
-                    for sl, _, _ in group:
-                        sl.process_update_step(step, idx, w, ev, m)
+                    if ks is not None:
+                        flat = table.flat_ids(in_ch, in_x, in_y)
+                        if profiler is not None:
+                            t1 = _pc()
+                            assemble_s += t1 - t0
+                        idx, w, ev = ks.assemble(pack.offsets, pack.idx, pack.w, flat)
+                        for sl, _, _ in group:
+                            sl.process_update_step(step, idx, w, ev, m, kernels=ks)
+                    else:  # per-event reference loop
+                        if profiler is not None:
+                            t1 = _pc()
+                            assemble_s += t1 - t0
+                        for k in range(m):
+                            ch_k = int(in_ch[k])
+                            x_k = int(in_x[k])
+                            y_k = int(in_y[k])
+                            for sl, _, _ in group:
+                                sl.process_update(step, ch_k, x_k, y_k)
                     stats.xbar_broadcasts += m
                     n_update_events += m
                     if profiler is not None:
                         update_s += _pc() - t1
                 if profiler is not None:
                     t0 = _pc()
-                next_ch, next_x, next_y = [], [], []
-                for sl, _, _ in group:
-                    events, _ = sl.process_fire(step)
-                    for (t, o, x, y) in events:
-                        next_ch.append(o)
-                        next_x.append(x)
-                        next_y.append(y)
-                in_ch = np.asarray(next_ch, dtype=np.int64)
-                in_x = np.asarray(next_x, dtype=np.int64)
-                in_y = np.asarray(next_y, dtype=np.int64)
+                if ks is not None:
+                    # Packed fire→next-layer hop: fired events stay int64
+                    # arrays all the way into the next group's gather.
+                    hop_ch, hop_x, hop_y = [], [], []
+                    for sl, _, _ in group:
+                        f_ch, f_x, f_y, _ = sl.process_fire_packed(step, kernels=ks)
+                        if f_ch.size:
+                            hop_ch.append(f_ch)
+                            hop_x.append(f_x)
+                            hop_y.append(f_y)
+                    if hop_ch:
+                        in_ch = np.concatenate(hop_ch)
+                        in_x = np.concatenate(hop_x)
+                        in_y = np.concatenate(hop_y)
+                    else:
+                        in_ch = in_x = in_y = np.zeros(0, dtype=np.int64)
+                else:
+                    next_ch, next_x, next_y = [], [], []
+                    for sl, _, _ in group:
+                        events, _ = sl.process_fire(step)
+                        for (t, o, x, y) in events:
+                            next_ch.append(o)
+                            next_x.append(x)
+                            next_y.append(y)
+                    in_ch = np.asarray(next_ch, dtype=np.int64)
+                    in_x = np.asarray(next_x, dtype=np.int64)
+                    in_y = np.asarray(next_y, dtype=np.int64)
                 if profiler is not None:
                     fire_s += _pc() - t0
-            for (o, x, y) in zip(in_ch, in_x, in_y):  # final layer's output
-                out_t.append(step)
-                out_ch.append(int(o))
-                out_x.append(int(x))
-                out_y.append(int(y))
+            if ks is not None:  # final layer's output, still packed
+                if in_ch.size:
+                    fired_parts.append((step, in_ch, in_x, in_y))
+            else:
+                for (o, x, y) in zip(in_ch, in_x, in_y):
+                    out_t.append(step)
+                    out_ch.append(int(o))
+                    out_x.append(int(x))
+                    out_y.append(int(y))
         if profiler is not None:
             profiler.add("sne.assemble", assemble_s, count=n_steps,
                          events=n_update_events)
@@ -459,9 +544,28 @@ class SNE:
                     stats.tlu_skipped_steps += cluster.stats.tlu_skipped_steps
         stats.cycles = max(group_cycles)
         stats.dma_words_in = 1 + len(stream) + n_steps
-        stats.dma_words_out = len(out_t)
 
         g_last = programs[-1].geometry
+        if ks is not None:
+            if fired_parts:
+                arr_t = np.concatenate(
+                    [np.full(p[1].size, p[0], dtype=np.int64) for p in fired_parts]
+                )
+                arr_ch = np.concatenate([p[1] for p in fired_parts])
+                arr_x = np.concatenate([p[2] for p in fired_parts])
+                arr_y = np.concatenate([p[3] for p in fired_parts])
+            else:
+                arr_t = arr_ch = arr_x = arr_y = np.zeros(0, dtype=np.int64)
+            stats.dma_words_out = int(arr_t.size)
+            out_stream = EventStream(
+                arr_t.astype(np.int32),
+                arr_ch.astype(np.int32),
+                arr_x.astype(np.int32),
+                arr_y.astype(np.int32),
+                g_last.output_shape(n_steps),
+            )
+            return out_stream, stats
+        stats.dma_words_out = len(out_t)
         out_stream = EventStream(
             np.array(out_t, dtype=np.int32),
             np.array(out_ch, dtype=np.int32),

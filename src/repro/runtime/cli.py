@@ -51,6 +51,15 @@ backends and late-registered names need no CLI edits.  ``repro sweep
 one store.  The store location and size cap default from
 ``$REPRO_CACHE_DIR`` and ``$REPRO_CACHE_MAX_BYTES``.
 
+``--kernel`` pins the SNE kernel implementation
+(:mod:`repro.hw.kernels`) on the simulation commands: every kernel is
+bit-identical, so this is a speed knob, never a results knob.
+``auto`` (the default) prefers numba when importable and falls back to
+the numpy shim; a pin that is locally unavailable warns and falls
+back.  ``repro profile --json`` reports ``available_kernels()`` and
+serve/worker startup logs print the capability line, so a fleet
+silently mixing numba and numpy workers is detectable.
+
 Every command prints the run's cache/executor statistics so scripted
 callers (the Makefile smoke targets, the scaling benchmark) can verify
 hit rates and worker counts from the output.
@@ -156,6 +165,43 @@ def _add_backend_flag(p: argparse.ArgumentParser, default_hint: str) -> None:
                         f"(default: {default_hint})")
 
 
+def _add_kernel_flag(p: argparse.ArgumentParser) -> None:
+    # One definition so every simulation command pins kernels with the
+    # same vocabulary as the registry (repro.hw.kernels); every choice
+    # is bit-identical, so this is a speed/capability knob, never a
+    # results knob.
+    from ..hw.kernels import KERNEL_CHOICES
+
+    p.add_argument("--kernel", choices=KERNEL_CHOICES, default="auto",
+                   help="SNE kernel implementation (bit-identical; "
+                        "'auto' prefers numba when importable, default auto)")
+
+
+def _warn_kernel_fleet(args) -> None:
+    """Surface kernel capability gaps before a run starts.
+
+    A pinned kernel that is locally unavailable, or a numba pin on a
+    cluster fleet (whose workers may lack numba), degrades to the numpy
+    shim with bit-identical outputs — worth a warning, never a crash.
+    """
+    from ..hw.kernels import available_kernels
+
+    kernel = getattr(args, "kernel", "auto")
+    if kernel == "auto":
+        return
+    caps = available_kernels()["kernels"]
+    if not caps[kernel]["available"]:
+        print(f"repro {args.command}: warning: kernel {kernel!r} unavailable "
+              f"here ({caps[kernel]['detail']}); falling back to numpy "
+              "(outputs are bit-identical)", file=sys.stderr)
+    if kernel == "numba" and (getattr(args, "backend", None) == "cluster"
+                              or getattr(args, "spool", None) is not None):
+        print(f"repro {args.command}: warning: --kernel numba on a cluster "
+              "fleet: workers without numba fall back to numpy — outputs "
+              "stay bit-identical, but timings mix kernels (check the "
+              "workers' startup logs)", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser with every subcommand attached.
 
@@ -205,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan the grid out as N hash-assigned shards "
                               "(each shard is its own restartable run; "
                               "shard results compose in one store)")
+    _add_kernel_flag(p_sweep)
     add_common(p_sweep)
 
     p_eval = sub.add_parser("eval", help="hardware-in-the-loop dataset evaluation")
@@ -217,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--slices", type=int, default=8, help="SNE slice count")
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.add_argument("--max-samples", type=int, default=None)
+    _add_kernel_flag(p_eval)
     add_common(p_eval)
 
     p_prof = sub.add_parser(
@@ -236,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--json", metavar="PATH", default=None,
                         help="also write the span summary as JSON "
                              "('-' for stdout)")
+    _add_kernel_flag(p_prof)
     _add_backend_flag(p_prof, "serial — profiles merge across workers either way")
     p_prof.add_argument("--workers", type=_positive_int, default=None,
                         help="worker threads/processes for the chosen backend")
@@ -384,6 +433,13 @@ class _TeeProgress(Progress):
 def _cmd_sweep(args) -> int:
     from .sweep import run_dse_sweep
 
+    _warn_kernel_fleet(args)
+    if args.kernel != "auto":
+        # DSE points are analytic (area/power algebra, no SNE
+        # simulation), so a pin only matters for fleet capability
+        # hygiene — say so instead of silently accepting it.
+        print("repro sweep: note: DSE points are analytic; --kernel "
+              "affects simulation commands (eval, profile)", file=sys.stderr)
     cache = _make_cache(args)
     report = run_dse_sweep(
         slices=args.slices,
@@ -439,7 +495,9 @@ def _cmd_eval(args) -> int:
     programs = compile_network(net, (2, maker.size, maker.size))
     evaluator = HardwareEvaluator(programs, PAPER_CONFIG.with_slices(args.slices))
 
-    jobs = evaluator.sample_jobs(data, max_samples=args.max_samples)
+    _warn_kernel_fleet(args)
+    jobs = evaluator.sample_jobs(data, max_samples=args.max_samples,
+                                 kernel=args.kernel)
     cache = _make_cache(args)
     run = run_jobs(jobs, executor=_make_executor(args), cache=cache,
                    progress=_make_progress(args))
@@ -495,11 +553,15 @@ def _cmd_profile(args) -> int:
     evaluator = HardwareEvaluator(programs, PAPER_CONFIG.with_slices(args.slices))
     samples = evaluator._select(data, args.max_samples)
 
+    _warn_kernel_fleet(args)
     if args.per_event:
         # The reference loop is an in-process diagnostic (the job
         # runner always executes the vectorised path).
         from ..hw.sne import SNE
 
+        if args.kernel not in ("auto", "reference"):
+            print("repro profile: note: --per-event times the reference "
+                  f"loop; --kernel {args.kernel} ignored", file=sys.stderr)
         profiler = Profiler()
         for sample in samples:
             sne = SNE(evaluator.config)
@@ -510,7 +572,7 @@ def _cmd_profile(args) -> int:
         mode = "per-event reference"
     else:
         jobs = evaluator.sample_jobs(data, max_samples=args.max_samples,
-                                     profile=True)
+                                     profile=True, kernel=args.kernel)
         aggregator = ProfileAggregator()
         progress = _TeeProgress(aggregator) if args.quiet else _TeeProgress(
             aggregator, ConsoleProgress()
@@ -528,15 +590,18 @@ def _cmd_profile(args) -> int:
             aggregator.profiler.merge(worker_prof)
         summary = aggregator.summary()
         profiled = aggregator.profiled
-        mode = "vectorised"
+        mode = "vectorised" if args.kernel == "auto" else f"{args.kernel}-kernel"
     title = (f"hot-path profile — {data.name}, {profiled} sample(s), "
              f"{args.slices} slice(s), {mode} event loop")
     print(render_profile(summary, title=title))
     if args.json:
+        from ..hw.kernels import available_kernels
+
         doc = _json.dumps({"workload": {
             "dataset": data.name, "samples": profiled,
             "n_slices": args.slices, "mode": mode,
-        }, **summary}, indent=2)
+            "kernel": args.kernel,
+        }, "kernels": available_kernels(), **summary}, indent=2)
         if args.json == "-":
             print(doc)
         else:
@@ -611,6 +676,13 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
     )
 
+    # Capability line first, so fleet operators can audit which kernel
+    # a mixed serve/worker fleet will actually run from the logs alone.
+    if not args.quiet:
+        from ..hw.kernels import kernel_summary
+
+        print(f"repro serve: {kernel_summary()}", file=sys.stderr)
+
     async def _tcp() -> None:
         tcp = await serve_tcp(server, host=args.host, port=args.port)
         host, port = tcp.sockets[0].getsockname()[:2]
@@ -653,9 +725,15 @@ def _cmd_worker(args) -> int:
                   f"{elapsed:.3f}s", file=sys.stderr)
 
     if not args.quiet:
+        from ..hw.kernels import kernel_summary
+
         mode = "drain" if args.drain else "daemon"
         print(f"[worker] attached to spool {args.spool} ({mode} mode, "
               f"lease ttl {args.lease_ttl:g}s)", file=sys.stderr)
+        # Per-worker capability line: `repro profile --json` reports the
+        # submitting host's kernels; a fleet mixing numba and numpy
+        # workers is only detectable from each worker's own log.
+        print(f"[worker] {kernel_summary()}", file=sys.stderr)
     try:
         done = worker_loop(
             args.spool,

@@ -286,6 +286,7 @@ def sample_eval_job(
     power=None,
     deployment: dict | None = None,
     profile: bool = False,
+    kernel: str = "auto",
 ) -> JobSpec:
     """One hardware-in-the-loop inference: a stream through a network.
 
@@ -302,7 +303,20 @@ def sample_eval_job(
     that survives process pools and the result store.  Profiling enters
     the key only when enabled, so plain jobs keep their historical
     hashes and profiled results never shadow unprofiled ones.
+
+    ``kernel`` pins the SNE kernel implementation
+    (:mod:`repro.hw.kernels`) the runner selects.  Like ``profile`` it
+    enters the key only when it deviates from ``"auto"`` — every kernel
+    is bit-identical, so default jobs keep their historical hashes,
+    while an explicitly pinned run (say, profiling the numba path) is
+    hash-isolated from the default and from other pins.
     """
+    from ..hw.kernels import KERNEL_CHOICES
+
+    if kernel not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {', '.join(KERNEL_CHOICES)}"
+        )
     identity = {
         **(deployment or deployment_fingerprint(programs, config, power)),
         "stream": _stream_digest(stream),
@@ -310,6 +324,8 @@ def sample_eval_job(
     }
     if profile:
         identity["profile"] = True
+    if kernel != "auto":
+        identity["kernel"] = kernel
     key = canonical_json(identity)
     payload = {
         "programs": list(programs),
@@ -449,7 +465,8 @@ def _run_sample_eval(params: dict, payload: Any) -> dict:
 
         profiler = Profiler()
     result = evaluator.run_sample(payload["stream"], payload["label"],
-                                  profiler=profiler)
+                                  profiler=profiler,
+                                  kernel=params.get("kernel", "auto"))
     out = dataclasses.asdict(result)
     if profiler is not None:
         out["profile"] = profiler.summary()

@@ -200,7 +200,10 @@ class TestProfileCLI:
 class TestVectorizedParity:
     """The vectorised event loop must be bit-identical to the reference."""
 
-    def test_random_layers_match_reference(self):
+    @pytest.mark.filterwarnings(
+        "ignore:kernel 'numba' unavailable:RuntimeWarning")
+    @pytest.mark.parametrize("kernel", ["reference", "numpy", "numba"])
+    def test_random_layers_match_reference(self, kernel):
         import dataclasses
 
         from repro.hw.fuzz import random_case
@@ -208,7 +211,7 @@ class TestVectorizedParity:
         for seed in range(12):
             case = random_case(seed)
             out_vec, stats_vec = SNE(SNEConfig(n_slices=case.n_slices)).run_layer(
-                case.program, case.stream, batched=True
+                case.program, case.stream, batched=True, kernel=kernel
             )
             out_ref, stats_ref = SNE(SNEConfig(n_slices=case.n_slices)).run_layer(
                 case.program, case.stream, batched=False
@@ -220,9 +223,12 @@ class TestVectorizedParity:
             # Counter types must stay plain ints (JSON/cache contract).
             assert all(type(v) is type(d_ref[k]) for k, v in d_vec.items())
 
-    def test_saturating_updates_match_reference(self):
+    @pytest.mark.filterwarnings(
+        "ignore:kernel 'numba' unavailable:RuntimeWarning")
+    @pytest.mark.parametrize("kernel", ["reference", "numpy", "numba"])
+    def test_saturating_updates_match_reference(self, kernel):
         """Force mid-step saturation: per-event clipping must survive
-        the batched prefix-sum fast path."""
+        the batched prefix-sum fast path on every kernel."""
         import dataclasses
 
         from repro.hw import LayerGeometry, LayerKind, LayerProgram
@@ -237,7 +243,8 @@ class TestVectorizedParity:
         stream = EventStream.from_dense(dense)
         cfg = SNEConfig(n_slices=1)
         sne_vec, sne_ref = SNE(cfg), SNE(cfg)
-        out_vec, stats_vec = sne_vec.run_layer(prog, stream, batched=True)
+        out_vec, stats_vec = sne_vec.run_layer(prog, stream, batched=True,
+                                               kernel=kernel)
         out_ref, stats_ref = sne_ref.run_layer(prog, stream, batched=False)
         assert out_vec == out_ref
         assert dataclasses.asdict(stats_vec) == dataclasses.asdict(stats_ref)
