@@ -5,6 +5,8 @@
 #   make test-serve  - async serving front end suite only
 #   make test-dist   - distributed queue suite only (broker, workers,
 #                      fault injection, sharding)
+#   make test-soak   - minutes-scale chaos-soak scenarios (supervised
+#                      fleet under seeded kills/corruption/eviction)
 #   make docs-check  - docs gate: docstring coverage floor on the
 #                      runtime + docs/README link & anchor integrity
 #   make lint        - ruff check + format check (CI installs ruff;
@@ -32,9 +34,10 @@ BENCH_JSON_SUITE = benchmarks/bench_fig5b_perf.py \
                    benchmarks/bench_serve_latency.py \
                    benchmarks/bench_cosim_fuzz.py \
                    benchmarks/bench_dist_throughput.py \
-                   benchmarks/bench_obs_overhead.py
+                   benchmarks/bench_obs_overhead.py \
+                   benchmarks/bench_chaos_soak.py
 
-.PHONY: test test-parity test-serve test-dist docs-check lint bench-smoke \
+.PHONY: test test-parity test-serve test-dist test-soak docs-check lint bench-smoke \
         bench-serve bench-gate bench-baseline sweep-smoke profile-smoke \
         fuzz-kernels bench clean-cache
 
@@ -49,6 +52,9 @@ test-serve:
 
 test-dist:
 	$(PYTHON) -m pytest tests/test_dist.py -q
+
+test-soak:
+	$(PYTHON) -m pytest tests/test_chaos_soak.py tests/test_supervisor.py -q --run-soak
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -3,12 +3,46 @@
 Makes the source tree importable without an installed package, so a
 fresh checkout can run ``pytest tests/`` and
 ``pytest benchmarks/ --benchmark-only`` directly (useful in offline
-environments where ``pip install -e .`` cannot build a wheel).
+environments where ``pip install -e .`` cannot build a wheel), and
+registers the suite's tier markers:
+
+- ``slow`` — multi-second integration tests (real worker processes,
+  real lease TTLs).  Still part of tier-1; deselect with
+  ``-m "not slow"`` for a quick loop.
+- ``soak`` — minutes-scale chaos-soak scenarios.  Skipped unless
+  ``--run-soak`` is passed (``make test-soak``).
 """
 
 import pathlib
 import sys
 
+import pytest
+
 _SRC = pathlib.Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-soak",
+        action="store_true",
+        default=False,
+        help="run minutes-scale chaos-soak tests (marked @pytest.mark.soak)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: multi-second integration test (tier-1, deselectable)")
+    config.addinivalue_line(
+        "markers", "soak: minutes-scale chaos soak; needs --run-soak")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-soak"):
+        return
+    skip = pytest.mark.skip(reason="soak test: pass --run-soak to enable")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip)

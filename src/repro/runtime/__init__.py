@@ -63,7 +63,7 @@ layer — :class:`~repro.runtime.profile.Profiler` spans threaded through
 the SNE event loop and the hardware-in-the-loop runner, attached to
 ``sample_eval`` job results as JSON and surfaced by ``repro profile``;
 :mod:`.cli` exposes the whole pipeline as
-``python -m repro sweep|eval|profile|cache|serve|worker`` (also
+``python -m repro sweep|eval|profile|cache|serve|worker|supervise`` (also
 installed as the ``repro`` console script), with ``--backend``
 selecting any registered backend and ``repro cache stats|evict|clear``
 administering the shared store.
@@ -80,6 +80,21 @@ worker kill.  Dataset sharding
 :func:`~repro.runtime.sweep.shard_jobs`, ``repro sweep --shards N``)
 splits big workloads into hash-assigned shards whose job subtrees
 compose in one shared store.
+
+:mod:`.supervisor` and :mod:`.chaos` make the fleet self-operating
+and prove it: :class:`~repro.runtime.supervisor.Supervisor`
+(``repro supervise``) is a control loop over spool signals — queue
+depth, lease expirations, pending-chunk age — that starts, retires
+and respawns worker agents between ``--min-workers`` and
+``--max-workers`` (scale-up on sustained backlog, scale-down on idle,
+bounded crash respawn with measured recovery latency) and garbage
+-collects spool state abandoned past a TTL without ever touching a
+live lease.  :class:`~repro.runtime.chaos.ChaosScheduler` +
+:func:`~repro.runtime.chaos.run_chaos_soak` (``repro chaos-soak``)
+drive that fleet under a seeded fault timeline — worker SIGKILLs,
+in-place chunk/result corruption, forced store eviction — and assert
+every round merges bit-identical to a serial run, the sustained
+-traffic proof ``benchmarks/bench_chaos_soak.py`` gates in CI.
 
 :mod:`.obs` is the observability core the whole stack reports into: a
 process-wide :class:`~repro.runtime.obs.MetricsRegistry` of labeled
@@ -140,6 +155,7 @@ from .progress import (
     LatencyRecorder,
     ProfileAggregator,
     Progress,
+    SupervisorTelemetry,
     TelemetryCollector,
 )
 from .dist import (
@@ -147,10 +163,23 @@ from .dist import (
     BrokerStats,
     ClusterBackend,
     DistError,
+    claim_state,
     worker_loop,
+)
+from .supervisor import (
+    GCStats,
+    SpoolSnapshot,
+    Supervisor,
+    SupervisorStats,
+)
+from .chaos import (
+    ChaosScheduler,
+    SoakReport,
+    run_chaos_soak,
 )
 from .obs import (
     Journal,
+    JournalTailer,
     MetricsRegistry,
     SpanContext,
     current_span,
@@ -245,9 +274,19 @@ __all__ = [
     "BrokerTelemetry",
     "ClusterBackend",
     "DistError",
+    "claim_state",
     "worker_loop",
+    "Supervisor",
+    "SupervisorStats",
+    "SupervisorTelemetry",
+    "SpoolSnapshot",
+    "GCStats",
+    "ChaosScheduler",
+    "SoakReport",
+    "run_chaos_soak",
     "MetricsRegistry",
     "Journal",
+    "JournalTailer",
     "SpanContext",
     "span",
     "current_span",

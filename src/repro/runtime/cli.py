@@ -21,6 +21,14 @@ Subcommands:
   lease, execute them through the runner registry with result-store
   read/write-through, and publish ordered chunk results for the
   broker (``--drain`` exits when the spool empties);
+* ``repro supervise`` — the autoscaling fleet supervisor: watch a
+  spool's queue depth and lease states, start/retire/respawn worker
+  agents between ``--min-workers`` and ``--max-workers``, and GC
+  spool state abandoned past ``--gc-ttl``;
+* ``repro chaos-soak`` — the seeded chaos harness: a supervised
+  fleet under sustained traffic with fault injection (worker
+  SIGKILLs, chunk/result corruption, forced store eviction), exiting
+  0 only if every round merged bit-identical to a serial run;
 * ``repro serve`` — the async streaming front end: accept
   line-delimited-JSON job requests over TCP (``--host/--port``) or
   stdio (``--stdio``), coalesce them into micro-batches
@@ -361,6 +369,100 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dispatch as soon as this many requests "
                               "coalesced (default 32)")
     add_common(p_serve)
+
+    p_sup = sub.add_parser(
+        "supervise",
+        help="autoscaling fleet supervisor: operate workers off spool "
+             "signals and GC abandoned spool state",
+    )
+    p_sup.add_argument("--spool", required=True, metavar="DIR",
+                       help="the shared spool directory to watch and serve")
+    p_sup.add_argument("--min-workers", type=int, default=1,
+                       help="fleet floor, kept alive even when idle "
+                            "(default 1)")
+    p_sup.add_argument("--max-workers", type=_positive_int, default=4,
+                       help="fleet ceiling under backlog (default 4)")
+    p_sup.add_argument("--tick", type=_positive_float, default=0.5,
+                       metavar="SECONDS",
+                       help="control-loop cadence (default 0.5)")
+    p_sup.add_argument("--backlog-per-worker", type=_positive_float,
+                       default=2.0, metavar="CHUNKS",
+                       help="pending chunks each worker is expected to "
+                            "absorb; scale-up targets "
+                            "ceil(pending / this) (default 2)")
+    p_sup.add_argument("--scale-up-ticks", type=_positive_int, default=2,
+                       help="consecutive backlogged ticks before scaling "
+                            "up (default 2)")
+    p_sup.add_argument("--idle-ticks", type=_positive_int, default=4,
+                       help="consecutive empty ticks before scaling down "
+                            "(default 4)")
+    p_sup.add_argument("--lease-ttl", type=_positive_float, default=30.0,
+                       metavar="SECONDS",
+                       help="lease TTL handed to spawned workers "
+                            "(default 30)")
+    p_sup.add_argument("--gc-ttl", type=_positive_float, default=900.0,
+                       metavar="SECONDS",
+                       help="age beyond which abandoned claims, chunks "
+                            "and results are GCed (default 900)")
+    p_sup.add_argument("--respawn-budget", type=_positive_int, default=16,
+                       help="lifetime cap on crash replacements "
+                            "(default 16)")
+    p_sup.add_argument("--max-ticks", type=_positive_int, default=None,
+                       help="exit after this many ticks (smoke/CI; "
+                            "default: run until interrupted)")
+    p_sup.add_argument("--cache-dir", default=None,
+                       help="result store for workers' read/write-through "
+                            f"(default {default_cache_dir()})")
+    p_sup.add_argument("--max-bytes", type=int, default=None,
+                       help="store size cap in bytes (default "
+                            "$REPRO_CACHE_MAX_BYTES or uncapped)")
+    p_sup.add_argument("--no-cache", action="store_true",
+                       help="spawn workers without the shared store")
+    p_sup.add_argument("--quiet", action="store_true",
+                       help="suppress per-event progress output")
+    _add_obs_flag(p_sup)
+
+    p_chaos = sub.add_parser(
+        "chaos-soak",
+        help="seeded chaos soak: supervised fleet + fault injection, "
+             "verified bit-identical to a serial run",
+    )
+    p_chaos.add_argument("--spool", default=None, metavar="DIR",
+                         help="spool directory (default: a private temp "
+                              "spool, removed afterwards)")
+    p_chaos.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result store the fleet writes through and "
+                              "eviction faults squeeze (default: a "
+                              "private temp store)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-timeline RNG seed (default 0)")
+    p_chaos.add_argument("--rounds", type=_positive_int, default=3,
+                         help="traffic rounds (default 3; extends while "
+                              "faults are still pending)")
+    p_chaos.add_argument("--jobs", type=_positive_int, default=24,
+                         help="jobs per round (default 24)")
+    p_chaos.add_argument("--duration", type=_positive_float, default=6.0,
+                         metavar="SECONDS",
+                         help="fault-timeline length (default 6)")
+    p_chaos.add_argument("--kills", type=int, default=3,
+                         help="worker SIGKILLs to inject (default 3)")
+    p_chaos.add_argument("--chunk-corruptions", type=int, default=2,
+                         help="spool chunk corruptions (default 2)")
+    p_chaos.add_argument("--result-corruptions", type=int, default=1,
+                         help="result-file corruptions (default 1)")
+    p_chaos.add_argument("--evictions", type=int, default=1,
+                         help="forced store evictions (default 1)")
+    p_chaos.add_argument("--min-workers", type=int, default=1,
+                         help="supervisor fleet floor (default 1)")
+    p_chaos.add_argument("--max-workers", type=_positive_int, default=3,
+                         help="supervisor fleet ceiling (default 3)")
+    p_chaos.add_argument("--lease-ttl", type=_positive_float, default=1.5,
+                         metavar="SECONDS",
+                         help="worker lease TTL; bounds requeue latency "
+                              "after a kill (default 1.5)")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress per-round progress output")
+    _add_obs_flag(p_chaos)
 
     p_metrics = sub.add_parser(
         "metrics",
@@ -752,6 +854,99 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_supervise(args) -> int:
+    from .progress import SupervisorTelemetry
+    from .supervisor import Supervisor
+
+    class _Verbose(SupervisorTelemetry):
+        """Logs every scaling decision to stderr (non-quiet mode)."""
+
+        def on_scale(self, direction, target, why):
+            print(f"[supervise] scale {direction} -> {target} ({why})",
+                  file=sys.stderr)
+
+        def on_respawn(self, worker_id):
+            print(f"[supervise] respawned crashed worker as {worker_id}",
+                  file=sys.stderr)
+
+        def on_recovered(self, recovery_s):
+            print(f"[supervise] fleet restored in {recovery_s:.2f}s",
+                  file=sys.stderr)
+
+        def on_gc(self, claims, chunks, results):
+            print(f"[supervise] gc: {claims} claim(s), {chunks} chunk(s), "
+                  f"{results} result(s)", file=sys.stderr)
+
+    supervisor = Supervisor(
+        args.spool,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        tick_s=args.tick,
+        backlog_per_worker=args.backlog_per_worker,
+        scale_up_ticks=args.scale_up_ticks,
+        idle_ticks=args.idle_ticks,
+        lease_ttl_s=args.lease_ttl,
+        gc_ttl_s=args.gc_ttl,
+        respawn_budget=args.respawn_budget,
+        cache_dir=None if args.no_cache else str(
+            open_store(args.cache_dir, max_bytes=args.max_bytes).root),
+        max_bytes=args.max_bytes,
+        telemetry=None if args.quiet else _Verbose(),
+    )
+    if not args.quiet:
+        print(f"[supervise] fleet {args.min_workers}..{args.max_workers} "
+              f"over spool {args.spool} (tick {args.tick:g}s, lease ttl "
+              f"{args.lease_ttl:g}s, gc ttl {args.gc_ttl:g}s)",
+              file=sys.stderr)
+    try:
+        stats = supervisor.run(max_ticks=args.max_ticks)
+    except KeyboardInterrupt:
+        supervisor.close()  # Ctrl-C is the normal way to stop a daemon
+        stats = supervisor.stats
+    if not args.quiet:
+        print(f"[supervise] done: {stats.ticks} tick(s), "
+              f"{stats.spawned} spawned, {stats.retired} retired, "
+              f"{stats.respawned} respawned after {stats.crashes} crash(es), "
+              f"{stats.scale_ups} scale-up(s), {stats.scale_downs} "
+              f"scale-down(s), gc {stats.gc.total()} file(s)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import tempfile as _tempfile
+
+    from .chaos import run_chaos_soak
+
+    def on_round(round_no: int, ok: bool) -> None:
+        if not args.quiet:
+            print(f"[chaos-soak] round {round_no}: "
+                  f"{'bit-identical' if ok else 'DIVERGED'}",
+                  file=sys.stderr)
+
+    with _tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        spool = args.spool or f"{tmp}/spool"
+        cache = args.cache_dir or f"{tmp}/store"
+        report = run_chaos_soak(
+            spool,
+            cache_dir=cache,
+            seed=args.seed,
+            rounds=args.rounds,
+            jobs_per_round=args.jobs,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            lease_ttl_s=args.lease_ttl,
+            kills=args.kills,
+            chunk_corruptions=args.chunk_corruptions,
+            result_corruptions=args.result_corruptions,
+            evictions=args.evictions,
+            duration_s=args.duration,
+            on_round=on_round,
+        )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _resolved_obs_dir(args):
     """The observability directory for metrics/top, or None (with a
     usage message printed) when neither --obs-dir nor $REPRO_OBS_DIR
@@ -891,32 +1086,15 @@ def _cmd_top(args) -> int:
     target = _resolved_obs_dir(args)
     if target is None:
         return 2
-    journal_path = target / "journal.ndjson"
     state = _TopState(window_s=args.window)
-    offset = 0
-    buffer = b""
-
-    def drain() -> None:
-        nonlocal offset, buffer
-        try:
-            with open(journal_path, "rb") as fh:
-                fh.seek(offset)
-                data = fh.read()
-        except OSError:
-            return
-        offset += len(data)
-        buffer += data
-        import json as _json
-
-        while b"\n" in buffer:
-            line, buffer = buffer.split(b"\n", 1)
-            try:
-                state.apply(_json.loads(line))
-            except ValueError:
-                continue  # torn or foreign line: skip, keep tailing
+    # The tailer survives the journal being truncated or rotated
+    # mid-watch (an operator resetting the obs dir): it restarts from
+    # the top of the new file instead of stalling on a stale offset.
+    tailer = obs.JournalTailer(target / "journal.ndjson")
     try:
         while True:
-            drain()
+            for ev in tailer.poll():
+                state.apply(ev)
             frame = state.render(obs.read_metrics(target), now=_time.time())
             if args.once:
                 print(frame)
@@ -938,6 +1116,8 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "worker": _cmd_worker,
+    "supervise": _cmd_supervise,
+    "chaos-soak": _cmd_chaos,
     "metrics": _cmd_metrics,
     "top": _cmd_top,
 }

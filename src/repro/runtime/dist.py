@@ -75,6 +75,7 @@ __all__ = [
     "ClusterBackend",
     "worker_loop",
     "claim_chunk",
+    "claim_state",
     "release_claim",
     "read_claim",
     "write_chunk_result",
@@ -178,8 +179,8 @@ def _claim_path(spool: pathlib.Path, chunk_id: str) -> pathlib.Path:
     return spool / "claims" / f"{chunk_id}.claim"
 
 
-def _claim_doc(worker_id: str, lease_ttl_s: float) -> bytes:
-    now = time.time()
+def _claim_doc(worker_id: str, lease_ttl_s: float, clock=None) -> bytes:
+    now = (clock or time.time)()
     return json.dumps(
         {
             "schema": DIST_SCHEMA,
@@ -195,7 +196,8 @@ def read_claim(spool: str | os.PathLike, chunk_id: str) -> dict | None:
     """The current claim document for ``chunk_id``, or None.
 
     A vanished or unreadable claim reads as None — the chunk is (or is
-    about to become) claimable again.
+    about to become) claimable again.  Callers that must distinguish a
+    *missing* claim from a *torn* one use :func:`claim_state`.
     """
     try:
         return json.loads(_claim_path(pathlib.Path(spool), chunk_id).read_bytes())
@@ -203,11 +205,40 @@ def read_claim(spool: str | os.PathLike, chunk_id: str) -> dict | None:
         return None
 
 
+def claim_state(spool: str | os.PathLike, chunk_id: str,
+                clock=None) -> tuple[str, dict | None]:
+    """Classify ``chunk_id``'s claim: ``(state, doc)``.
+
+    ``state`` is one of ``"missing"`` (no claim file), ``"live"``
+    (unexpired lease, ``doc`` is the claim), ``"expired"`` (lease
+    outlived its TTL, ``doc`` is the claim) or ``"corrupt"`` (the file
+    exists but does not decode to a claim document).  A corrupt claim
+    is never in-flight: claims appear atomically via ``os.link`` of a
+    fully written temp file, so torn bytes mean a writer died mid
+    -replace — the lease is dead, not pending.  ``clock`` overrides the
+    wall clock used for the expiry comparison (tests).
+    """
+    path = _claim_path(pathlib.Path(spool), chunk_id)
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return "missing", None
+    try:
+        doc = json.loads(data)
+    except ValueError:
+        return "corrupt", None
+    if not isinstance(doc, dict) or not isinstance(doc.get("expires"), (int, float)):
+        return "corrupt", None
+    now = (clock or time.time)()
+    return ("live" if doc["expires"] > now else "expired"), doc
+
+
 def claim_chunk(
     spool: str | os.PathLike,
     chunk_id: str,
     worker_id: str,
     lease_ttl_s: float,
+    clock=None,
 ) -> bool:
     """Try to lease ``chunk_id`` for ``worker_id``; True on success.
 
@@ -215,10 +246,13 @@ def claim_chunk(
     it appears atomically *with its content* and exactly one of any
     number of racing workers wins (the link fails with ``EEXIST`` for
     everyone else) — a reader can never observe a half-written lease.
-    An *expired* existing claim (dead worker) is taken over with an
-    atomic replace; if two workers race that takeover both may briefly
-    hold the lease, which is safe — results are idempotent by the
-    equal-hash ⇒ equal-result contract and land via atomic replace.
+    An *expired* existing claim (dead worker) — or a *corrupt* one
+    (torn bytes from a writer that died mid-replace) — is taken over
+    with an atomic replace; if two workers race that takeover both may
+    briefly hold the lease, which is safe — results are idempotent by
+    the equal-hash ⇒ equal-result contract and land via atomic
+    replace.  ``clock`` overrides the wall clock used for lease stamps
+    and expiry checks (tests).
     """
     spool = pathlib.Path(spool)
     path = _claim_path(spool, chunk_id)
@@ -226,13 +260,13 @@ def claim_chunk(
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
-            fh.write(_claim_doc(worker_id, lease_ttl_s))
+            fh.write(_claim_doc(worker_id, lease_ttl_s, clock=clock))
         try:
             os.link(tmp, path)
             return True
         except FileExistsError:
-            existing = read_claim(spool, chunk_id)
-            if existing is not None and existing.get("expires", 0) > time.time():
+            state, _ = claim_state(spool, chunk_id, clock=clock)
+            if state == "live":
                 return False  # live lease held by someone else
             # Expired (or corrupt) lease: take it over atomically.
             try:
@@ -256,14 +290,16 @@ def release_claim(spool: str | os.PathLike, chunk_id: str) -> None:
 class _Heartbeat:
     """Background lease refresher: rewrites the claim at ttl/3 cadence
     while the worker executes, so a healthy-but-slow chunk is never
-    requeued under its worker."""
+    requeued under its worker.  ``clock`` overrides the wall clock the
+    refreshed lease stamps carry (tests)."""
 
     def __init__(self, spool: pathlib.Path, chunk_id: str, worker_id: str,
-                 lease_ttl_s: float) -> None:
+                 lease_ttl_s: float, clock=None) -> None:
         self._spool = spool
         self._chunk_id = chunk_id
         self._worker_id = worker_id
         self._ttl = lease_ttl_s
+        self._clock = clock
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
@@ -272,7 +308,7 @@ class _Heartbeat:
             try:
                 _atomic_write(
                     _claim_path(self._spool, self._chunk_id),
-                    _claim_doc(self._worker_id, self._ttl),
+                    _claim_doc(self._worker_id, self._ttl, clock=self._clock),
                 )
             except OSError:
                 pass  # an unwritable spool costs lease freshness only
@@ -420,6 +456,7 @@ def worker_loop(
     max_chunks: int | None = None,
     stop: threading.Event | None = None,
     on_chunk=None,
+    clock=None,
 ) -> int:
     """Pull-execute-publish loop: the body of ``repro worker``.
 
@@ -443,6 +480,8 @@ def worker_loop(
         stop: optional event that ends the loop from another thread.
         on_chunk: optional callback ``(chunk_id, n_jobs, elapsed_s)``
             fired after each published chunk.
+        clock: optional wall-clock override for lease stamps and
+            expiry checks (tests; default ``time.time``).
 
     Returns:
         The number of chunks this worker published.
@@ -455,7 +494,7 @@ def worker_loop(
         pending = _pending_chunks(spool)
         claimed = None
         for path in pending:
-            if claim_chunk(spool, path.stem, worker_id, lease_ttl_s):
+            if claim_chunk(spool, path.stem, worker_id, lease_ttl_s, clock=clock):
                 claimed = path
                 break
         if claimed is None:
@@ -474,13 +513,17 @@ def worker_loop(
             # publishing an error here could clobber the real result.
             release_claim(spool, chunk_id)
             continue
-        with _Heartbeat(spool, chunk_id, worker_id, lease_ttl_s):
+        with _Heartbeat(spool, chunk_id, worker_id, lease_ttl_s, clock=clock):
             try:
                 specs, trace = _decode_chunk(data)
             except ValueError as exc:
+                # Publish the corruption and drop the torn file; a live
+                # broker heals by re-spooling the chunk from its
+                # authoritative spec list (brokerless spools just lose
+                # the unreadable chunk, which no retry could fix here).
                 write_chunk_result(spool, chunk_id, worker_id,
                                    chunk_error=f"{exc}")
-                claimed.unlink(missing_ok=True)  # terminal: retrying cannot help
+                claimed.unlink(missing_ok=True)
                 release_claim(spool, chunk_id)
                 done += 1
                 continue
@@ -571,11 +614,14 @@ class Broker:
         poll_s: float = 0.05,
         max_attempts: int = 3,
         telemetry: BrokerTelemetry | None = None,
+        clock=None,
     ) -> None:
         """Args: the spool directory, the worker lease TTL, the collect
-        poll interval, the per-chunk retry budget (lease requeues and
-        corrupt result files both consume it) and an optional
-        :class:`~repro.runtime.progress.BrokerTelemetry` sink."""
+        poll interval, the per-chunk retry budget (lease requeues,
+        corrupt chunks and corrupt result files all consume it), an
+        optional :class:`~repro.runtime.progress.BrokerTelemetry` sink
+        and a wall-clock override for lease-expiry checks (tests;
+        default ``time.time``)."""
         if lease_ttl_s <= 0:
             raise ValueError("lease_ttl_s must be positive")
         if max_attempts < 1:
@@ -584,6 +630,7 @@ class Broker:
         self.lease_ttl_s = lease_ttl_s
         self.poll_s = poll_s
         self.max_attempts = max_attempts
+        self.clock = clock or time.time
         self.telemetry = telemetry or BrokerTelemetry()
         self.stats = BrokerStats()
         #: Fleet-wide merge of the workers' own runtime spans
@@ -731,10 +778,14 @@ class Broker:
             self._requeue(chunk, "corrupt result file")
             return
         if doc.get("chunk_error") is not None:
-            # Deterministic chunk-level failure (corrupt spool entry):
-            # retrying cannot help, so it resolves immediately.
-            self._fail_chunk(chunk, str(doc["chunk_error"]))
+            # Chunk-level failure — usually a corrupt spool entry.  The
+            # broker holds the authoritative spec list, so requeueing
+            # *heals* it: ``_requeue`` re-spools the chunk from the
+            # in-memory specs (the worker dropped the torn file) and a
+            # retry executes clean bytes.  The retry budget still
+            # bounds it: ``max_attempts=1`` restores fail-fast.
             path.unlink(missing_ok=True)
+            self._requeue(chunk, f"worker reported: {doc['chunk_error']}")
             return
         records = doc.get("records")
         valid = (
@@ -791,17 +842,25 @@ class Broker:
                 pass
 
     def _expire_leases(self) -> None:
-        """Requeue chunks whose lease outlived its TTL (dead worker)."""
-        now = time.time()
+        """Requeue chunks whose lease outlived its TTL (dead worker).
+
+        A *corrupt* claim file is treated like an expired one: claims
+        appear atomically with their content, so torn bytes mean the
+        writer died mid-replace — that lease will never heartbeat
+        again, and waiting on it would stall the chunk forever.
+        """
         for chunk in self._chunks:
             if chunk.results is not None:
                 continue
             if _result_path(self.spool, chunk.chunk_id).exists():
                 continue  # published; ingest will pick it up this poll
-            claim = read_claim(self.spool, chunk.chunk_id)
-            if claim is not None and claim.get("expires", 0) < now:
+            state, claim = claim_state(self.spool, chunk.chunk_id,
+                                       clock=self.clock)
+            if state == "expired":
                 self._requeue(chunk, f"lease expired (worker "
                                      f"{claim.get('worker', '?')})")
+            elif state == "corrupt":
+                self._requeue(chunk, "lease expired (corrupt claim file)")
 
     def collect(self, on_result=None, timeout: float | None = None,
                 watchdog=None) -> list[JobResult]:

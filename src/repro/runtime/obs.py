@@ -70,6 +70,7 @@ __all__ = [
     "flush_metrics",
     "read_metrics",
     "read_journal",
+    "JournalTailer",
 ]
 
 #: Version stamped into metrics snapshots and journal events so later
@@ -553,6 +554,72 @@ def read_journal(path: str | Path) -> list[dict]:
             except json.JSONDecodeError:
                 continue
     return events
+
+
+class JournalTailer:
+    """Incremental journal reader that survives truncation and rotation.
+
+    ``repro top`` and the fleet supervisor tail a journal that another
+    process owns; that file can be truncated (an operator resetting the
+    obs dir) or rotated (replaced by a fresh file at the same path) at
+    any moment.  A naive byte-offset tail stalls forever after either —
+    the remembered offset points past the new end of file.  This tailer
+    notices both (size shrank below the offset, or the inode changed)
+    and restarts from the top of the new file, so at most the events of
+    the vanished generation are lost — never the stream itself.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        """Tail the journal at ``path`` (the file may not exist yet)."""
+        self.path = Path(path)
+        self._ino: int | None = None
+        self._offset = 0
+        self._buffer = b""
+        #: Generations observed: bumps by one every time a truncation
+        #: or rotation forced a restart from offset zero.
+        self.resets = 0
+
+    def _restart(self) -> None:
+        self._offset = 0
+        self._buffer = b""
+        self.resets += 1
+
+    def poll(self) -> list[dict]:
+        """Read newly appended events since the last poll.
+
+        Returns the well-formed JSON events (torn or foreign lines are
+        skipped); a missing file reads as no events and resets state so
+        a recreated journal is picked up from its beginning.
+        """
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            if self._ino is not None:
+                self._ino = None
+                self._restart()
+            return []
+        if self._ino is not None and (st.st_ino != self._ino
+                                      or st.st_size < self._offset):
+            self._restart()
+        self._ino = st.st_ino
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._offset)
+                data = fh.read()
+        except OSError:
+            return []
+        self._offset += len(data)
+        self._buffer += data
+        events = []
+        while b"\n" in self._buffer:
+            line, self._buffer = self._buffer.split(b"\n", 1)
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+        return events
 
 
 # -- process-wide state -----------------------------------------------------

@@ -185,6 +185,36 @@ class BrokerTelemetry(Progress):
         lease, dead worker, corrupt result file)."""
 
 
+class SupervisorTelemetry:
+    """Callback sink for the fleet supervisor's control-loop events.
+
+    The supervisor (:class:`repro.runtime.supervisor.Supervisor`) fires
+    these from its own control thread, one event per decision, so a
+    subclass can log, assert on, or export every scaling action without
+    touching the loop itself.  The no-op base is the default sink.
+    """
+
+    def on_tick(self, snapshot) -> None:
+        """Called once per control tick with the
+        :class:`~repro.runtime.supervisor.SpoolSnapshot` it acted on."""
+
+    def on_scale(self, direction: str, target: int, why: str) -> None:
+        """Called when the desired fleet size changes (``direction`` is
+        ``"up"`` or ``"down"``) with the new target and the reason."""
+
+    def on_respawn(self, worker_id: str) -> None:
+        """Called when a crashed worker's replacement starts (planned
+        scale-up spawns report through :meth:`on_scale` instead)."""
+
+    def on_recovered(self, recovery_s: float) -> None:
+        """Called when the fleet is back at target size after one or
+        more crashes, with the crash-to-restored latency in seconds."""
+
+    def on_gc(self, claims: int, chunks: int, results: int) -> None:
+        """Called after a spool GC pass that removed anything,
+        with the per-category removal counts."""
+
+
 @dataclass(frozen=True)
 class JobEvent:
     """One recorded job completion."""

@@ -749,6 +749,24 @@ class ResultStore(ResultCache):
                          target_bytes=target_bytes)
             return removed
 
+    def shrink(self, fraction: float = 0.5) -> int:
+        """Evict the least-recently-used ``fraction`` of current bytes.
+
+        A relative form of :meth:`evict` that needs no size cap — the
+        chaos harness and operators use it to force eviction pressure
+        on an uncapped store mid-run.  Safe under load by the same
+        rules as :meth:`evict`: the exclusive index lock serialises
+        concurrent evictors, and a neighbour's fresh unlogged entry
+        (a write-through whose index touch has not landed yet) is
+        evicted last, so forcing eviction during a sweep costs cache
+        hits, never correctness.  Returns the number of entries
+        removed.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        total = sum(size for _, _, size, _ in self._scan())
+        return self.evict(target_bytes=int(total * (1.0 - fraction)))
+
     def _rewrite_index(self, hashes: list[str], snapshot_bytes: int) -> int:
         """Atomically replace the index with ``hashes`` (one line each),
         re-appending any records other processes logged after the

@@ -37,7 +37,7 @@ from repro.runtime import (
     spec_to_doc,
     worker_loop,
 )
-from repro.runtime.dist import claim_chunk, read_claim, release_claim
+from repro.runtime.dist import claim_chunk, claim_state, read_claim, release_claim
 from repro.runtime.jobs import JobSpec
 
 # Registered at import time so fork-started worker processes inherit
@@ -97,6 +97,21 @@ def wait_for(predicate, timeout=10.0, interval=0.01):
     return False
 
 
+class FakeClock:
+    """Injectable wall clock: lease-expiry tests advance time instantly
+    instead of sleeping real fractions of the TTL (the deflake seam
+    threaded through ``claim_chunk``/``Broker``/``_Heartbeat``)."""
+
+    def __init__(self, now: float = 1_000_000.0) -> None:
+        self.now = now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
 class TestSpoolProtocol:
     def test_submit_writes_one_chunk_file_per_chunk(self, tmp_path):
         broker = Broker(tmp_path)
@@ -145,12 +160,56 @@ class TestSpoolProtocol:
         assert len(wins) == 1
 
     def test_expired_claim_is_taken_over(self, tmp_path):
+        clock = FakeClock()
         broker = Broker(tmp_path)
         (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
-        assert claim_chunk(tmp_path, chunk_id, "dead-worker", 0.05)
-        time.sleep(0.1)
-        assert claim_chunk(tmp_path, chunk_id, "live-worker", 30.0) is True
+        assert claim_chunk(tmp_path, chunk_id, "dead-worker", 30.0, clock=clock)
+        # Live lease: a rival is refused without any wall-clock waiting.
+        assert claim_chunk(tmp_path, chunk_id, "live-worker", 30.0,
+                           clock=clock) is False
+        clock.advance(30.1)
+        assert claim_chunk(tmp_path, chunk_id, "live-worker", 30.0,
+                           clock=clock) is True
         assert read_claim(tmp_path, chunk_id)["worker"] == "live-worker"
+
+    def test_claim_state_classifies_every_lease_shape(self, tmp_path):
+        clock = FakeClock()
+        broker = Broker(tmp_path)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        assert claim_state(tmp_path, chunk_id)[0] == "missing"
+        assert claim_chunk(tmp_path, chunk_id, "w", 30.0, clock=clock)
+        state, doc = claim_state(tmp_path, chunk_id, clock=clock)
+        assert state == "live" and doc["worker"] == "w"
+        clock.advance(31.0)
+        state, doc = claim_state(tmp_path, chunk_id, clock=clock)
+        assert state == "expired" and doc["worker"] == "w"
+        claim_path = tmp_path / "claims" / f"{chunk_id}.claim"
+        claim_path.write_bytes(b"{torn mid-wri")
+        assert claim_state(tmp_path, chunk_id)[0] == "corrupt"
+        claim_path.write_bytes(b"[1, 2]")  # JSON, but not a claim doc
+        assert claim_state(tmp_path, chunk_id)[0] == "corrupt"
+
+    def test_corrupt_claim_is_taken_over_atomically(self, tmp_path):
+        """Regression: a torn (non-JSON) claim — a writer that died
+        mid-replace — must be claimable like an expired lease, via an
+        atomic replace that never leaves the file missing or torn."""
+        broker = Broker(tmp_path)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        claim_path = tmp_path / "claims" / f"{chunk_id}.claim"
+        claim_path.write_bytes(b"\x00torn claim bytes")
+        assert claim_chunk(tmp_path, chunk_id, "heir", 30.0) is True
+        state, doc = claim_state(tmp_path, chunk_id)
+        assert state == "live" and doc["worker"] == "heir"
+        # And the takeover produced a complete, schema-stamped document.
+        assert json.loads(claim_path.read_bytes())["schema"] == 1
+
+    def test_release_claim_drops_a_corrupt_claim(self, tmp_path):
+        broker = Broker(tmp_path)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        (tmp_path / "claims" / f"{chunk_id}.claim").write_bytes(b"{garbage")
+        release_claim(tmp_path, chunk_id)
+        assert claim_state(tmp_path, chunk_id)[0] == "missing"
+        release_claim(tmp_path, chunk_id)  # missing-ok, still
 
     def test_spec_doc_round_trip_and_payload_rejection(self):
         spec = sleep_job(3)
@@ -182,11 +241,37 @@ class TestBrokerCollect:
         for sub in ("chunks", "claims", "results"):
             assert list((tmp_path / sub).iterdir()) == []
 
-    def test_corrupt_spool_chunk_becomes_structured_failures(self, tmp_path):
+    def test_corrupt_spool_chunk_heals_by_requeue(self, tmp_path):
+        """A corrupt spool entry is not terminal: the broker holds the
+        authoritative specs, so it re-spools the chunk and the retry
+        merges bit-identically to serial."""
         jobs = [sleep_job(i) for i in range(4)]
-        broker = Broker(tmp_path)
+        reference = run_jobs(jobs, executor="serial")
+        broker = Broker(tmp_path, poll_s=0.01)
         ids = broker.submit(jobs, chunk_size=2)
-        # Corrupt the second chunk's spool entry in place.
+        path = tmp_path / "chunks" / f"{ids[1]}.chunk"
+        path.write_bytes(b"\x00garbage not json nor pickle")
+        # Daemon-mode worker: a draining one could exit after reporting
+        # the corrupt chunk, before the broker re-spools it.
+        stop = threading.Event()
+        thread = threading.Thread(target=worker_loop, args=(tmp_path,),
+                                  kwargs=dict(poll_s=0.01, stop=stop))
+        thread.start()
+        try:
+            results = broker.collect(timeout=30)
+        finally:
+            stop.set()
+            thread.join()
+        assert payload_bytes(results) == payload_bytes(reference.results)
+        assert broker.stats.requeues >= 1
+        assert broker.stats.chunk_failures == 0
+
+    def test_corrupt_spool_chunk_fails_fast_without_retry_budget(self, tmp_path):
+        """With max_attempts=1 the old semantics are pinned: the corrupt
+        chunk's jobs resolve to structured failures, never a hang."""
+        jobs = [sleep_job(i) for i in range(4)]
+        broker = Broker(tmp_path, max_attempts=1)
+        ids = broker.submit(jobs, chunk_size=2)
         path = tmp_path / "chunks" / f"{ids[1]}.chunk"
         path.write_bytes(b"\x00garbage not json nor pickle")
         thread = threading.Thread(target=drain_worker, args=(tmp_path,))
@@ -198,6 +283,35 @@ class TestBrokerCollect:
             assert "corrupt spool chunk" in r.error
             assert r.job_hash in {j.job_hash for j in jobs[2:]}
         assert broker.stats.chunk_failures == 1
+
+    def test_torn_claim_is_requeued_without_waiting_out_the_ttl(self, tmp_path):
+        """Regression: a torn (non-JSON) claim file used to wedge its
+        chunk forever — the broker skipped it as unreadable instead of
+        treating a dead writer's claim as reclaimable."""
+        clock = FakeClock()
+        broker = Broker(tmp_path, lease_ttl_s=30.0, poll_s=0.01, clock=clock)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        (tmp_path / "claims" / f"{chunk_id}.claim").write_bytes(b"\x00torn")
+        broker._expire_leases()
+        assert broker.stats.requeues == 1
+        assert claim_state(tmp_path, chunk_id)[0] == "missing"
+        thread = threading.Thread(target=drain_worker, args=(tmp_path,))
+        thread.start()
+        results = broker.collect(timeout=30)
+        thread.join()
+        assert [r.ok for r in results] == [True]
+
+    def test_expired_lease_requeues_without_sleeping(self, tmp_path):
+        clock = FakeClock()
+        broker = Broker(tmp_path, lease_ttl_s=30.0, poll_s=0.01, clock=clock)
+        (chunk_id,) = broker.submit([sleep_job(1)], chunk_size=1)
+        assert claim_chunk(tmp_path, chunk_id, "doomed", 30.0, clock=clock)
+        broker._expire_leases()
+        assert broker.stats.requeues == 0  # live lease: untouched
+        clock.advance(30.5)
+        broker._expire_leases()
+        assert broker.stats.requeues == 1
+        assert claim_state(tmp_path, chunk_id)[0] == "missing"
 
     def test_corrupt_result_file_requeues_and_recomputes(self, tmp_path):
         jobs = [sleep_job(i) for i in range(2)]
@@ -295,6 +409,7 @@ class TestWorkerLoop:
         assert "corrupt spool chunk" in doc["chunk_error"]
 
 
+@pytest.mark.slow
 class TestKillRecovery:
     """A worker SIGKILLed mid-chunk must not cost results or order."""
 

@@ -221,6 +221,38 @@ def test_metrics_and_top_need_an_obs_dir(tmp_path, capsys, monkeypatch):
         obs.configure(False)
 
 
+def test_top_survives_truncated_and_rotated_journal(tmp_path, capsys):
+    """``repro top`` tails the journal through truncation and rotation
+    (the dashboard used to keep a stale byte offset and go blind)."""
+    from repro.runtime import obs
+
+    obs_dir = tmp_path / "obs"
+    obs.set_registry(obs.MetricsRegistry())
+    try:
+        assert main(["sweep", "--slices", "1,8", "--cache-dir",
+                     str(tmp_path / "cache"), "--quiet",
+                     "--obs-dir", str(obs_dir)]) == 0
+        capsys.readouterr()
+        assert main(["top", "--once", "--obs-dir", str(obs_dir)]) == 0
+        assert "queue depth" in capsys.readouterr().out
+
+        journal = obs_dir / "journal.ndjson"
+        journal.write_text("")  # operator truncates in place
+        assert main(["top", "--once", "--obs-dir", str(obs_dir)]) == 0
+        assert "queue depth" in capsys.readouterr().out
+
+        journal.rename(obs_dir / "journal.ndjson.1")  # logrotate
+        assert main(["sweep", "--slices", "1,8", "--cache-dir",
+                     str(tmp_path / "cache"), "--quiet",
+                     "--obs-dir", str(obs_dir)]) == 0
+        capsys.readouterr()
+        assert main(["top", "--once", "--obs-dir", str(obs_dir)]) == 0
+        assert "queue depth" in capsys.readouterr().out
+    finally:
+        obs.configure(False)
+        obs.set_registry(obs.MetricsRegistry())
+
+
 def test_sweep_then_metrics_and_top(tmp_path, capsys):
     from repro.runtime import obs
 

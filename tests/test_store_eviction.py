@@ -134,6 +134,28 @@ class TestLRUEviction:
         assert store.evict(0) == 2
         assert len(store) == 0
 
+    def test_shrink_drops_the_lru_fraction(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [put_blob(store, t) for t in "abcd"]
+        store.get(specs[0])  # a is now most recent
+        assert store.shrink(0.5) >= 2
+        assert store.get(specs[0]) is not None  # the hot entry survives
+        assert store.get(specs[1]) is None
+
+    def test_shrink_full_fraction_empties_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for t in "ab":
+            put_blob(store, t)
+        assert store.shrink(1.0) == 2
+        assert len(store) == 0
+        assert store.shrink(1.0) == 0  # idempotent on empty
+
+    def test_shrink_validates_fraction(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="fraction"):
+                store.shrink(bad)
+
     def test_evict_needs_a_target_on_uncapped_store(self, tmp_path):
         store = ResultStore(tmp_path)
         with pytest.raises(ValueError, match="target_bytes"):
