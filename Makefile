@@ -7,6 +7,9 @@
 #                      fault injection, sharding)
 #   make test-soak   - minutes-scale chaos-soak scenarios (supervised
 #                      fleet under seeded kills/corruption/eviction)
+#   make fleet-smoke - end-to-end fleet serving: a supervised worker
+#                      fleet plus a broker-dispatch AsyncServer on one
+#                      spool, answers checked against a serial run
 #   make docs-check  - docs gate: docstring coverage floor on the
 #                      runtime + docs/README link & anchor integrity
 #   make lint        - ruff check + format check (CI installs ruff;
@@ -37,9 +40,9 @@ BENCH_JSON_SUITE = benchmarks/bench_fig5b_perf.py \
                    benchmarks/bench_obs_overhead.py \
                    benchmarks/bench_chaos_soak.py
 
-.PHONY: test test-parity test-serve test-dist test-soak docs-check lint bench-smoke \
-        bench-serve bench-gate bench-baseline sweep-smoke profile-smoke \
-        fuzz-kernels bench clean-cache
+.PHONY: test test-parity test-serve test-dist test-soak fleet-smoke docs-check \
+        lint bench-smoke bench-serve bench-gate bench-baseline sweep-smoke \
+        profile-smoke fuzz-kernels bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,6 +58,9 @@ test-dist:
 
 test-soak:
 	$(PYTHON) -m pytest tests/test_chaos_soak.py tests/test_supervisor.py -q --run-soak
+
+fleet-smoke:
+	$(PYTHON) tools/fleet_serve_smoke.py --workdir .ci_fleet
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

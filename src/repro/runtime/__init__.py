@@ -42,16 +42,24 @@ fan-out-able, memoised workloads.  The flow is a straight pipeline::
    voltage, utilisation, …), compiles them to job lists, and aggregates
    results into :mod:`repro.analysis.tables`-compatible rows.
 
-5. **Serving** (:mod:`.serve`).  :class:`~repro.runtime.serve.AsyncServer`
-   is the asyncio streaming front end over the backend pool: requests
-   arrive one at a time, coalesce into micro-batches for up to a
-   configurable window, dispatch through the awaitable
-   :func:`~repro.runtime.backends.arun` path without blocking the
-   event loop, and stream per-job results back as each completes.
-   Cache hits are answered straight from the store (async
-   read-through); a line-delimited JSON protocol over TCP or stdio
-   (``repro serve``) exposes the payload-free job kinds to remote
-   clients, with in-flight gauges, queue depth and p50/p99 latency
+5. **Serving** (:mod:`.serve`, :mod:`.dispatch`).
+   :class:`~repro.runtime.serve.AsyncServer` is the asyncio streaming
+   front end: requests arrive one at a time, coalesce into
+   micro-batches for up to a configurable window, and stream per-job
+   results back as each completes.  Batches run through the
+   :class:`~repro.runtime.dispatch.Dispatcher` seam — the single
+   execution-plane API — so the server never knows whether the plane
+   is in-process (:class:`~repro.runtime.dispatch.LocalDispatcher`
+   over any registered backend) or a supervised worker fleet
+   (:class:`~repro.runtime.dispatch.BrokerDispatcher`, which spools
+   each batch as broker chunks and tails the result files without
+   blocking the event loop).  Cache hits are answered straight from
+   the store (async read-through); a versioned line-delimited JSON
+   protocol over TCP or stdio (``repro serve``, v2 handshake with
+   structured ``overloaded | bad_request | backend_error`` codes)
+   exposes the payload-free job kinds to remote clients, with
+   per-connection credit backpressure, ``--max-queue-depth`` admission
+   control, in-flight gauges, queue depth and p50/p99 latency
    telemetry.
 
 :mod:`.progress` provides the callback protocol the executors report
@@ -111,6 +119,7 @@ documents this package's public API surface.
 """
 
 from .jobs import (
+    CODECS,
     SCHEMA_VERSION,
     JobSpec,
     baseline_compare_job,
@@ -189,10 +198,17 @@ from .obs import (
     span,
 )
 from .obs import configure as configure_obs
+from .dispatch import (
+    BrokerDispatcher,
+    Dispatcher,
+    LocalDispatcher,
+)
 from .serve import (
+    PROTO_VERSION,
     WIRE_KINDS,
     AsyncServer,
     ServeTelemetry,
+    ServerOverloadedError,
     request_to_spec,
     serve_stdio,
     serve_tcp,
@@ -255,6 +271,11 @@ __all__ = [
     "ProfileAggregator",
     "AsyncServer",
     "ServeTelemetry",
+    "ServerOverloadedError",
+    "PROTO_VERSION",
+    "Dispatcher",
+    "LocalDispatcher",
+    "BrokerDispatcher",
     "WIRE_KINDS",
     "request_to_spec",
     "serve_tcp",
@@ -269,6 +290,7 @@ __all__ = [
     "DSE_HEADERS",
     "spec_to_doc",
     "spec_from_doc",
+    "CODECS",
     "Broker",
     "BrokerStats",
     "BrokerTelemetry",

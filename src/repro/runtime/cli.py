@@ -368,6 +368,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-batch", type=_positive_int, default=32,
                          help="dispatch as soon as this many requests "
                               "coalesced (default 32)")
+    p_serve.add_argument("--dispatch", choices=("local", "broker"),
+                         default="local",
+                         help="execution plane: 'local' runs batches "
+                              "in-process on --backend; 'broker' spools "
+                              "them to a worker fleet (requires --spool)")
+    p_serve.add_argument("--max-queue-depth", type=_positive_int,
+                         default=None, metavar="N",
+                         help="admission control: shed requests with a "
+                              "structured 'overloaded' error once this "
+                              "many are queued (default unbounded)")
+    p_serve.add_argument("--conn-credits", type=_positive_int, default=64,
+                         metavar="N",
+                         help="per-connection in-flight window; a "
+                              "connection at the limit stops being read "
+                              "until answers drain (default 64)")
+    p_serve.add_argument("--lease-ttl", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="broker dispatch only: worker lease TTL per "
+                              "spooled batch (default 30)")
+    p_serve.add_argument("--dispatch-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="broker dispatch only: per-batch fleet "
+                              "deadline; past it outstanding jobs fail "
+                              "structurally (default: wait forever)")
     add_common(p_serve)
 
     p_sup = sub.add_parser(
@@ -764,18 +788,33 @@ def _cmd_cache(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from .dispatch import BrokerDispatcher, LocalDispatcher
     from .serve import AsyncServer, serve_stdio, serve_tcp
 
-    # Serving is latency-bound: the thread backend answers a one-job
-    # micro-batch without per-dispatch pool spin-up, so it is the
-    # default here (unlike batch commands, which default via
-    # default_backend_name).
-    backend = make_backend(args.backend or "thread", workers=args.workers)
+    if args.dispatch == "broker":
+        if not args.spool:
+            print("repro serve: --dispatch broker requires --spool DIR "
+                  "(the directory the worker fleet watches)", file=sys.stderr)
+            return 2
+        dispatcher = BrokerDispatcher(
+            args.spool,
+            lease_ttl_s=args.lease_ttl,
+            timeout=args.dispatch_timeout,
+        )
+    else:
+        # Serving is latency-bound: the thread backend answers a
+        # one-job micro-batch without per-dispatch pool spin-up, so it
+        # is the default here (unlike batch commands, which default via
+        # default_backend_name).
+        dispatcher = LocalDispatcher(args.backend or "thread",
+                                     workers=args.workers)
     server = AsyncServer(
-        backend=backend,
+        dispatcher=dispatcher,
         cache=_make_cache(args),
         batch_window_s=args.batch_window,
         max_batch=args.max_batch,
+        max_queue_depth=args.max_queue_depth,
+        conn_credits=args.conn_credits,
     )
 
     # Capability line first, so fleet operators can audit which kernel
@@ -788,17 +827,28 @@ def _cmd_serve(args) -> int:
     async def _tcp() -> None:
         tcp = await serve_tcp(server, host=args.host, port=args.port)
         host, port = tcp.sockets[0].getsockname()[:2]
+        shed = ("unbounded" if args.max_queue_depth is None
+                else str(args.max_queue_depth))
         print(f"repro serve: listening on {host}:{port} "
-              f"(backend {backend.name}, window {args.batch_window:g}s, "
-              f"max batch {args.max_batch})", file=sys.stderr)
+              f"(dispatch {dispatcher.name}/"
+              f"{server.stats_backend_name()}, proto v2, "
+              f"window {args.batch_window:g}s, max batch {args.max_batch}, "
+              f"queue depth {shed})", file=sys.stderr)
         try:
             async with tcp:
                 await tcp.serve_forever()
         finally:
             await server.aclose()
+            await dispatcher.aclose()
+
+    async def _stdio() -> None:
+        try:
+            await serve_stdio(server)
+        finally:
+            await dispatcher.aclose()
 
     try:
-        asyncio.run(serve_stdio(server) if args.stdio else _tcp())
+        asyncio.run(_stdio() if args.stdio else _tcp())
     except KeyboardInterrupt:
         pass  # Ctrl-C is the normal way to stop a TCP server
     if not args.quiet:
@@ -807,7 +857,8 @@ def _cmd_serve(args) -> int:
         print(
             f"serve: {s['requests']} request(s) in {s['batches']} batch(es) — "
             f"{s['cache_hits']} cache hit(s), {s['computed']} computed, "
-            f"{s['failures']} failed; latency p50 {lat['p50_s'] * 1e3:.2f} ms, "
+            f"{s['failures']} failed, {s['shed']} shed; "
+            f"latency p50 {lat['p50_s'] * 1e3:.2f} ms, "
             f"p99 {lat['p99_s'] * 1e3:.2f} ms",
             file=sys.stderr,
         )
@@ -1060,6 +1111,13 @@ class _TopState:
             hits = store.value(op="hit")
             misses = store.value(op="miss")
         hit_rate = hits / (hits + misses) if hits + misses else 0.0
+        # Serve-side queue depth comes from the same process-wide gauge
+        # the serve `stats` op reports (repro_serve_queue_depth), so the
+        # dashboard and the wire protocol agree by construction.
+        serve_depth = None
+        serve_gauge = registry._metrics.get("repro_serve_queue_depth")
+        if serve_gauge is not None:
+            serve_depth = int(serve_gauge.value())
         live_cutoff = now - max(15.0, 3 * self.window_s)
         live = sorted(w for w, t in self.workers.items() if t >= live_cutoff)
         lines = [
@@ -1075,6 +1133,9 @@ class _TopState:
             f"{misses:g} miss(es))",
             f"  workers         {len(live)}/{len(self.workers)} live",
         ]
+        if serve_depth is not None:
+            lines.insert(2, f"  serve queue     {serve_depth:>6}   "
+                            f"(repro_serve_queue_depth gauge)")
         for w in live[:8]:
             lines.append(f"    {w}  last seen {now - self.workers[w]:.1f}s ago")
         return "\n".join(lines)

@@ -1,0 +1,373 @@
+"""Unified execution-plane API: one ``Dispatcher`` seam for all serving.
+
+Before this module, the serving front end
+(:class:`~repro.runtime.serve.AsyncServer`) was hard-wired to the
+in-process path — every micro-batch went through
+:func:`~repro.runtime.backends.arun` onto one local backend — while the
+``cluster`` backend fanned *batch* sweeps across a worker fleet through
+the spool broker (:mod:`repro.runtime.dist`).  The two halves did not
+compose: a server could not put its traffic on a fleet.
+
+:class:`Dispatcher` is the seam that unifies them.  It is the single
+execution-plane contract the server codes against::
+
+    submit(specs)  ->  async iterator of per-job JobResults, input order
+
+with two implementations behind it:
+
+* :class:`LocalDispatcher` — today's path: one in-process backend,
+  awaited through :func:`~repro.runtime.backends.arun`.
+* :class:`BrokerDispatcher` — the fleet path: each submitted batch is
+  written into a spool as a broker chunk, external workers (``repro
+  worker`` agents, typically operated by ``repro supervise``) claim and
+  execute it, and a single non-blocking **watcher task** tails the
+  spool's result files — the same incremental-poll pattern as
+  :class:`~repro.runtime.obs.JournalTailer`: only outstanding chunks
+  are examined each poll, every published file is consumed exactly
+  once, and the event loop never blocks on filesystem I/O (each scan
+  runs in a worker thread).  As a chunk's result file lands, the
+  batch's future resolves and the per-job results stream back to the
+  submitters.
+
+Because each submission runs through a private
+:class:`~repro.runtime.dist.Broker`, the fleet path inherits the whole
+durability story for free: lease TTL + heartbeat, requeue of chunks
+whose worker died mid-execution, a bounded retry budget, and structured
+``ok=False`` results for unrecoverable chunks — a serving request is
+never lost to a crashed worker, and never raised as an exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Iterable, Protocol, runtime_checkable
+
+from . import obs
+from .backends import Backend, JobResult, arun, make_backend
+from .jobs import JobSpec
+
+__all__ = [
+    "Dispatcher",
+    "LocalDispatcher",
+    "BrokerDispatcher",
+]
+
+
+@runtime_checkable
+class Dispatcher(Protocol):
+    """The execution-plane contract the serving front end codes against.
+
+    A dispatcher turns a list of :class:`~repro.runtime.jobs.JobSpec`
+    into an **async iterator of per-job results in input order**,
+    without the caller knowing whether the work runs in-process or on a
+    remote fleet.  Failures stay structured: a raising runner, a dead
+    worker, an exhausted retry budget all come back as ``ok=False``
+    :class:`~repro.runtime.backends.JobResult` records — ``submit``
+    raising is reserved for dispatcher-level faults (closed dispatcher,
+    broken event loop), which the server converts into per-job
+    structured failures itself.
+    """
+
+    #: Registry-style identity (``"local"``, ``"broker"``) reported by
+    #: the serve ``stats`` op and the startup banner.
+    name: str
+
+    def submit(self, specs: Iterable[JobSpec]) -> AsyncIterator[JobResult]:
+        """Execute ``specs``, yielding one result per spec in input order."""
+        ...
+
+    async def aclose(self) -> None:
+        """Release dispatcher resources; safe to call more than once."""
+        ...
+
+    def describe(self) -> dict:
+        """A JSON-able identity document for ``stats``/banners."""
+        ...
+
+
+class LocalDispatcher:
+    """The in-process execution plane: one backend behind the seam.
+
+    Wraps any registered backend (or instance) and delegates to
+    :func:`~repro.runtime.backends.arun`, the awaitable submission path
+    — exactly what :class:`~repro.runtime.serve.AsyncServer` did before
+    the dispatcher seam existed, now expressed through it.
+    """
+
+    name = "local"
+
+    def __init__(self, backend: Backend | str = "thread",
+                 workers: int | None = None) -> None:
+        """Args:
+            backend: backend instance or registered name (``thread`` by
+                default — serving is latency-bound).
+            workers: pool size when ``backend`` is a name (None = the
+                backend's own default).
+        """
+        if isinstance(backend, str):
+            backend = make_backend(backend, workers=workers)
+        self.backend = backend
+        self._m_batches = obs.get_registry().counter(
+            "repro_dispatch_batches_total",
+            "Batches submitted through the dispatcher seam, by dispatcher.")
+
+    async def submit(self, specs: Iterable[JobSpec]) -> AsyncIterator[JobResult]:
+        """Run ``specs`` on the wrapped backend, yielding results in
+        input order as the backend delivers them."""
+        specs = list(specs)
+        if not specs:
+            return
+        self._m_batches.inc(dispatcher=self.name)
+        async for result in arun(self.backend, specs):
+            yield result
+
+    async def aclose(self) -> None:
+        """Nothing to release — the backend owns its own pool lifetime."""
+
+    def describe(self) -> dict:
+        """Identity document: dispatcher, backend name and pool size."""
+        return {
+            "dispatcher": self.name,
+            "backend": getattr(self.backend, "name", type(self.backend).__name__),
+            "workers": getattr(self.backend, "workers", 1),
+        }
+
+
+@dataclass
+class _Flight:
+    """One in-flight submission on the broker plane: its private broker
+    (chunk bookkeeping, requeue, retry budget), the future its submitter
+    awaits (resolves to the ordered result list) and the wall-clock
+    deadline after which outstanding chunks fail structurally."""
+
+    broker: object
+    future: asyncio.Future
+    deadline: float | None = None
+    submitted_at: float = field(default=0.0)
+
+
+class BrokerDispatcher:
+    """The fleet execution plane: serve batches as spool chunks.
+
+    Each :meth:`submit` writes the batch into the shared spool through
+    a private :class:`~repro.runtime.dist.Broker` (one chunk per batch
+    by default), so the chunk inherits the queue's full crash story —
+    atomic spool writes, lease TTL + heartbeat, requeue on dead
+    workers, bounded retries, structured failures.  External ``repro
+    worker`` agents (usually a ``repro supervise``-managed fleet)
+    execute the chunks through the ordinary runner registry; payload
+    -carrying ``sample_eval`` jobs cross the spool via the ``events``
+    codec (:func:`~repro.runtime.jobs.spec_to_doc`).
+
+    A single watcher task tails the spool's result files for all
+    in-flight submissions, the :class:`~repro.runtime.obs.JournalTailer`
+    way: non-blocking (each scan runs in a worker thread), incremental
+    (only outstanding chunks are examined), and consume-once.  When a
+    submission's chunks have all resolved, its future fires and
+    :meth:`submit` streams the per-job results back in input order.
+
+    The dispatcher itself holds no worker processes: point
+    ``repro serve --dispatch broker --spool DIR`` and any number of
+    ``repro worker --spool DIR`` agents at the same directory and the
+    front end serves off the fleet.
+    """
+
+    name = "broker"
+
+    def __init__(
+        self,
+        spool_dir: str | pathlib.Path,
+        lease_ttl_s: float = 30.0,
+        poll_s: float = 0.02,
+        max_attempts: int = 3,
+        chunk_size: int | None = None,
+        timeout: float | None = None,
+        clock=None,
+    ) -> None:
+        """Args:
+            spool_dir: the shared spool directory the worker fleet
+                watches (created if missing).
+            lease_ttl_s: worker lease TTL per chunk; an expired lease
+                requeues the chunk (dead-worker recovery).
+            poll_s: result-watcher poll cadence.
+            max_attempts: per-chunk retry budget before the chunk's
+                jobs resolve as structured failures.
+            chunk_size: jobs per spool chunk (None = one chunk per
+                submitted batch, matching the serve micro-batch).
+            timeout: per-submission deadline in seconds; on expiry the
+                outstanding jobs resolve as structured ``ok=False``
+                failures (None = wait for the fleet forever).
+            clock: wall-clock override for lease expiry checks (tests).
+
+        Raises:
+            ValueError: non-positive ``poll_s``, ``chunk_size`` or
+                ``timeout``.
+        """
+        if poll_s <= 0:
+            raise ValueError("poll_s must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.spool = pathlib.Path(spool_dir)
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_s = poll_s
+        self.max_attempts = max_attempts
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.clock = clock
+        self._flights: list[_Flight] = []
+        self._lock = threading.Lock()
+        self._watcher: asyncio.Task | None = None
+        self._closing = False
+        registry = obs.get_registry()
+        self._m_batches = registry.counter(
+            "repro_dispatch_batches_total",
+            "Batches submitted through the dispatcher seam, by dispatcher.")
+        self._g_in_flight = registry.gauge(
+            "repro_dispatch_broker_in_flight",
+            "Serve batches currently spooled and awaiting the fleet.")
+
+    def _make_broker(self):
+        """A fresh private broker for one submission (fresh run nonce,
+        so chunk ids can never collide across a server's lifetime)."""
+        from .dist import Broker
+
+        return Broker(
+            self.spool,
+            lease_ttl_s=self.lease_ttl_s,
+            poll_s=self.poll_s,
+            max_attempts=self.max_attempts,
+            clock=self.clock,
+        )
+
+    async def submit(self, specs: Iterable[JobSpec]) -> AsyncIterator[JobResult]:
+        """Spool ``specs`` as broker chunk(s) and stream the fleet's
+        results back in input order.
+
+        The call returns results only when the fleet (or the retry
+        machinery) has resolved every job — each job either carries its
+        worker's value or a structured ``ok=False`` failure (exhausted
+        retries, per-submission timeout).
+
+        Raises:
+            RuntimeError: the dispatcher is closed.
+        """
+        specs = list(specs)
+        if not specs:
+            return
+        if self._closing:
+            raise RuntimeError("dispatcher is closed")
+        loop = asyncio.get_running_loop()
+        broker = self._make_broker()
+        chunk_size = self.chunk_size if self.chunk_size is not None else len(specs)
+        # Spool writes are filesystem I/O: off the event loop.
+        await asyncio.to_thread(broker.submit, specs, chunk_size)
+        self._m_batches.inc(dispatcher=self.name)
+        flight = _Flight(
+            broker=broker,
+            future=loop.create_future(),
+            deadline=(None if self.timeout is None
+                      else time.monotonic() + self.timeout),
+            submitted_at=time.monotonic(),
+        )
+        with self._lock:
+            self._flights.append(flight)
+        self._g_in_flight.set(len(self._flights))
+        self._ensure_watcher()
+        try:
+            results: list[JobResult] = await flight.future
+        finally:
+            with self._lock:
+                if flight in self._flights:
+                    self._flights.remove(flight)
+            self._g_in_flight.set(len(self._flights))
+        for result in results:
+            yield result
+
+    # -- the result watcher ----------------------------------------------
+    def _ensure_watcher(self) -> None:
+        if self._watcher is None or self._watcher.done():
+            self._watcher = asyncio.get_running_loop().create_task(
+                self._watch_loop())
+
+    def _scan_blocking(self) -> list[tuple[_Flight, list[JobResult]]]:
+        """One incremental pass over every in-flight submission (runs in
+        a worker thread).  For each, ingest any published result files,
+        requeue expired leases, fail out past-deadline chunks — and
+        collect the submissions that are now fully resolved."""
+        done = []
+        now = time.monotonic()
+        with self._lock:
+            for flight in self._flights:
+                if flight.future.done():
+                    continue
+                broker = flight.broker
+                if (flight.deadline is not None and now > flight.deadline
+                        and broker.outstanding()):
+                    broker.fail_outstanding(
+                        f"no fleet answer within {self.timeout:g}s "
+                        f"(spool {self.spool})")
+                if broker.poll_once():
+                    done.append((flight, broker.results_in_order()))
+        return done
+
+    async def _watch_loop(self) -> None:
+        """Poll the spool until no submission is in flight, resolving
+        each submission's future as its chunks land.  A watcher-level
+        fault (unreadable spool root, for instance) fails every pending
+        future rather than hanging its submitters."""
+        try:
+            while True:
+                done = await asyncio.to_thread(self._scan_blocking)
+                for flight, results in done:
+                    if not flight.future.done():
+                        flight.future.set_result(results)
+                with self._lock:
+                    idle = not self._flights
+                if idle:
+                    return
+                await asyncio.sleep(self.poll_s)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            with self._lock:
+                pending = list(self._flights)
+            for flight in pending:
+                if not flight.future.done():
+                    flight.future.set_exception(
+                        RuntimeError(f"broker dispatch watcher failed: {exc!r}"))
+
+    async def aclose(self) -> None:
+        """Stop the watcher, fail any still-pending submissions and
+        drop this dispatcher's leftover spool files.  Safe to call more
+        than once."""
+        self._closing = True
+        if self._watcher is not None:
+            self._watcher.cancel()
+            try:
+                await self._watcher
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._watcher = None
+        with self._lock:
+            pending, self._flights = list(self._flights), []
+        for flight in pending:
+            if not flight.future.done():
+                flight.future.set_exception(RuntimeError("dispatcher is closed"))
+            await asyncio.to_thread(flight.broker.close)
+        self._g_in_flight.set(0)
+
+    def describe(self) -> dict:
+        """Identity document: dispatcher, spool path and queue knobs."""
+        return {
+            "dispatcher": self.name,
+            "spool": str(self.spool),
+            "lease_ttl_s": self.lease_ttl_s,
+            "max_attempts": self.max_attempts,
+            "timeout": self.timeout,
+        }

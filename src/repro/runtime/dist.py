@@ -33,10 +33,15 @@ via ``O_CREAT | O_EXCL``)::
     ├── claims/   <chunk_id>.claim   # worker leases (JSON, wall-clock expiry)
     └── results/  <chunk_id>.json    # ordered result records per chunk
 
-Chunks containing only payload-free specs are JSON (inspectable,
-portable across machines); chunks carrying live payloads
-(``sample_eval``) are pickled, which confines them to workers sharing
-the code tree — the same constraint the process backend already has.
+Chunks are JSON documents of per-spec codec docs
+(:func:`~repro.runtime.jobs.spec_to_doc`): payload-free specs encode as
+``codec: "json"``, ``sample_eval`` payloads cross as ``codec:
+"events"`` (base64 arrays — portable and inspectable, what lets the
+serving front end put payload jobs on a remote fleet), and only unknown
+payload kinds fall back to an embedded ``codec: "pickle"`` blob — a
+deprecated path that warns on encode and confines the chunk to workers
+sharing the code tree.  Whole-file pickle chunks written by older
+brokers still decode.
 
 Crash safety rests on idempotence: equal job hash ⇒ equal result, so
 a lease takeover that races a slow-but-alive worker merely computes
@@ -116,27 +121,26 @@ def _default_worker_id() -> str:
 
 def _encode_chunk(chunk_id: str, index: int, specs: list[JobSpec],
                   trace: obs.SpanContext | None = None) -> bytes:
-    """Serialise one chunk: JSON when every spec is payload-free
-    (portable, inspectable), pickle otherwise (live payloads).
+    """Serialise one chunk as a JSON document of per-spec codec docs.
+
+    :func:`~repro.runtime.jobs.spec_to_doc` picks the codec per spec:
+    ``json`` for payload-free specs, ``events`` for ``sample_eval``
+    payloads (base64 event arrays — wire-portable), and the deprecated
+    embedded-``pickle`` blob for unknown payload kinds (which warns).
 
     ``trace`` embeds the chunk's span context in the document, so every
     worker attempt — including a requeue after a SIGKILL, which reuses
     the chunk's original context — executes under one trace.
     """
-    if all(s.payload is None for s in specs):
-        doc = {
-            "schema": DIST_SCHEMA,
-            "chunk": chunk_id,
-            "index": index,
-            "jobs": [spec_to_doc(s) for s in specs],
-        }
-        if trace is not None:
-            doc["trace"] = trace.to_doc()
-        return json.dumps(doc).encode()
-    doc = {"schema": DIST_SCHEMA, "chunk": chunk_id, "index": index, "specs": specs}
+    doc = {
+        "schema": DIST_SCHEMA,
+        "chunk": chunk_id,
+        "index": index,
+        "jobs": [spec_to_doc(s, allow_pickle=True) for s in specs],
+    }
     if trace is not None:
         doc["trace"] = trace.to_doc()
-    return pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
+    return json.dumps(doc).encode()
 
 
 def _decode_chunk(data: bytes) -> tuple[list[JobSpec], obs.SpanContext | None]:
@@ -148,7 +152,7 @@ def _decode_chunk(data: bytes) -> tuple[list[JobSpec], obs.SpanContext | None]:
     chunk-level failure instead of crashing.
     """
     try:
-        if data[:1] == b"\x80":  # pickle protocol 2+ magic
+        if data[:1] == b"\x80":  # pickle protocol 2+ magic (legacy chunks)
             doc = pickle.loads(data)
             specs = doc["specs"]
         else:
@@ -862,6 +866,55 @@ class Broker:
             elif state == "corrupt":
                 self._requeue(chunk, "lease expired (corrupt claim file)")
 
+    def poll_once(self) -> bool:
+        """One non-blocking collect step; True when every chunk resolved.
+
+        Ingests any published result files for outstanding chunks and
+        requeues expired/corrupt leases — exactly one iteration of the
+        :meth:`collect` loop, exposed so an async caller (the serving
+        front end's :class:`~repro.runtime.dispatch.BrokerDispatcher`)
+        can drive the broker from a watcher task instead of blocking in
+        ``collect``.  The scan is incremental: already-resolved chunks
+        are never re-examined.
+        """
+        for chunk in self._chunks:
+            if chunk.results is None:
+                self._ingest(chunk)
+        self._expire_leases()
+        return all(c.results is not None for c in self._chunks)
+
+    def results_in_order(self) -> list[JobResult]:
+        """The resolved per-job results in submission order.
+
+        Raises:
+            DistError: some chunk is still outstanding — call
+                :meth:`poll_once` (or :meth:`collect`) until it reports
+                completion first.
+        """
+        unresolved = self.outstanding()
+        if unresolved:
+            raise DistError(
+                f"{len(unresolved)} chunk(s) still outstanding: "
+                f"{', '.join(unresolved[:4])}"
+            )
+        return [r for c in self._chunks for r in c.results]
+
+    def fail_outstanding(self, reason: str) -> int:
+        """Resolve every outstanding chunk as structured failures.
+
+        The dispatcher's per-submission deadline and other give-up
+        paths use this: each unresolved job becomes an ``ok=False``
+        result carrying ``reason`` — the queue's usual failure shape,
+        never an exception in a submitter's face.  Returns the number
+        of chunks failed.
+        """
+        failed = 0
+        for chunk in self._chunks:
+            if chunk.results is None:
+                self._fail_chunk(chunk, reason)
+                failed += 1
+        return failed
+
     def collect(self, on_result=None, timeout: float | None = None,
                 watchdog=None) -> list[JobResult]:
         """Wait for every submitted chunk and return ordered results.
@@ -879,10 +932,7 @@ class Broker:
         delivered = 0
         out: list[JobResult] = []
         while True:
-            for chunk in self._chunks:
-                if chunk.results is None:
-                    self._ingest(chunk)
-            self._expire_leases()
+            self.poll_once()
             while delivered < len(self._chunks) and (
                 self._chunks[delivered].results is not None
             ):

@@ -23,11 +23,14 @@ ship back from workers and the cache persists.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import enum
 import functools
 import hashlib
 import json
+import pickle
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -37,6 +40,7 @@ from ..hw.config import SNEConfig
 
 __all__ = [
     "SCHEMA_VERSION",
+    "CODECS",
     "JobSpec",
     "canonical_json",
     "calibration_fingerprint",
@@ -114,37 +118,234 @@ class JobSpec:
         return json.loads(self.key)
 
 
-def spec_to_doc(spec: JobSpec) -> dict:
-    """A payload-free spec as a plain JSON document.
+#: The spec-document codecs :func:`spec_to_doc` can emit (the value of
+#: every document's ``codec`` field): ``json`` for payload-free specs,
+#: ``events`` for ``sample_eval`` payloads (base64-encoded event arrays
+#: and program weights — wire-portable), and the deprecated ``pickle``
+#: fallback for unknown payload kinds.
+CODECS = ("json", "events", "pickle")
+
+
+def _encode_array(a: np.ndarray) -> dict:
+    """One array as a JSON document: dtype + shape + base64 raw bytes.
+
+    The raw-bytes encoding is exact (no float round-trip through
+    decimal), which is what makes the events codec bit-identical.
+    """
+    a = np.ascontiguousarray(a)
+    return {
+        "dtype": str(a.dtype),
+        "shape": list(a.shape),
+        "data": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(doc: dict) -> np.ndarray:
+    """Rebuild the exact array :func:`_encode_array` serialised."""
+    data = base64.b64decode(doc["data"])
+    a = np.frombuffer(data, dtype=np.dtype(doc["dtype"]))
+    return a.reshape([int(s) for s in doc["shape"]]).copy()
+
+
+def _encode_sample_payload(payload: dict) -> dict:
+    """The ``events`` codec: a ``sample_eval`` payload as JSON.
+
+    Every live object is reduced to plain data — layer geometries plus
+    base64 weight arrays, the ``SNEConfig`` field dict, the event
+    stream's four coordinate arrays and dense-envelope shape (the
+    dataset reference the stream was cut from is already folded into
+    the spec *key*), the label, and the power model's technology
+    parameters — so the payload crosses any JSON wire and
+    :func:`_decode_sample_payload` rebuilds bit-identical inputs.
+    """
+    programs = []
+    for p in payload["programs"]:
+        g = p.geometry
+        programs.append({
+            "geometry": {
+                "kind": g.kind.value,
+                "in_channels": g.in_channels,
+                "in_height": g.in_height,
+                "in_width": g.in_width,
+                "out_channels": g.out_channels,
+                "out_height": g.out_height,
+                "out_width": g.out_width,
+                "kernel": g.kernel,
+                "stride": g.stride,
+                "padding": g.padding,
+            },
+            "weights": _encode_array(np.asarray(p.weights)),
+            "threshold": int(p.threshold),
+            "leak": int(p.leak),
+            "scale": float(p.scale),
+            "name": str(p.name),
+            "spiking": bool(p.spiking),
+        })
+    config = payload["config"]
+    stream = payload["stream"]
+    power = payload["power"]
+    doc = {
+        "programs": programs,
+        "config": dataclasses.asdict(config),
+        "stream": {
+            "shape": [int(s) for s in stream.shape],
+            "t": _encode_array(stream.t),
+            "ch": _encode_array(stream.ch),
+            "x": _encode_array(stream.x),
+            "y": _encode_array(stream.y),
+        },
+        "label": int(payload["label"]),
+        "power": None,
+    }
+    if power is not None:
+        doc["power"] = {
+            "tech": dataclasses.asdict(power.tech),
+            "gating_residual": float(power.gating_residual),
+        }
+    return doc
+
+
+def _decode_sample_payload(doc: dict) -> dict:
+    """Rebuild the live ``sample_eval`` payload the ``events`` codec
+    serialised — compiled layer programs, config, event stream, label
+    and power model — with bit-identical arrays."""
+    from ..events.event import EventFormat
+    from ..events.stream import EventStream
+    from ..hw.mapper import LayerGeometry, LayerKind, LayerProgram
+
+    programs = []
+    for p in doc["programs"]:
+        g = p["geometry"]
+        geometry = LayerGeometry(
+            kind=LayerKind(g["kind"]),
+            in_channels=int(g["in_channels"]),
+            in_height=int(g["in_height"]),
+            in_width=int(g["in_width"]),
+            out_channels=int(g["out_channels"]),
+            out_height=int(g["out_height"]),
+            out_width=int(g["out_width"]),
+            kernel=int(g["kernel"]),
+            stride=int(g["stride"]),
+            padding=int(g["padding"]),
+        )
+        programs.append(LayerProgram(
+            geometry=geometry,
+            weights=_decode_array(p["weights"]),
+            threshold=int(p["threshold"]),
+            leak=int(p["leak"]),
+            scale=float(p["scale"]),
+            name=str(p["name"]),
+            spiking=bool(p["spiking"]),
+        ))
+    cfg_doc = dict(doc["config"])
+    cfg_doc["event_format"] = EventFormat(**cfg_doc["event_format"])
+    config = SNEConfig(**cfg_doc)
+    s = doc["stream"]
+    stream = EventStream(
+        _decode_array(s["t"]), _decode_array(s["ch"]),
+        _decode_array(s["x"]), _decode_array(s["y"]),
+        shape=tuple(int(v) for v in s["shape"]),
+    )
+    power = None
+    if doc.get("power") is not None:
+        from ..energy.power import PowerModel
+        from ..energy.technology import TechnologyParams
+
+        power = PowerModel(tech=TechnologyParams(**doc["power"]["tech"]))
+        power.gating_residual = float(doc["power"]["gating_residual"])
+    return {
+        "programs": programs,
+        "config": config,
+        "stream": stream,
+        "label": int(doc["label"]),
+        "power": power,
+    }
+
+
+def spec_to_doc(spec: JobSpec, allow_pickle: bool = False) -> dict:
+    """One spec as a plain JSON document, tagged with its ``codec``.
 
     This is the wire/spool encoding the distributed work queue
-    (:mod:`repro.runtime.dist`) writes into chunk files: ``kind`` plus
-    the canonical ``key`` are the spec's entire identity, so the
-    receiving process rebuilds an equal-hash spec with
-    :func:`spec_from_doc`.  Specs carrying a live payload (``sample_eval``)
-    cannot cross a JSON boundary and are rejected — the dist layer
-    falls back to pickle for those.
+    (:mod:`repro.runtime.dist`) writes into chunk files and the fleet
+    -serving dispatcher puts on the broker plane.  The returned
+    document always carries a ``codec`` field (one of :data:`CODECS`):
+
+    * ``"json"`` — payload-free specs; ``kind`` + canonical ``key``
+      are the entire identity.
+    * ``"events"`` — ``sample_eval`` specs: the live payload crosses
+      as encoded event arrays, program weights, config fields and the
+      power calibration (bit-identical round trip), which is what lets
+      payload-carrying jobs reach remote workers at all.
+    * ``"pickle"`` — unknown payload kinds, only with
+      ``allow_pickle=True``: the payload is embedded as a base64
+      pickle blob.  **Deprecated** — it confines the document to
+      workers sharing the code tree and emits a ``DeprecationWarning``;
+      register an explicit codec (like ``events``) instead.
+
+    Raises:
+        ValueError: an unknown payload kind with ``allow_pickle=False``.
     """
-    if spec.payload is not None:
-        raise ValueError(
-            f"{spec.kind} spec carries an in-memory payload and cannot be "
-            "encoded as JSON; serialise the whole spec (pickle) instead"
+    if spec.payload is None:
+        return {"kind": spec.kind, "key": spec.key, "codec": "json"}
+    if spec.kind == "sample_eval":
+        return {
+            "kind": spec.kind,
+            "key": spec.key,
+            "codec": "events",
+            "payload": _encode_sample_payload(spec.payload),
+        }
+    if allow_pickle:
+        warnings.warn(
+            f"falling back to the pickle codec for {spec.kind!r} payloads; "
+            "pickle spool documents are deprecated — add a wire codec for "
+            "this payload kind (see the sample_eval events codec)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return {"kind": spec.kind, "key": spec.key}
+        blob = pickle.dumps(spec.payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return {
+            "kind": spec.kind,
+            "key": spec.key,
+            "codec": "pickle",
+            "payload": base64.b64encode(blob).decode("ascii"),
+        }
+    raise ValueError(
+        f"{spec.kind} spec carries an in-memory payload with no wire codec; "
+        "pass allow_pickle=True for the (deprecated) pickle fallback"
+    )
 
 
 def spec_from_doc(doc: dict) -> JobSpec:
-    """Rebuild a payload-free :class:`JobSpec` from :func:`spec_to_doc`.
+    """Rebuild the :class:`JobSpec` a :func:`spec_to_doc` document names.
 
-    Validates the document shape (string ``kind``, JSON-decodable
-    string ``key``) so a corrupt spool entry degrades to a structured
-    error, never to a spec with a garbage identity.
+    Dispatches on the document's ``codec`` field (missing = ``"json"``,
+    the pre-codec document shape).  Validates the document shape
+    (string ``kind``, JSON-decodable string ``key``, a known codec) so
+    a corrupt spool entry degrades to a structured error, never to a
+    spec with a garbage identity.
     """
     kind, key = doc.get("kind"), doc.get("key")
     if not isinstance(kind, str) or not isinstance(key, str):
         raise ValueError(f"malformed spec document: {doc!r}")
     json.loads(key)  # raises ValueError on a non-JSON key
-    return JobSpec(kind=kind, key=key)
+    codec = doc.get("codec", "json")
+    if codec == "json":
+        return JobSpec(kind=kind, key=key)
+    if codec == "events":
+        try:
+            payload = _decode_sample_payload(doc["payload"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed events-codec payload for {kind!r}: {exc}") from exc
+        return JobSpec(kind=kind, key=key, payload=payload)
+    if codec == "pickle":
+        try:
+            payload = pickle.loads(base64.b64decode(doc["payload"]))
+        except Exception as exc:
+            raise ValueError(
+                f"malformed pickle-codec payload for {kind!r}: {exc}") from exc
+        return JobSpec(kind=kind, key=key, payload=payload)
+    raise ValueError(f"unknown spec codec {codec!r}; known: {CODECS}")
 
 
 # -- spec factories ---------------------------------------------------------

@@ -15,27 +15,48 @@ The pieces:
   async generator yielding each result the moment it is available.
   Cache hits are served straight from the
   :class:`~repro.runtime.store.ResultStore` (async read-through, off
-  the event loop) without ever touching the pool; misses are queued,
-  coalesced for up to ``batch_window_s`` (or ``max_batch`` jobs) and
-  executed through :func:`repro.runtime.backends.arun`, the awaitable
-  submission path next to the synchronous ``run_jobs`` contract.
-* :class:`ServeTelemetry` — in-flight gauge, queue depth, batch
+  the event loop) without ever touching the execution plane; misses are
+  queued, coalesced for up to ``batch_window_s`` (or ``max_batch``
+  jobs) and handed to a
+  :class:`~repro.runtime.dispatch.Dispatcher` — the server does not
+  know whether the batch runs in-process
+  (:class:`~repro.runtime.dispatch.LocalDispatcher`) or on a
+  supervised worker fleet through the spool broker
+  (:class:`~repro.runtime.dispatch.BrokerDispatcher`).
+* **admission control** — ``max_queue_depth`` bounds how many requests
+  may wait for a batch slot; past it, :meth:`AsyncServer.submit` sheds
+  the request with :exc:`ServerOverloadedError`, which the wire layer
+  answers as a structured ``overloaded`` error instead of letting the
+  queue grow without bound.
+* :class:`ServeTelemetry` — in-flight gauge, queue depth, batch/shed
   counters and p50/p99 request latency
   (:class:`~repro.runtime.progress.LatencyRecorder`), reported by the
-  ``stats`` protocol op and printed on shutdown.
+  ``stats`` protocol op and printed on shutdown.  The queue-depth
+  figure the ``stats`` op reports is read back from the process-wide
+  ``repro_serve_queue_depth`` gauge, the same one ``repro top``
+  renders — one source of truth for the dashboard and the wire.
 * the **wire protocol** — line-delimited JSON over TCP
   (:func:`serve_tcp`) or stdio (:func:`serve_stdio`), fronted by the
   CLI's ``repro serve``.  A request names a payload-free job kind and
   its parameters; responses stream back tagged with the request ``id``
   as each job finishes, so one connection can keep many requests in
-  flight.  ``sample_eval`` jobs carry live in-memory payloads and are
-  therefore not servable over the wire — use :meth:`AsyncServer.submit`
-  in-process for those.
+  flight — bounded by the connection's **credit window**
+  (``conn_credits``): the pump stops reading a connection whose
+  in-flight answers fill the window, pushing backpressure into the
+  client's socket.  Protocol **v2** adds a ``hello`` handshake
+  (``{"op": "hello", "proto": 2}``) that upgrades the connection to
+  structured error codes (``overloaded | bad_request |
+  backend_error``); v1 clients that never send ``hello`` get the
+  original untagged error shape, unchanged.  ``sample_eval`` jobs
+  carry live in-memory payloads and are not servable over this wire —
+  use :meth:`AsyncServer.submit` in-process (the *spool* wire crosses
+  them fine via the ``events`` codec).
 
 Per-job failures stay *structured*: a raising runner comes back as an
 ``ok=False`` :class:`~repro.runtime.backends.JobResult` (the backend
-contract), and a crashed backend is converted to one ``ok=False``
-result per in-flight job — a client never sees a hung request.
+contract), and a crashed execution plane is converted to one
+``ok=False`` result per in-flight job — a client never sees a hung
+request.
 """
 
 from __future__ import annotations
@@ -44,11 +65,13 @@ import asyncio
 import contextlib
 import json
 import sys
+import warnings
 from dataclasses import dataclass, field
 
 from . import obs
-from .backends import Backend, JobResult, arun, make_backend
+from .backends import Backend, JobResult
 from .cache import ResultCache
+from .dispatch import Dispatcher, LocalDispatcher
 from .jobs import (
     JobSpec,
     baseline_compare_job,
@@ -60,11 +83,25 @@ from .progress import LatencyRecorder
 __all__ = [
     "ServeTelemetry",
     "AsyncServer",
+    "ServerOverloadedError",
+    "PROTO_VERSION",
     "WIRE_KINDS",
     "request_to_spec",
     "serve_tcp",
     "serve_stdio",
 ]
+
+#: Highest wire-protocol version this server speaks.  Connections start
+#: at v1 (the pre-handshake shape) and upgrade per connection via the
+#: ``hello`` op; v2 adds structured ``code`` fields on error responses.
+PROTO_VERSION = 2
+
+
+class ServerOverloadedError(RuntimeError):
+    """Raised by :meth:`AsyncServer.submit` when admission control sheds
+    the request: the batch queue is already at ``max_queue_depth``.  The
+    wire layer answers it as a structured ``overloaded`` error; direct
+    callers should back off and retry."""
 
 #: Wire-servable job kinds: payload-free spec factories keyed by the
 #: ``kind`` field of a protocol request.  ``sample_eval`` is absent by
@@ -130,6 +167,7 @@ class ServeTelemetry:
     failures: int = 0
     cache_errors: int = 0
     rejected: int = 0
+    shed: int = 0
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
 
     def snapshot(self) -> dict:
@@ -148,6 +186,7 @@ class ServeTelemetry:
             "failures": self.failures,
             "cache_errors": self.cache_errors,
             "rejected": self.rejected,
+            "shed": self.shed,
             "cache_hit_ratio": self.cache_hits / self.requests if self.requests else 0.0,
             "latency": self.latency.summary(),
         }
@@ -167,18 +206,27 @@ class _Pending:
 _CLOSE = object()
 
 
+#: Warn-once latch for the deprecated ``AsyncServer(backend=...)``
+#: construction path (module-level so every server shares it).
+_BACKEND_SHIM_WARNED = False
+
+
 class AsyncServer:
-    """Micro-batching asyncio front end over one execution backend.
+    """Micro-batching asyncio front end over one execution plane.
 
     Requests enter through :meth:`submit` / :meth:`stream`.  A cache
     hit short-circuits straight back (async read-through, never
-    touching the pool).  Misses land on an internal queue; the batcher
-    coalesces them for up to ``batch_window_s`` seconds or ``max_batch``
-    jobs, then dispatches the batch through
-    :func:`~repro.runtime.backends.arun` as a concurrent task — the
-    event loop stays free, later batches don't wait for earlier ones,
-    and each job's result resolves its caller the moment the backend
-    delivers it.
+    touching the execution plane).  Misses land on an internal queue —
+    bounded by ``max_queue_depth``, past which admission control sheds
+    with :exc:`ServerOverloadedError` — the batcher coalesces them for
+    up to ``batch_window_s`` seconds or ``max_batch`` jobs, then hands
+    the batch to the configured
+    :class:`~repro.runtime.dispatch.Dispatcher` as a concurrent task:
+    the event loop stays free, later batches don't wait for earlier
+    ones, and each job's result resolves its caller the moment the
+    execution plane delivers it.  Whether that plane is an in-process
+    pool or a supervised worker fleet is the dispatcher's business, not
+    the server's.
 
     Shutdown is graceful by contract: :meth:`aclose` rejects new
     submissions, drains every queued request through the normal
@@ -189,39 +237,84 @@ class AsyncServer:
 
     def __init__(
         self,
-        backend: Backend | str = "thread",
+        backend: Backend | str | None = None,
         workers: int | None = None,
         cache: ResultCache | None = None,
         batch_window_s: float = 0.005,
         max_batch: int = 32,
         telemetry: ServeTelemetry | None = None,
+        *,
+        dispatcher: Dispatcher | None = None,
+        max_queue_depth: int | None = None,
+        conn_credits: int = 64,
     ) -> None:
         """Args:
-            backend: backend instance or registered name (``thread`` by
-                default — serving is latency-bound, not throughput-bound).
+            backend: **deprecated** — backend instance or registered
+                name, wrapped in a
+                :class:`~repro.runtime.dispatch.LocalDispatcher` with a
+                one-time :class:`DeprecationWarning`.  Pass
+                ``dispatcher=`` instead.
             workers: pool size when ``backend`` is a name (None = the
-                backend's own default).
+                backend's own default); deprecated alongside it.
             cache: optional read-through/write-through result store.
             batch_window_s: how long the batcher waits for more requests
                 after the first one arrives (0 = dispatch immediately).
             max_batch: dispatch as soon as this many requests coalesced.
             telemetry: an external :class:`ServeTelemetry` to record
                 into (one is created otherwise).
+            dispatcher: the execution plane
+                (:class:`~repro.runtime.dispatch.Dispatcher`).  Default:
+                a ``LocalDispatcher`` over the ``thread`` backend —
+                serving is latency-bound, not throughput-bound.
+            max_queue_depth: admission-control bound on requests waiting
+                for a batch slot; past it :meth:`submit` raises
+                :exc:`ServerOverloadedError` (None = unbounded, the
+                pre-v2 behaviour).
+            conn_credits: per-connection in-flight window for the wire
+                transports — a connection with this many unanswered
+                requests stops being read until answers drain.
 
         Raises:
-            ValueError: non-positive ``max_batch`` or negative
-                ``batch_window_s``.
+            ValueError: non-positive ``max_batch``, ``max_queue_depth``
+                or ``conn_credits``, negative ``batch_window_s``, or
+                both ``backend`` and ``dispatcher`` given.
         """
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
-        if isinstance(backend, str):
-            backend = make_backend(backend, workers=workers)
-        self.backend = backend
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        if conn_credits < 1:
+            raise ValueError("conn_credits must be positive")
+        if dispatcher is not None and backend is not None:
+            raise ValueError("pass either dispatcher= or the deprecated "
+                             "backend=, not both")
+        if dispatcher is None:
+            if backend is not None:
+                global _BACKEND_SHIM_WARNED
+                if not _BACKEND_SHIM_WARNED:
+                    _BACKEND_SHIM_WARNED = True
+                    warnings.warn(
+                        "AsyncServer(backend=...) is deprecated; pass "
+                        "dispatcher=LocalDispatcher(backend) instead",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+            dispatcher = LocalDispatcher(
+                backend if backend is not None else "thread", workers=workers)
+            self._owns_dispatcher = True
+        else:
+            self._owns_dispatcher = False
+        self.dispatcher = dispatcher
+        #: The wrapped backend when the plane is local (None on remote
+        #: planes) — kept for the deprecated ``backend=`` callers.
+        self.backend = getattr(dispatcher, "backend", None)
         self.cache = cache
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
+        self.max_queue_depth = max_queue_depth
+        self.conn_credits = conn_credits
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
         self._queue: asyncio.Queue = asyncio.Queue()
         self._batcher: asyncio.Task | None = None
@@ -279,6 +372,10 @@ class AsyncServer:
             self._queue.put_nowait(_CLOSE)
             await self._batcher
         await self._drain_dispatches()
+        if self._owns_dispatcher:
+            # A dispatcher the server built itself (default, or the
+            # deprecated backend= shim) has no other owner to close it.
+            await self.dispatcher.aclose()
         self._flush_cache_stats()
         obs.flush_metrics()
 
@@ -306,6 +403,8 @@ class AsyncServer:
             carry the failure, they are never raised.
 
         Raises:
+            ServerOverloadedError: admission control shed the request —
+                the batch queue is already at ``max_queue_depth``.
             RuntimeError: the server is closed (or closes before the
                 request could be queued).
         """
@@ -343,11 +442,17 @@ class AsyncServer:
                 self.telemetry.rejected += 1
                 self._m_requests.inc(kind=spec.kind, status="rejected")
                 raise RuntimeError("server is closed")
+            if (self.max_queue_depth is not None
+                    and self._queue.qsize() >= self.max_queue_depth):
+                self.telemetry.shed += 1
+                self._m_requests.inc(kind=spec.kind, status="shed")
+                raise ServerOverloadedError(
+                    f"queue depth {self._queue.qsize()} at max_queue_depth="
+                    f"{self.max_queue_depth}; retry with backoff")
             pending = _Pending(spec=spec, future=loop.create_future(),
                                enqueued_at=start)
             self._queue.put_nowait(pending)  # same loop step as the check
-            self.telemetry.queue_depth = self._queue.qsize()
-            self._g_queue_depth.set(self.telemetry.queue_depth)
+            self._set_queue_depth()
             result: JobResult = await pending.future
             elapsed = loop.time() - start
             self.telemetry.latency.observe(elapsed)
@@ -385,6 +490,14 @@ class AsyncServer:
                 if not task.done():
                     task.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
+
+    def _set_queue_depth(self) -> None:
+        """Record the live queue depth in *both* sinks — the telemetry
+        struct and the process-wide ``repro_serve_queue_depth`` gauge —
+        so the ``stats`` op and ``repro top`` can never disagree."""
+        depth = self._queue.qsize()
+        self.telemetry.queue_depth = depth
+        self._g_queue_depth.set(depth)
 
     async def _cache_get(self, spec: JobSpec):
         if self.cache is None:
@@ -441,21 +554,21 @@ class AsyncServer:
                     draining = True
                     break
                 batch.append(nxt)
-            self.telemetry.queue_depth = self._queue.qsize()
+            self._set_queue_depth()
             task = loop.create_task(self._run_batch(batch))
             self._dispatches.add(task)
             task.add_done_callback(self._dispatches.discard)
 
     async def _run_batch(self, batch: list[_Pending]) -> None:
-        """Execute one micro-batch, resolving each caller as the
-        backend delivers its job (never at batch end), writing fresh
-        successes through to the cache."""
+        """Execute one micro-batch through the dispatcher, resolving
+        each caller as the execution plane delivers its job (never at
+        batch end), writing fresh successes through to the cache."""
         self.telemetry.batches += 1
         self.telemetry.dispatched += len(batch)
         self._m_batches.inc()
         delivered = 0
         try:
-            async for result in arun(self.backend, [p.spec for p in batch]):
+            async for result in self.dispatcher.submit([p.spec for p in batch]):
                 pending = batch[delivered]
                 self.telemetry.computed += 1
                 if not result.ok:
@@ -473,8 +586,9 @@ class AsyncServer:
                 # it into the structured-error path below — a request
                 # must never be left hanging.
                 delivered += 1
-        except Exception as exc:  # backend-level crash, not a job failure
-            error = f"backend {getattr(self.backend, 'name', '?')} crashed: {exc!r}"
+        except Exception as exc:  # plane-level crash, not a job failure
+            plane = self.stats_backend_name()
+            error = f"backend {plane} crashed: {exc!r}"
             for pending in batch[delivered:]:
                 self.telemetry.failures += 1
                 if not pending.future.done():
@@ -490,22 +604,63 @@ class AsyncServer:
                     )
 
     # -- reporting --------------------------------------------------------
+    def stats_backend_name(self) -> str:
+        """The execution-plane identity reported to clients: the local
+        backend's registry name, or the dispatcher's own name when the
+        plane is remote (``"broker"``)."""
+        desc = self.dispatcher.describe()
+        return desc.get("backend", self.dispatcher.name)
+
     def stats(self) -> dict:
-        """The telemetry snapshot plus backend/cache identity — the
-        document the protocol's ``stats`` op returns."""
+        """The telemetry snapshot plus execution-plane/cache identity —
+        the document the protocol's ``stats`` op returns.
+
+        ``queue_depth`` here is read back from the process-wide
+        ``repro_serve_queue_depth`` gauge (the one ``repro top``
+        renders), so the wire protocol and the dashboard agree by
+        construction.
+        """
         doc = self.telemetry.snapshot()
-        doc["backend"] = getattr(self.backend, "name", type(self.backend).__name__)
-        doc["workers"] = getattr(self.backend, "workers", 1)
+        doc["queue_depth"] = int(self._g_queue_depth.value())
+        desc = self.dispatcher.describe()
+        doc["dispatcher"] = desc
+        doc["backend"] = desc.get("backend", self.dispatcher.name)
+        doc["workers"] = desc.get("workers", 0)
         doc["batch_window_s"] = self.batch_window_s
         doc["max_batch"] = self.max_batch
+        doc["max_queue_depth"] = self.max_queue_depth
+        doc["proto"] = PROTO_VERSION
         doc["cache"] = None if self.cache is None else str(self.cache.root)
         return doc
 
 
 # -- wire protocol ----------------------------------------------------------
 
-def _result_response(rid, result: JobResult) -> dict:
-    return {
+@dataclass
+class _ConnState:
+    """Per-connection protocol state: the negotiated wire version
+    (starts at 1; the ``hello`` op can raise it) and the credit
+    semaphore bounding this connection's in-flight answers."""
+
+    proto: int = 1
+    credits: asyncio.Semaphore | None = None
+
+
+def _error_response(rid, error: str, code: str, conn: _ConnState | None) -> dict:
+    """One structured error line; the machine-readable ``code``
+    (``overloaded | bad_request | backend_error``) is attached only on
+    connections that negotiated protocol v2, so v1 clients see the
+    original shape unchanged."""
+    doc = {"id": rid, "ok": False, "error": error}
+    if conn is not None and conn.proto >= 2:
+        doc["code"] = code
+    return doc
+
+
+def _result_response(rid, result: JobResult, conn: _ConnState | None = None) -> dict:
+    """One per-job response line; v2 connections get a ``code`` of
+    ``backend_error`` on ``ok=False`` results."""
+    doc = {
         "id": rid,
         "ok": result.ok,
         "cached": result.cached,
@@ -515,15 +670,44 @@ def _result_response(rid, result: JobResult) -> dict:
         "value": result.value,
         "error": result.error,
     }
+    if not result.ok and conn is not None and conn.proto >= 2:
+        doc["code"] = "backend_error"
+    return doc
 
 
-async def _answer_line(server: AsyncServer, line: bytes | str, send) -> None:
+async def _answer_hello(server: AsyncServer, request: dict, send,
+                        conn: _ConnState) -> None:
+    """Handle the v2 ``hello`` handshake **synchronously in the pump**
+    (never as a concurrent task), so the negotiated version is already
+    in force for every request line that follows it on the connection.
+
+    The negotiated version is ``min(requested, PROTO_VERSION)``, never
+    below 1 — a v3 client degrades to v2, and a malformed ``proto``
+    is a plain bad request that leaves the connection at its current
+    version.
+    """
+    rid = request.get("id")
+    requested = request.get("proto", 1)
+    if not isinstance(requested, int) or isinstance(requested, bool) or requested < 1:
+        await send(_error_response(
+            rid, f"bad request: proto must be a positive integer, "
+                 f"got {requested!r}", "bad_request", conn))
+        return
+    conn.proto = min(requested, PROTO_VERSION)
+    await send({"id": rid, "ok": True, "proto": conn.proto,
+                "server_proto": PROTO_VERSION,
+                "dispatcher": server.dispatcher.name})
+
+
+async def _answer_line(server: AsyncServer, line: bytes | str, send,
+                       conn: _ConnState | None = None) -> None:
     """Answer one request line through ``send`` (an async callable).
 
-    Protocol errors (bad JSON, unknown kind, bad params, server
-    closed) become structured ``{"ok": false, "error": ...}`` responses
-    on the same connection — a malformed line never kills the server or
-    the connection.
+    Protocol errors (bad JSON, unknown kind, bad params, server closed,
+    admission-control shed) become structured ``{"ok": false, "error":
+    ...}`` responses on the same connection — tagged with a ``code`` on
+    v2 connections — so a malformed line or an overload never kills the
+    server or the connection.
     """
     rid = None
     try:
@@ -532,6 +716,12 @@ async def _answer_line(server: AsyncServer, line: bytes | str, send) -> None:
             raise ValueError("request must be a JSON object")
         rid = request.get("id")
         op = request.get("op")
+        if op == "hello":
+            # Normally intercepted by the pump; answered here too so
+            # direct _answer_line callers (stdio tests) still work.
+            await _answer_hello(server, request, send,
+                                conn if conn is not None else _ConnState())
+            return
         if op == "ping":
             await send({"id": rid, "ok": True, "pong": True})
             return
@@ -546,18 +736,26 @@ async def _answer_line(server: AsyncServer, line: bytes | str, send) -> None:
                         "metrics": obs.get_registry().render_prometheus()})
             return
         if op is not None:
-            raise ValueError(f"unknown op {op!r}; ops: ping, stats, metrics")
+            raise ValueError(
+                f"unknown op {op!r}; ops: hello, ping, stats, metrics")
         spec = request_to_spec(request)
     except (ValueError, RecursionError) as exc:
-        await send({"id": rid, "ok": False, "error": f"bad request: {exc}"})
+        await send(_error_response(rid, f"bad request: {exc}",
+                                   "bad_request", conn))
         return
     try:
         with obs.span("serve.request", kind=spec.kind) as ctx:
             result = await server.submit(spec)
-    except RuntimeError as exc:
-        await send({"id": rid, "ok": False, "error": str(exc)})
+    except ServerOverloadedError as exc:
+        await send(_error_response(rid, f"overloaded: {exc}",
+                                   "overloaded", conn))
         return
-    response = _result_response(rid, result)
+    except RuntimeError as exc:
+        # Closing/closed server: retryable from the client's seat, so
+        # v2 tags it overloaded as well.
+        await send(_error_response(rid, str(exc), "overloaded", conn))
+        return
+    response = _result_response(rid, result, conn)
     if obs.get_journal() is not None:
         # Close the trace loop for journaled deployments: the client
         # can correlate its answer with the server-side span events.
@@ -565,10 +763,34 @@ async def _answer_line(server: AsyncServer, line: bytes | str, send) -> None:
     await send(response)
 
 
+def _parse_hello(line: bytes | str) -> dict | None:
+    """The pump's cheap peek: the decoded request if this line is a
+    well-formed ``hello`` op, else None (the line goes down the normal
+    concurrent path, which re-reports any JSON error properly)."""
+    try:
+        doc = json.loads(line)
+    except (ValueError, RecursionError):
+        return None
+    if isinstance(doc, dict) and doc.get("op") == "hello":
+        return doc
+    return None
+
+
 async def _serve_lines(server: AsyncServer, readline, send) -> None:
     """The protocol pump shared by every transport: read request lines
     until EOF, answer each in its own task (so responses stream back in
     *completion* order, tagged by request id), then drain.
+
+    Two protocol duties live in the pump itself rather than in answer
+    tasks:
+
+    * ``hello`` handshakes are answered inline, so version negotiation
+      can never race the request lines that follow it;
+    * each answer task costs one **credit** from the connection's
+      ``server.conn_credits`` window, acquired *before* the next read —
+      a connection with a full window stops being read, and the
+      backpressure lands in the client's socket instead of in server
+      memory.
 
     Args:
         server: the :class:`AsyncServer` answering requests.
@@ -581,6 +803,7 @@ async def _serve_lines(server: AsyncServer, readline, send) -> None:
     errors out instead, pending tasks are cancelled and the error
     propagates to the caller.
     """
+    conn = _ConnState(credits=asyncio.Semaphore(server.conn_credits))
     tasks: set[asyncio.Task] = set()
     try:
         while True:
@@ -589,9 +812,15 @@ async def _serve_lines(server: AsyncServer, readline, send) -> None:
                 break
             if not line.strip():
                 continue
-            task = asyncio.ensure_future(_answer_line(server, line, send))
+            hello = _parse_hello(line)
+            if hello is not None:
+                await _answer_hello(server, hello, send, conn)
+                continue
+            await conn.credits.acquire()
+            task = asyncio.ensure_future(_answer_line(server, line, send, conn))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
+            task.add_done_callback(lambda _t: conn.credits.release())
         while tasks:
             await asyncio.gather(*list(tasks), return_exceptions=True)
     except BaseException:

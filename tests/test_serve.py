@@ -15,7 +15,12 @@ on:
 * shutdown drains: every request accepted before ``aclose()`` is
   answered, every one after is rejected;
 * the NDJSON wire protocol answers good lines, bad lines, unknown
-  kinds, and the ``stats``/``ping`` ops on one connection.
+  kinds, and the ``stats``/``ping`` ops on one connection;
+* protocol v2 negotiates via ``hello`` (v1 responses stay
+  byte-compatible) and tags failures with structured error codes;
+* admission control sheds past ``max_queue_depth`` (``overloaded``),
+  per-connection credits bound in-flight requests, and queue depth is
+  reported from the one obs gauge ``repro top`` reads.
 """
 
 import asyncio
@@ -39,6 +44,7 @@ from repro.runtime import (
     serve_tcp,
 )
 from repro.runtime.backends import SerialBackend, arun
+from repro.runtime.dispatch import LocalDispatcher
 
 # -- synthetic job kinds for the serving tests ------------------------------
 
@@ -166,7 +172,7 @@ class TestCoalescing:
         rec = RecordingBackend()
 
         async def body():
-            async with AsyncServer(backend=rec, batch_window_s=0.2,
+            async with AsyncServer(dispatcher=LocalDispatcher(rec), batch_window_s=0.2,
                                    max_batch=16) as srv:
                 results = await asyncio.gather(
                     *(srv.submit(quick_spec(i)) for i in range(6))
@@ -184,7 +190,7 @@ class TestCoalescing:
         rec = RecordingBackend()
 
         async def body():
-            async with AsyncServer(backend=rec, batch_window_s=0.2,
+            async with AsyncServer(dispatcher=LocalDispatcher(rec), batch_window_s=0.2,
                                    max_batch=2) as srv:
                 await asyncio.gather(*(srv.submit(quick_spec(i)) for i in range(6)))
 
@@ -197,7 +203,7 @@ class TestCoalescing:
         rec = RecordingBackend()
 
         async def body():
-            async with AsyncServer(backend=rec, batch_window_s=0.0,
+            async with AsyncServer(dispatcher=LocalDispatcher(rec), batch_window_s=0.0,
                                    max_batch=8) as srv:
                 results = await asyncio.gather(
                     *(srv.submit(quick_spec(i)) for i in range(4))
@@ -209,9 +215,9 @@ class TestCoalescing:
 
     def test_config_validation(self):
         with pytest.raises(ValueError, match="max_batch"):
-            AsyncServer(backend=SerialBackend(), max_batch=0)
+            AsyncServer(dispatcher=LocalDispatcher(SerialBackend()), max_batch=0)
         with pytest.raises(ValueError, match="batch_window_s"):
-            AsyncServer(backend=SerialBackend(), batch_window_s=-0.1)
+            AsyncServer(dispatcher=LocalDispatcher(SerialBackend()), batch_window_s=-0.1)
 
 
 # -- streaming: results arrive before the batch completes -------------------
@@ -228,7 +234,7 @@ class TestStreaming:
                      payload={"event": gate})
 
         async def body():
-            async with AsyncServer(backend="serial", batch_window_s=0.2,
+            async with AsyncServer(dispatcher=LocalDispatcher("serial"), batch_window_s=0.2,
                                    max_batch=8) as srv:
                 order = []
                 async for i, result in srv.stream([s0, s1]):
@@ -243,7 +249,7 @@ class TestStreaming:
     def test_stream_preserves_input_order(self):
         async def body():
             specs = [quick_spec(i) for i in range(8)]
-            async with AsyncServer(backend="thread", workers=4,
+            async with AsyncServer(dispatcher=LocalDispatcher("thread", workers=4),
                                    batch_window_s=0.05, max_batch=8) as srv:
                 got = [(i, r.value["i"]) async for i, r in srv.stream(specs)]
             assert got == [(i, i) for i in range(8)]
@@ -261,7 +267,7 @@ class TestCacheShortCircuit:
         store.put(spec, {"i": 7}, 0.25)
 
         async def body():
-            async with AsyncServer(backend=ExplodingBackend(),
+            async with AsyncServer(dispatcher=LocalDispatcher(ExplodingBackend()),
                                    cache=store) as srv:
                 result = await srv.submit(spec)
             assert result.ok and result.cached
@@ -278,7 +284,7 @@ class TestCacheShortCircuit:
         spec = quick_spec(3)
 
         async def body():
-            async with AsyncServer(backend="serial", cache=store) as srv:
+            async with AsyncServer(dispatcher=LocalDispatcher("serial"), cache=store) as srv:
                 first = await srv.submit(spec)
                 second = await srv.submit(spec)
             assert first.ok and not first.cached
@@ -295,7 +301,7 @@ class TestCacheShortCircuit:
         spec = quick_spec(4)
 
         async def body():
-            async with AsyncServer(backend="serial", cache=store) as srv:
+            async with AsyncServer(dispatcher=LocalDispatcher("serial"), cache=store) as srv:
                 await srv.submit(spec)
                 await srv.submit(spec)
 
@@ -313,7 +319,7 @@ class TestFailures:
         spec = JobSpec(kind="t_fail", key=canonical_json({"tag": "x"}))
 
         async def body():
-            async with AsyncServer(backend="serial") as srv:
+            async with AsyncServer(dispatcher=LocalDispatcher("serial")) as srv:
                 result = await srv.submit(spec)
             assert not result.ok
             assert "boom-x" in result.error
@@ -331,7 +337,7 @@ class TestFailures:
         ]
 
         async def body():
-            async with AsyncServer(backend="serial", batch_window_s=0.2,
+            async with AsyncServer(dispatcher=LocalDispatcher("serial"), batch_window_s=0.2,
                                    max_batch=8) as srv:
                 results = [r async for _, r in srv.stream(specs)]
             assert [r.ok for r in results] == [True, False, True]
@@ -343,7 +349,7 @@ class TestFailures:
 
     def test_backend_crash_becomes_structured_errors_for_all_in_flight(self):
         async def body():
-            async with AsyncServer(backend=CrashingBackend(),
+            async with AsyncServer(dispatcher=LocalDispatcher(CrashingBackend()),
                                    batch_window_s=0.1, max_batch=8) as srv:
                 results = await asyncio.gather(
                     *(srv.submit(quick_spec(i)) for i in range(3))
@@ -361,7 +367,7 @@ class TestFailures:
 class TestShutdown:
     def test_in_flight_requests_drain_before_close_returns(self):
         async def body():
-            srv = AsyncServer(backend="thread", workers=2,
+            srv = AsyncServer(dispatcher=LocalDispatcher("thread", workers=2),
                               batch_window_s=0.01, max_batch=2)
             tasks = [
                 asyncio.ensure_future(srv.submit(sleep_spec(i, 0.05)))
@@ -379,7 +385,7 @@ class TestShutdown:
 
     def test_submissions_after_close_are_rejected(self):
         async def body():
-            srv = AsyncServer(backend="serial")
+            srv = AsyncServer(dispatcher=LocalDispatcher("serial"))
             async with srv:
                 await srv.submit(quick_spec(0))
             assert srv.closed
@@ -391,7 +397,7 @@ class TestShutdown:
 
     def test_aclose_is_idempotent(self):
         async def body():
-            srv = AsyncServer(backend="serial")
+            srv = AsyncServer(dispatcher=LocalDispatcher("serial"))
             async with srv:
                 await srv.submit(quick_spec(0))
             await srv.aclose()
@@ -401,7 +407,7 @@ class TestShutdown:
 
     def test_close_without_any_requests(self):
         async def body():
-            async with AsyncServer(backend="serial"):
+            async with AsyncServer(dispatcher=LocalDispatcher("serial")):
                 pass
 
         run_async(body())
@@ -438,7 +444,7 @@ class TestTCPProtocol:
 
         async def body():
             store = ResultStore(tmp_path)
-            srv = AsyncServer(backend="serial", cache=store,
+            srv = AsyncServer(dispatcher=LocalDispatcher("serial"), cache=store,
                               batch_window_s=0.005)
             tcp = await serve_tcp(srv)  # ephemeral loopback port
             port = tcp.sockets[0].getsockname()[1]
@@ -563,7 +569,7 @@ class TestStdioProtocol:
         ]
         stdin = io.StringIO("\n".join(lines) + "\n")
         stdout = io.StringIO()
-        srv = AsyncServer(backend="serial", cache=ResultStore(tmp_path))
+        srv = AsyncServer(dispatcher=LocalDispatcher("serial"), cache=ResultStore(tmp_path))
         run_async(serve_stdio(srv, stdin=stdin, stdout=stdout))
         out = [json.loads(l) for l in stdout.getvalue().splitlines()]
         by_id = {o["id"]: o for o in out}
@@ -653,12 +659,263 @@ class TestTelemetry:
 
     def test_server_gauges_return_to_zero(self):
         async def body():
-            async with AsyncServer(backend="serial") as srv:
+            async with AsyncServer(dispatcher=LocalDispatcher("serial")) as srv:
                 await asyncio.gather(*(srv.submit(quick_spec(i)) for i in range(3)))
             assert srv.telemetry.in_flight == 0
             assert srv.telemetry.latency.count == 3
             snap = srv.stats()
             assert snap["requests"] == 3
             assert snap["latency"]["p99_s"] >= snap["latency"]["p50_s"]
+
+        run_async(body())
+
+
+# -- wire protocol v2: handshake, codes, shedding, credits ------------------
+
+
+class TestWireV2:
+    def _roundtrip(self, lines, tmp_path, n_responses=None, **server_kw):
+        """Send ``lines`` over one TCP connection against a fresh
+        server, return the decoded responses (completion order)."""
+
+        async def body():
+            kw = dict(dispatcher=LocalDispatcher("serial"),
+                      cache=ResultStore(tmp_path), batch_window_s=0.005)
+            kw.update(server_kw)
+            srv = AsyncServer(**kw)
+            tcp = await serve_tcp(srv)
+            port = tcp.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for line in lines:
+                writer.write(line.encode() + b"\n")
+            await writer.drain()
+            out = []
+            for _ in range(n_responses if n_responses is not None else len(lines)):
+                out.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            tcp.close()
+            await tcp.wait_closed()
+            await srv.aclose()
+            await srv.dispatcher.aclose()
+            return out
+
+        return run_async(body())
+
+    def test_hello_negotiates_min_of_client_and_server(self, tmp_path):
+        from repro.runtime import PROTO_VERSION
+
+        out = self._roundtrip(
+            [
+                json.dumps({"id": "h1", "op": "hello", "proto": 1}),
+                json.dumps({"id": "h2", "op": "hello", "proto": 2}),
+                json.dumps({"id": "h99", "op": "hello", "proto": 99}),
+            ],
+            tmp_path,
+        )
+        by_id = {o["id"]: o for o in out}
+        assert by_id["h1"]["ok"] and by_id["h1"]["proto"] == 1
+        assert by_id["h2"]["ok"] and by_id["h2"]["proto"] == 2
+        assert by_id["h99"]["ok"] and by_id["h99"]["proto"] == PROTO_VERSION
+        assert by_id["h2"]["server_proto"] == PROTO_VERSION
+
+    def test_invalid_hello_proto_is_bad_request(self, tmp_path):
+        out = self._roundtrip(
+            [json.dumps({"id": "h", "op": "hello", "proto": "two"})],
+            tmp_path,
+        )
+        assert not out[0]["ok"]
+        assert "bad request" in out[0]["error"]
+        assert "code" not in out[0]  # the connection never left v1
+
+    def test_v1_connection_errors_carry_no_code(self, tmp_path):
+        out = self._roundtrip(
+            ["not json", json.dumps({"id": "u", "kind": "nope"})],
+            tmp_path,
+        )
+        for o in out:
+            assert not o["ok"]
+            assert "code" not in o
+
+    def test_v2_bad_request_is_coded(self, tmp_path):
+        out = self._roundtrip(
+            [
+                json.dumps({"id": "h", "op": "hello", "proto": 2}),
+                json.dumps({"id": "u", "kind": "nope"}),
+                json.dumps({"id": "o", "op": "bogus"}),
+            ],
+            tmp_path,
+        )
+        by_id = {o["id"]: o for o in out}
+        assert by_id["u"]["code"] == "bad_request"
+        assert by_id["o"]["code"] == "bad_request"
+
+    def test_v2_runner_failure_is_backend_error(self, tmp_path, monkeypatch):
+        from repro.runtime import serve as serve_mod
+
+        def fail_factory(**params):
+            return JobSpec(kind="t_fail", key=canonical_json(params))
+
+        monkeypatch.setitem(serve_mod.WIRE_KINDS, "t_fail", fail_factory)
+        out = self._roundtrip(
+            [
+                json.dumps({"id": "h", "op": "hello", "proto": 2}),
+                json.dumps({"id": "f", "kind": "t_fail",
+                            "params": {"tag": "wire"}}),
+            ],
+            tmp_path,
+        )
+        by_id = {o["id"]: o for o in out}
+        failed = by_id["f"]
+        assert not failed["ok"]
+        assert "boom-wire" in failed["error"]
+        assert failed["code"] == "backend_error"
+
+    def test_v1_runner_failure_keeps_the_old_shape(self, tmp_path, monkeypatch):
+        from repro.runtime import serve as serve_mod
+
+        def fail_factory(**params):
+            return JobSpec(kind="t_fail", key=canonical_json(params))
+
+        monkeypatch.setitem(serve_mod.WIRE_KINDS, "t_fail", fail_factory)
+        out = self._roundtrip(
+            [json.dumps({"id": "f", "kind": "t_fail", "params": {"tag": "v1"}})],
+            tmp_path,
+        )
+        assert not out[0]["ok"]
+        assert "code" not in out[0]
+
+    def test_shed_under_load_is_structured_and_lossless(self, tmp_path,
+                                                        monkeypatch):
+        """Fill the queue past --max-queue-depth: surplus requests get
+        a structured ``overloaded`` reply, accepted ones still complete
+        bit-identically, and no request is lost or answered twice."""
+        from repro.runtime import serve as serve_mod
+
+        def quick_factory(**params):
+            return quick_spec(params["i"])
+
+        monkeypatch.setitem(serve_mod.WIRE_KINDS, "t_quick", quick_factory)
+        n = 8
+        lines = [json.dumps({"id": "h", "op": "hello", "proto": 2})]
+        lines += [json.dumps({"id": f"r{i}", "kind": "t_quick",
+                              "params": {"i": i}}) for i in range(n)]
+        out = self._roundtrip(lines, tmp_path, cache=None,
+                              max_queue_depth=2, batch_window_s=0.05)
+        by_id = {o["id"]: o for o in out}
+        assert by_id["h"]["proto"] == 2
+        answered = [by_id[f"r{i}"] for i in range(n)]
+        assert len(answered) == n  # every request answered exactly once
+        shed = [o for o in answered if not o["ok"]]
+        accepted = [o for o in answered if o["ok"]]
+        assert shed, "overload never engaged"
+        for o in shed:
+            assert o["code"] == "overloaded"
+            assert "overloaded" in o["error"]
+        for o in accepted:
+            i = int(o["id"][1:])
+            assert o["value"] == {"i": i}  # bit-identical to the runner
+
+    def test_direct_submit_sheds_with_typed_error(self):
+        from repro.runtime import ServerOverloadedError
+
+        async def body():
+            srv = AsyncServer(dispatcher=LocalDispatcher("serial"),
+                              batch_window_s=0.2, max_queue_depth=1)
+            tasks = [asyncio.ensure_future(srv.submit(quick_spec(i)))
+                     for i in range(4)]
+            done = await asyncio.gather(*tasks, return_exceptions=True)
+            await srv.aclose()
+            oks = [r for r in done if not isinstance(r, Exception)]
+            sheds = [r for r in done if isinstance(r, ServerOverloadedError)]
+            assert len(oks) + len(sheds) == 4
+            assert sheds, "admission control never engaged"
+            assert all(r.ok for r in oks)
+            assert srv.telemetry.shed == len(sheds)
+            assert srv.stats()["shed"] == len(sheds)
+
+        run_async(body())
+
+    def test_rejects_bad_admission_knobs(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AsyncServer(max_queue_depth=0)
+        with pytest.raises(ValueError, match="conn_credits"):
+            AsyncServer(conn_credits=0)
+
+
+class TestConnCredits:
+    def test_pump_stalls_at_the_credit_window(self):
+        """With conn_credits=1, the pump must not start answer #2 while
+        answer #1 is in flight — backpressure, proved by a gate."""
+        from repro.runtime.serve import _serve_lines
+
+        async def body():
+            gate = threading.Event()
+            from repro.runtime import serve as serve_mod
+            spec = JobSpec(kind="t_gate", key=canonical_json({"g": 1}),
+                           payload={"event": gate})
+            srv = AsyncServer(dispatcher=LocalDispatcher("thread"),
+                              batch_window_s=0.0, conn_credits=1)
+            # Drive the pump directly with a scripted transport; the
+            # gate spec goes through a patched wire factory.
+            serve_mod.WIRE_KINDS["t_gate_cred"] = lambda **p: spec
+            try:
+                lines = [
+                    json.dumps({"id": "g", "kind": "t_gate_cred"}),
+                    json.dumps({"id": "p", "op": "ping"}),
+                    "",  # EOF
+                ]
+                sent = []
+
+                async def readline():
+                    return lines.pop(0)
+
+                async def send(obj):
+                    sent.append(obj)
+
+                pump = asyncio.ensure_future(_serve_lines(srv, readline, send))
+                await asyncio.sleep(0.2)
+                # The ping is cheap, but the window is full: no answer.
+                assert sent == []
+                gate.set()
+                await asyncio.wait_for(pump, 10)
+                assert [o["id"] for o in sent] == ["g", "p"]
+                assert sent[0]["ok"] and sent[1]["pong"]
+            finally:
+                serve_mod.WIRE_KINDS.pop("t_gate_cred", None)
+                await srv.aclose()
+
+        run_async(body())
+
+
+class TestQueueDepthConsolidation:
+    def test_stats_and_dashboard_read_the_same_gauge(self):
+        """Regression (the stats/top split-brain): after a burst drains,
+        the ``repro_serve_queue_depth`` gauge, the telemetry struct and
+        the ``stats`` op must all agree on zero — the batcher used to
+        update only the telemetry copy, leaving the gauge stale."""
+        from repro.runtime import get_registry
+
+        async def body():
+            srv = AsyncServer(dispatcher=LocalDispatcher("serial"),
+                              batch_window_s=0.0)
+            await asyncio.gather(*(srv.submit(quick_spec(i)) for i in range(4)))
+            await srv.aclose()
+            gauge = get_registry()._metrics["repro_serve_queue_depth"]
+            assert gauge.value() == 0
+            assert srv.telemetry.queue_depth == 0
+            assert srv.stats()["queue_depth"] == 0
+
+        run_async(body())
+
+    def test_stats_reports_from_the_gauge_not_the_struct(self):
+        async def body():
+            srv = AsyncServer(dispatcher=LocalDispatcher("serial"))
+            # Desynchronise the struct on purpose: stats must answer
+            # from the gauge, the dashboard's source of truth.
+            srv.telemetry.queue_depth = 99
+            srv._g_queue_depth.set(3)
+            assert srv.stats()["queue_depth"] == 3
+            await srv.aclose()
 
         run_async(body())
