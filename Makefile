@@ -7,6 +7,8 @@
 #                      fault injection, sharding)
 #   make test-soak   - minutes-scale chaos-soak scenarios (supervised
 #                      fleet under seeded kills/corruption/eviction)
+#   make test-obs    - observability stack only: registry/journal core,
+#                      trace analytics, SLO engine
 #   make fleet-smoke - end-to-end fleet serving: a supervised worker
 #                      fleet plus a broker-dispatch AsyncServer on one
 #                      spool, answers checked against a serial run
@@ -40,7 +42,7 @@ BENCH_JSON_SUITE = benchmarks/bench_fig5b_perf.py \
                    benchmarks/bench_obs_overhead.py \
                    benchmarks/bench_chaos_soak.py
 
-.PHONY: test test-parity test-serve test-dist test-soak fleet-smoke docs-check \
+.PHONY: test test-parity test-serve test-dist test-soak test-obs fleet-smoke docs-check \
         lint bench-smoke bench-serve bench-gate bench-baseline sweep-smoke \
         profile-smoke fuzz-kernels bench clean-cache
 
@@ -58,6 +60,9 @@ test-dist:
 
 test-soak:
 	$(PYTHON) -m pytest tests/test_chaos_soak.py tests/test_supervisor.py -q --run-soak
+
+test-obs:
+	$(PYTHON) -m pytest tests/test_obs.py tests/test_tracequery.py tests/test_slo.py -q
 
 fleet-smoke:
 	$(PYTHON) tools/fleet_serve_smoke.py --workdir .ci_fleet

@@ -27,7 +27,7 @@ See ``examples/quickstart.py`` for the end-to-end flow and
 ``python -m repro sweep`` for the orchestrated one.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from . import analysis, baselines, energy, events, hw, runtime, snn
 

@@ -114,6 +114,21 @@ response — surviving requeue-after-kill, so a chunk's retries share
 one trace.  Enabled per process by ``--obs-dir``/``$REPRO_OBS_DIR``
 and read back by ``repro metrics`` (JSON or Prometheus text), the
 serving ``metrics`` op, and the ``repro top`` live fleet dashboard.
+
+:mod:`.tracequery` and :mod:`.slo` are the read side of that
+telemetry — the operator loop.  ``tracequery`` folds the journal back
+into per-trace span trees: ``repro trace ls`` ranks the slowest/failed
+traces, ``repro trace show`` renders one as a cross-process waterfall
+with per-stage self-time (kill-requeued chunks list every worker
+attempt under one span), ``repro trace critical-path`` aggregates
+where the time goes.  Histogram buckets keep **exemplars** — the
+trace ID of their slowest recent sample, merge-safe and rendered in
+OpenMetrics syntax — so a bad p99 links straight to its waterfall.
+``slo`` evaluates declarative rules (JSON/TOML: latency percentile or
+error ratio, target, window) against journal + registry with
+multi-window burn rates, surfaced as ``repro slo check [--watch]``,
+the serve protocol's ``health`` op, supervisor ``slo.breach`` events
+and the alerts panel in ``repro top``.
 ``docs/ARCHITECTURE.md`` maps the whole stack; ``docs/RUNTIME_API.md``
 documents this package's public API surface.
 """
@@ -198,6 +213,25 @@ from .obs import (
     span,
 )
 from .obs import configure as configure_obs
+from .tracequery import (
+    SpanNode,
+    Trace,
+    TraceQueryError,
+    build_traces,
+    critical_path,
+    filter_traces,
+    find_trace,
+    load_events,
+    render_waterfall,
+)
+from .slo import (
+    SLOMonitor,
+    SLORule,
+    SLOStatus,
+    default_rules,
+    evaluate_slos,
+    load_rules,
+)
 from .dispatch import (
     BrokerDispatcher,
     Dispatcher,
@@ -316,4 +350,19 @@ __all__ = [
     "configure_obs",
     "read_journal",
     "read_metrics",
+    "TraceQueryError",
+    "SpanNode",
+    "Trace",
+    "load_events",
+    "build_traces",
+    "filter_traces",
+    "find_trace",
+    "critical_path",
+    "render_waterfall",
+    "SLORule",
+    "SLOStatus",
+    "SLOMonitor",
+    "load_rules",
+    "default_rules",
+    "evaluate_slos",
 ]

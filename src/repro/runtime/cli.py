@@ -39,8 +39,18 @@ Subcommands:
   Prometheus text exposition, default a human summary);
 * ``repro top`` — live terminal dashboard over a running cluster
   sweep's event journal: queue depth, in-flight leases, chunks/s,
-  requeues, cache hit rate and worker liveness (``--once`` renders a
-  single frame for scripts and CI);
+  requeues, cache hit rate, worker liveness and an SLO alerts panel
+  (``--once`` renders a single frame for scripts and CI);
+* ``repro trace`` — trace analytics over the journal: ``ls`` lists the
+  slowest/failed traces (``--kind``/``--status`` filters), ``show
+  <trace_id>`` renders one trace as a cross-process waterfall with
+  per-stage self-time (kill-requeued chunks show every worker
+  attempt), and ``critical-path`` aggregates where the time goes
+  across the N slowest traces;
+* ``repro slo check`` — evaluate declarative SLO rules (``--rules
+  FILE`` or the built-in defaults) against the journal + registry
+  with multi-window burn rates; exits 0 when every rule holds, 1 on
+  a breach (``--watch`` re-evaluates continuously);
 * ``repro --version`` — the package version.
 
 Observability is enabled by ``--obs-dir DIR`` (or ``$REPRO_OBS_DIR``):
@@ -392,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="broker dispatch only: per-batch fleet "
                               "deadline; past it outstanding jobs fail "
                               "structurally (default: wait forever)")
+    p_serve.add_argument("--slo-rules", default=None, metavar="FILE",
+                         help="SLO rules file (JSON/TOML) backing the "
+                              "wire protocol's 'health' op (default: "
+                              "the built-in rule set)")
     add_common(p_serve)
 
     p_sup = sub.add_parser(
@@ -442,6 +456,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_MAX_BYTES or uncapped)")
     p_sup.add_argument("--no-cache", action="store_true",
                        help="spawn workers without the shared store")
+    p_sup.add_argument("--slo-rules", default=None, metavar="FILE",
+                       help="SLO rules file (JSON/TOML); the supervisor "
+                            "then journals an slo.breach event when a "
+                            "rule newly starts burning (default: the "
+                            "built-in rule set; needs --obs-dir)")
     p_sup.add_argument("--quiet", action="store_true",
                        help="suppress per-event progress output")
     _add_obs_flag(p_sup)
@@ -511,7 +530,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="throughput averaging window (default 10)")
     p_top.add_argument("--once", action="store_true",
                        help="render a single frame and exit (scripts/CI)")
+    p_top.add_argument("--slo-rules", default=None, metavar="FILE",
+                       help="SLO rules file for the alerts panel "
+                            "(default: the built-in rule set)")
     _add_obs_flag(p_top)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace analytics: list, waterfall and critical-path the "
+             "journal's span trees",
+    )
+    p_trace.add_argument("action", choices=("ls", "show", "critical-path"),
+                         help="ls = slowest/failed traces; show = one "
+                              "trace's cross-process waterfall; "
+                              "critical-path = aggregate self-time table")
+    p_trace.add_argument("trace_id", nargs="?", default=None,
+                         help="trace ID (or unique prefix) for 'show'")
+    p_trace.add_argument("--kind", default=None,
+                         help="only traces touching this job kind")
+    p_trace.add_argument("--status", choices=("ok", "failed"), default=None,
+                         help="only traces with this terminal status")
+    p_trace.add_argument("--limit", type=_positive_int, default=20,
+                         metavar="N",
+                         help="consider at most the N slowest traces "
+                              "(default 20)")
+    _add_obs_flag(p_trace)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate declarative SLO rules against the journal and "
+             "metrics registry",
+    )
+    p_slo.add_argument("action", choices=("check",),
+                       help="check = evaluate every rule once (or "
+                            "continuously with --watch)")
+    p_slo.add_argument("--rules", default=None, metavar="FILE",
+                       help="JSON/TOML rules file (default: the built-in "
+                            "serve/cluster rule set)")
+    p_slo.add_argument("--watch", action="store_true",
+                       help="re-evaluate every --interval seconds until "
+                            "interrupted instead of exiting")
+    p_slo.add_argument("--interval", type=_positive_float, default=2.0,
+                       metavar="SECONDS",
+                       help="--watch refresh cadence (default 2.0)")
+    _add_obs_flag(p_slo)
     return parser
 
 
@@ -808,6 +870,11 @@ def _cmd_serve(args) -> int:
         # default_backend_name).
         dispatcher = LocalDispatcher(args.backend or "thread",
                                      workers=args.workers)
+    slo_rules = None
+    if args.slo_rules:
+        from . import slo as slo_mod
+
+        slo_rules = slo_mod.load_rules(args.slo_rules)
     server = AsyncServer(
         dispatcher=dispatcher,
         cache=_make_cache(args),
@@ -815,6 +882,7 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_queue_depth=args.max_queue_depth,
         conn_credits=args.conn_credits,
+        slo_rules=slo_rules,
     )
 
     # Capability line first, so fleet operators can audit which kernel
@@ -928,6 +996,11 @@ def _cmd_supervise(args) -> int:
             print(f"[supervise] gc: {claims} claim(s), {chunks} chunk(s), "
                   f"{results} result(s)", file=sys.stderr)
 
+    slo_rules = None
+    if args.slo_rules:
+        from . import slo as slo_mod
+
+        slo_rules = slo_mod.load_rules(args.slo_rules)
     supervisor = Supervisor(
         args.spool,
         min_workers=args.min_workers,
@@ -943,6 +1016,7 @@ def _cmd_supervise(args) -> int:
             open_store(args.cache_dir, max_bytes=args.max_bytes).root),
         max_bytes=args.max_bytes,
         telemetry=None if args.quiet else _Verbose(),
+        slo_rules=slo_rules,
     )
     if not args.quiet:
         print(f"[supervise] fleet {args.min_workers}..{args.max_workers} "
@@ -1042,15 +1116,14 @@ def _cmd_metrics(args) -> int:
             for s in series:
                 for i, c in enumerate(s["counts"]):
                     counts[i] += c
-            rank = max(1, -(-99 * count // 100))
-            seen, p99 = 0, metric.buckets[-1]
-            for bound, c in zip(metric.buckets, counts):
-                seen += c
-                if seen >= rank:
-                    p99 = bound
-                    break
+            p99, overflow = obs.quantile_from_counts(
+                metric.buckets, counts, count, 99.0)
+            # An overflow rank means the p99 sample landed beyond every
+            # finite bucket: the honest statement is a lower bound.
+            cmp = ">" if overflow else "<="
             print(f"  {name} (histogram): {count} sample(s), "
-                  f"mean {total / count * 1e3:.2f} ms, p99 <= {p99 * 1e3:.2f} ms")
+                  f"mean {total / count * 1e3:.2f} ms, "
+                  f"p99 {cmp} {p99 * 1e3:.2f} ms")
         else:
             parts = ", ".join(
                 f"{dict(s['labels']) or 'total'}={s['value']:g}"
@@ -1099,8 +1172,13 @@ class _TopState:
         elif name == "worker.claim":
             self.claims += 1
 
-    def render(self, registry, now: float) -> str:
-        """One dashboard frame (plain text, no escape codes)."""
+    def render(self, registry, now: float, alerts=None) -> str:
+        """One dashboard frame (plain text, no escape codes).
+
+        ``alerts`` is an optional list of breached
+        :class:`~repro.runtime.slo.SLOStatus` — the SLO panel appended
+        under the worker list (``alerts  none`` when empty).
+        """
         queue_depth = max(0, self.submits - self.completes - self.failures)
         in_flight = max(0, self.claims - self.completes - self.requeues)
         recent = sum(1 for t in self.complete_ts if now - t <= self.window_s)
@@ -1138,25 +1216,44 @@ class _TopState:
                             f"(repro_serve_queue_depth gauge)")
         for w in live[:8]:
             lines.append(f"    {w}  last seen {now - self.workers[w]:.1f}s ago")
+        if alerts is not None:
+            if not alerts:
+                lines.append("  alerts          none")
+            for s in alerts:
+                burn = " ".join(f"{k}={v:.1f}" for k, v in
+                                sorted(s.burn_rates.items()))
+                lines.append(f"  ALERT {s.rule.name}: burn {burn}"
+                             + (f" trace={s.exemplar_trace}"
+                                if s.exemplar_trace else ""))
         return "\n".join(lines)
 
 
 def _cmd_top(args) -> int:
     import time as _time
 
+    from . import slo as slo_mod
+
     target = _resolved_obs_dir(args)
     if target is None:
         return 2
     state = _TopState(window_s=args.window)
+    rules = (slo_mod.load_rules(args.slo_rules) if args.slo_rules
+             else slo_mod.default_rules())
+    monitor = slo_mod.SLOMonitor(rules)
     # The tailer survives the journal being truncated or rotated
     # mid-watch (an operator resetting the obs dir): it restarts from
     # the top of the new file instead of stalling on a stale offset.
     tailer = obs.JournalTailer(target / "journal.ndjson")
     try:
         while True:
-            for ev in tailer.poll():
+            events = tailer.poll()
+            for ev in events:
                 state.apply(ev)
-            frame = state.render(obs.read_metrics(target), now=_time.time())
+            monitor.feed(events)
+            registry = obs.read_metrics(target)
+            statuses = monitor.evaluate(registry=registry)
+            alerts = [s for s in statuses if not s.ok]
+            frame = state.render(registry, now=_time.time(), alerts=alerts)
             if args.once:
                 print(frame)
                 return 0
@@ -1167,6 +1264,72 @@ def _cmd_top(args) -> int:
             _time.sleep(args.interval)
     except KeyboardInterrupt:
         print()  # leave the last frame intact; exit on the next line
+        return 0
+
+
+def _cmd_trace(args) -> int:
+    from . import tracequery as tq
+
+    target = _resolved_obs_dir(args)
+    if target is None:
+        return 2
+    # TraceQueryError is a ValueError: a missing/empty journal becomes
+    # main()'s one-line error, never a traceback.
+    traces = tq.build_traces(tq.load_events(target))
+    if args.action == "show":
+        if not args.trace_id:
+            print("repro trace: error: 'show' needs a trace ID "
+                  "(see `repro trace ls`)", file=sys.stderr)
+            return 2
+        print(tq.render_waterfall(tq.find_trace(traces, args.trace_id)))
+        return 0
+    selected = tq.filter_traces(traces, kind=args.kind, status=args.status,
+                                limit=args.limit)
+    if args.action == "critical-path":
+        rows = tq.critical_path(selected)
+        print(tq.render_critical_path(rows, len(selected)))
+        return 0
+    print(tq.render_trace_table(selected))
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    import time as _time
+
+    from . import slo as slo_mod
+    from . import tracequery as tq
+
+    target = _resolved_obs_dir(args)
+    if target is None:
+        return 2
+    rules = (slo_mod.load_rules(args.rules) if args.rules
+             else slo_mod.default_rules())
+
+    def _check() -> tuple[str, bool]:
+        try:
+            events = tq.load_events(target)
+        except tq.TraceQueryError:
+            # SLOs must be checkable before the first traffic arrives
+            # (a load balancer probing a fresh fleet): no journal just
+            # means every journal-backed rule has no data yet.
+            events = []
+        statuses = slo_mod.evaluate_slos(
+            rules, events=events, registry=obs.read_metrics(target))
+        table = slo_mod.render_slo_table(statuses)
+        return table, all(s.ok for s in statuses)
+
+    if not args.watch:
+        table, ok = _check()
+        print(table)
+        return 0 if ok else 1
+    try:
+        while True:
+            table, ok = _check()
+            sys.stdout.write("\x1b[2J\x1b[H" + table + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
         return 0
 
 
@@ -1181,6 +1344,8 @@ _COMMANDS = {
     "chaos-soak": _cmd_chaos,
     "metrics": _cmd_metrics,
     "top": _cmd_top,
+    "trace": _cmd_trace,
+    "slo": _cmd_slo,
 }
 
 

@@ -549,10 +549,14 @@ def worker_loop(
             chunk_metrics.counter(
                 "repro_worker_chunks_total",
                 "Chunks published by worker.").inc(worker=worker_id)
-            chunk_metrics.histogram(
-                "repro_worker_chunk_seconds",
-                "Wall-clock seconds per published chunk.").observe(
-                    chunk_s, worker=worker_id)
+            # Observe under the chunk's trace so the histogram captures
+            # an exemplar: a bad p99 in `repro metrics` then links
+            # straight to this chunk's waterfall (`repro trace show`).
+            with obs.activate(trace):
+                chunk_metrics.histogram(
+                    "repro_worker_chunk_seconds",
+                    "Wall-clock seconds per published chunk.").observe(
+                        chunk_s, worker=worker_id)
             write_chunk_result(
                 spool, chunk_id, worker_id, records=records,
                 obs_doc={"metrics": chunk_metrics.snapshot(),
@@ -598,6 +602,9 @@ class _Chunk:
     #: The chunk's span context, fixed at submit: every attempt
     #: (including requeues) runs and is journaled under this identity.
     trace: obs.SpanContext | None = None
+    #: Submit wall-clock: the broker-side chunk latency (submit to
+    #: ingest, requeues included) is measured from here.
+    submitted_at: float = 0.0
 
 
 class Broker:
@@ -650,6 +657,10 @@ class Broker:
         self._queue_gauge = obs.get_registry().gauge(
             "repro_broker_outstanding_chunks",
             "Chunks submitted but not yet resolved.")
+        self._latency_hist = obs.get_registry().histogram(
+            "repro_chunk_latency_seconds",
+            "Broker-side chunk latency, submit to ingest (requeues "
+            "included); exemplars link slow chunks to their trace.")
         _spool_dirs(self.spool)
 
     @property
@@ -686,7 +697,8 @@ class Broker:
                 _encode_chunk(chunk_id, index, members, trace=trace),
             )
             self._chunks.append(
-                _Chunk(chunk_id=chunk_id, index=index, specs=members, trace=trace))
+                _Chunk(chunk_id=chunk_id, index=index, specs=members,
+                       trace=trace, submitted_at=self.clock()))
             self.stats.chunks_submitted += 1
             self._metrics.inc(op="submit")
             obs.emit("chunk.submit", ctx=trace, chunk=chunk_id, jobs=len(members))
@@ -815,6 +827,11 @@ class Broker:
         self.stats.chunks_completed += 1
         self._merge_obs(chunk, doc)
         self._metrics.inc(op="complete")
+        # Observed under the chunk's own span so the bucket keeps a
+        # trace exemplar; a requeued chunk's latency spans all attempts.
+        if chunk.submitted_at:
+            with obs.activate(chunk.trace):
+                self._latency_hist.observe(self.clock() - chunk.submitted_at)
         self._queue_gauge.set(len(self.outstanding()))
         obs.emit("chunk.complete", ctx=chunk.trace, chunk=chunk.chunk_id,
                  worker=str(doc.get("worker", "?")), jobs=len(records),

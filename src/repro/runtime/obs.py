@@ -22,7 +22,16 @@ This module is the common substrate they are retrofitted onto:
 * :class:`Journal` — a structured NDJSON event log.  Each event is one
   whole-line ``O_APPEND`` write, so concurrent writers (broker plus
   local workers) interleave without tearing lines.  ``repro top`` tails
-  it to render the live fleet dashboard.
+  it to render the live fleet dashboard, and
+  :mod:`~repro.runtime.tracequery` reconstructs per-trace span trees
+  from it.
+* **Exemplars** — each histogram bucket retains the trace ID and value
+  of its slowest recent sample (one per bucket per series, replaced on
+  a slower sample or after :data:`EXEMPLAR_TTL_S`), captured
+  automatically from the ambient span at :meth:`Histogram.observe`
+  time.  Exemplars survive snapshot/merge (the larger value wins) and
+  render in the OpenMetrics exemplar syntax, so a bad ``p99`` in
+  ``repro metrics --prom`` links straight to ``repro trace show``.
 
 Observability is **off by default** and costs a dict lookup per call
 site when off.  Enable it by exporting ``$REPRO_OBS_DIR`` or passing
@@ -50,6 +59,9 @@ from pathlib import Path
 __all__ = [
     "OBS_SCHEMA",
     "OBS_DIR_ENV",
+    "DEFAULT_BUCKETS",
+    "EXEMPLAR_TTL_S",
+    "quantile_from_counts",
     "Counter",
     "Gauge",
     "Histogram",
@@ -93,6 +105,48 @@ DEFAULT_BUCKETS = (
 #: snapshot file names: ``<host>-<pid>-<nonce>``.  The nonce keeps a
 #: recycled PID from overwriting a dead process's snapshot.
 PROC_ID = f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+#: An exemplar older than this is replaced by *any* fresh traced sample
+#: in its bucket, even a faster one — "slowest recent", not "slowest
+#: ever", so a long-running server's exemplars stay actionable.
+EXEMPLAR_TTL_S = 600.0
+
+
+def quantile_from_counts(buckets, counts, count: int, q: float):
+    """Nearest-rank quantile over cumulative histogram buckets.
+
+    The one quantile implementation shared by
+    :meth:`Histogram.percentile` and the CLI's fleet-wide summary, so
+    their answers can never drift apart.
+
+    Args:
+        buckets: sorted finite bucket upper bounds (seconds).
+        counts: per-bucket (non-cumulative) sample counts, same length.
+        count: total samples including the implicit ``+Inf`` overflow
+            bucket (``count >= sum(counts)``).
+        q: percentile in ``[0, 100]``.
+
+    Returns:
+        ``(bound, overflow)`` — the upper bound of the bucket holding
+        the nearest-rank sample, and whether that rank landed in the
+        ``+Inf`` overflow bucket (in which case ``bound`` is the top
+        finite bound and the true quantile is *greater* than it).
+        ``(0.0, False)`` when empty.
+
+    Raises:
+        ValueError: ``q`` outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if count <= 0:
+        return 0.0, False
+    rank = max(1, math.ceil(q / 100.0 * count))
+    seen = 0
+    for bound, c in zip(buckets, counts):
+        seen += c
+        if seen >= rank:
+            return bound, False
+    return buckets[-1], True
 
 
 def new_id() -> str:
@@ -199,52 +253,101 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, value: float, **labels) -> None:
-        """Record one sample into the series named by ``labels``."""
+        """Record one sample into the series named by ``labels``.
+
+        When an ambient span is active, the sample's bucket retains a
+        ``{trace_id, value, ts}`` exemplar — replaced by a slower
+        sample, or by any traced sample once :data:`EXEMPLAR_TTL_S` has
+        passed — so a surprising bucket links back to one trace.
+        """
         key = _label_key(labels)
+        ctx = _SPAN.get()
         with self._lock:
             series = self._series.get(key)
             if series is None:
-                series = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+                series = {"counts": [0] * len(self.buckets), "sum": 0.0,
+                          "count": 0, "exemplars": {}}
                 self._series[key] = series
+            bucket = len(self.buckets)  # the implicit +Inf overflow bucket
             for i, bound in enumerate(self.buckets):
                 if value <= bound:
                     series["counts"][i] += 1
+                    bucket = i
                     break
             series["sum"] += value
             series["count"] += 1
+            if ctx is not None:
+                now = time.time()
+                ex = series["exemplars"].get(bucket)
+                if (ex is None or value >= ex["value"]
+                        or now - ex["ts"] > EXEMPLAR_TTL_S):
+                    series["exemplars"][bucket] = {
+                        "trace_id": ctx.trace_id, "value": value, "ts": now}
 
     def count(self, **labels) -> int:
         """Total samples observed by one series."""
         series = self._series.get(_label_key(labels))
         return series["count"] if series else 0
 
+    def percentile(self, q: float, **labels) -> tuple[float, bool]:
+        """Bucket-resolution ``q``-th percentile with an overflow flag.
+
+        Returns ``(bound, overflow)`` via :func:`quantile_from_counts`:
+        ``overflow`` is True when the nearest-rank sample landed in the
+        ``+Inf`` bucket, meaning the true percentile is *greater than*
+        the returned top finite bound.  ``(0.0, False)`` when empty.
+        """
+        series = self._series.get(_label_key(labels))
+        if not series or not series["count"]:
+            if not 0.0 <= q <= 100.0:
+                raise ValueError(f"percentile must be in [0, 100], got {q}")
+            return 0.0, False
+        return quantile_from_counts(self.buckets, series["counts"],
+                                    series["count"], q)
+
     def quantile(self, q: float, **labels) -> float:
         """Bucket-resolution estimate of the ``q``-th percentile (0-100).
 
         Returns the upper bound of the bucket holding the nearest-rank
         sample (the largest bound for overflow samples); 0.0 when empty.
+        Use :meth:`percentile` when the overflow distinction matters.
         """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        bound, _ = self.percentile(q, **labels)
+        return bound
+
+    def exemplar(self, bucket: int, **labels) -> dict | None:
+        """The retained exemplar of one bucket (index into
+        :attr:`buckets`; ``len(buckets)`` is the ``+Inf`` overflow
+        bucket), or ``None``."""
         series = self._series.get(_label_key(labels))
-        if not series or not series["count"]:
-            return 0.0
-        rank = max(1, math.ceil(q / 100.0 * series["count"]))
-        seen = 0
-        for i, bound in enumerate(self.buckets):
-            seen += series["counts"][i]
-            if seen >= rank:
-                return bound
-        return self.buckets[-1]
+        if not series:
+            return None
+        ex = series.get("exemplars", {}).get(bucket)
+        return dict(ex) if ex else None
+
+    def worst_exemplar(self, **labels) -> dict | None:
+        """The exemplar from the highest occupied bucket of one series
+        — the trace behind the slowest recent sample — or ``None``."""
+        series = self._series.get(_label_key(labels))
+        exemplars = series.get("exemplars", {}) if series else {}
+        if not exemplars:
+            return None
+        return dict(exemplars[max(exemplars)])
 
     def _snapshot_series(self) -> list[dict]:
         """Serializable per-series records for :meth:`MetricsRegistry.snapshot`."""
         with self._lock:
-            return [
-                {"labels": dict(k), "counts": list(s["counts"]),
-                 "sum": s["sum"], "count": s["count"]}
-                for k, s in sorted(self._series.items())
-            ]
+            out = []
+            for k, s in sorted(self._series.items()):
+                rec = {"labels": dict(k), "counts": list(s["counts"]),
+                       "sum": s["sum"], "count": s["count"]}
+                if s.get("exemplars"):
+                    # JSON object keys are strings; _merge_series maps
+                    # them back to int bucket indices.
+                    rec["exemplars"] = {
+                        str(i): dict(ex) for i, ex in sorted(s["exemplars"].items())}
+                out.append(rec)
+            return out
 
     def _merge_series(self, series: list[dict]) -> None:
         """Fold snapshot series from another process into this histogram."""
@@ -253,7 +356,8 @@ class Histogram:
                 key = _label_key(rec.get("labels", {}))
                 mine = self._series.get(key)
                 if mine is None:
-                    mine = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+                    mine = {"counts": [0] * len(self.buckets), "sum": 0.0,
+                            "count": 0, "exemplars": {}}
                     self._series[key] = mine
                 counts = rec.get("counts", [])
                 if len(counts) != len(self.buckets):
@@ -264,6 +368,19 @@ class Histogram:
                     mine["counts"][i] += int(c)
                 mine["sum"] += float(rec.get("sum", 0.0))
                 mine["count"] += int(rec.get("count", 0))
+                for raw, ex in (rec.get("exemplars") or {}).items():
+                    try:
+                        bucket = int(raw)
+                        value = float(ex["value"])
+                    except (KeyError, TypeError, ValueError):
+                        continue  # a foreign writer's malformed exemplar
+                    cur = mine.setdefault("exemplars", {}).get(bucket)
+                    if cur is None or value > cur["value"] or (
+                            value == cur["value"]
+                            and float(ex.get("ts", 0.0)) > cur["ts"]):
+                        mine["exemplars"][bucket] = {
+                            "trace_id": str(ex.get("trace_id", "")),
+                            "value": value, "ts": float(ex.get("ts", 0.0))}
 
 
 def _escape_label(value: str) -> str:
@@ -277,6 +394,15 @@ def _render_labels(labels: dict, extra: str = "") -> str:
     if extra:
         pairs.append(extra)
     return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_exemplar(ex: dict | None) -> str:
+    """The OpenMetrics exemplar suffix of one bucket line ("" if none)."""
+    if not ex:
+        return ""
+    trace = _escape_label(str(ex.get("trace_id", "")))
+    return (f' # {{trace_id="{trace}"}} {float(ex["value"]):g}'
+            f' {float(ex.get("ts", 0.0)):.3f}')
 
 
 class MetricsRegistry:
@@ -366,7 +492,12 @@ class MetricsRegistry:
             metric._merge_series(doc.get("series", []))
 
     def render_prometheus(self) -> str:
-        """The registry in the Prometheus text exposition format (0.0.4)."""
+        """The registry in the Prometheus text exposition format (0.0.4).
+
+        Histogram bucket lines carry their retained exemplar in the
+        OpenMetrics exemplar syntax (``... # {trace_id="…"} value ts``)
+        when one exists, so a scrape links slow buckets to traces.
+        """
         lines: list[str] = []
         for name in self.names():
             metric = self._metrics[name]
@@ -376,15 +507,21 @@ class MetricsRegistry:
             for rec in metric._snapshot_series():
                 labels = rec["labels"]
                 if isinstance(metric, Histogram):
+                    exemplars = rec.get("exemplars", {})
                     cumulative = 0
-                    for bound, count in zip(metric.buckets, rec["counts"]):
+                    for i, (bound, count) in enumerate(
+                            zip(metric.buckets, rec["counts"])):
                         cumulative += count
                         le = 'le="%g"' % bound
                         lines.append(
-                            f"{name}_bucket{_render_labels(labels, le)} {cumulative}")
+                            f"{name}_bucket{_render_labels(labels, le)} "
+                            f"{cumulative}"
+                            + _render_exemplar(exemplars.get(str(i))))
                     inf = 'le="+Inf"'
                     lines.append(
-                        f"{name}_bucket{_render_labels(labels, inf)} {rec['count']}")
+                        f"{name}_bucket{_render_labels(labels, inf)} {rec['count']}"
+                        + _render_exemplar(
+                            exemplars.get(str(len(metric.buckets)))))
                     lines.append(f"{name}_sum{_render_labels(labels)} {rec['sum']:g}")
                     lines.append(f"{name}_count{_render_labels(labels)} {rec['count']}")
                 else:

@@ -46,8 +46,10 @@ The pieces:
   client's socket.  Protocol **v2** adds a ``hello`` handshake
   (``{"op": "hello", "proto": 2}``) that upgrades the connection to
   structured error codes (``overloaded | bad_request |
-  backend_error``); v1 clients that never send ``hello`` get the
-  original untagged error shape, unchanged.  ``sample_eval`` jobs
+  backend_error``) and a ``health`` op returning per-SLO ok/burn-rate
+  verdicts (:mod:`repro.runtime.slo`) for load-balancer checks; v1
+  clients that never send ``hello`` get the original untagged error
+  shape, unchanged.  ``sample_eval`` jobs
   carry live in-memory payloads and are not servable over this wire —
   use :meth:`AsyncServer.submit` in-process (the *spool* wire crosses
   them fine via the ``events`` codec).
@@ -194,12 +196,15 @@ class ServeTelemetry:
 
 @dataclass
 class _Pending:
-    """One queued request: its spec, the future its caller awaits, and
-    the enqueue timestamp the latency gauge is measured from."""
+    """One queued request: its spec, the future its caller awaits, the
+    enqueue timestamp the latency gauge is measured from, and the
+    span context ambient at submit time (the batcher task has its own
+    context, so the trace must ride the queue explicitly)."""
 
     spec: JobSpec
     future: asyncio.Future
     enqueued_at: float
+    ctx: "obs.SpanContext | None" = None
 
 
 #: Queue sentinel that tells the batcher to drain and exit.
@@ -247,6 +252,7 @@ class AsyncServer:
         dispatcher: Dispatcher | None = None,
         max_queue_depth: int | None = None,
         conn_credits: int = 64,
+        slo_rules: list | None = None,
     ) -> None:
         """Args:
             backend: **deprecated** — backend instance or registered
@@ -273,6 +279,9 @@ class AsyncServer:
             conn_credits: per-connection in-flight window for the wire
                 transports — a connection with this many unanswered
                 requests stops being read until answers drain.
+            slo_rules: :class:`~repro.runtime.slo.SLORule` list backing
+                the wire protocol's ``health`` op (None = the built-in
+                :func:`~repro.runtime.slo.default_rules`).
 
         Raises:
             ValueError: non-positive ``max_batch``, ``max_queue_depth``
@@ -315,6 +324,7 @@ class AsyncServer:
         self.max_batch = max_batch
         self.max_queue_depth = max_queue_depth
         self.conn_credits = conn_credits
+        self.slo_rules = slo_rules
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
         self._queue: asyncio.Queue = asyncio.Queue()
         self._batcher: asyncio.Task | None = None
@@ -450,7 +460,7 @@ class AsyncServer:
                     f"queue depth {self._queue.qsize()} at max_queue_depth="
                     f"{self.max_queue_depth}; retry with backoff")
             pending = _Pending(spec=spec, future=loop.create_future(),
-                               enqueued_at=start)
+                               enqueued_at=start, ctx=obs.current_span())
             self._queue.put_nowait(pending)  # same loop step as the check
             self._set_queue_depth()
             result: JobResult = await pending.future
@@ -567,25 +577,38 @@ class AsyncServer:
         self.telemetry.dispatched += len(batch)
         self._m_batches.inc()
         delivered = 0
+        # Re-adopt the submitter's span so a broker dispatch journals
+        # its chunk under the request's trace (the batcher task was
+        # spawned outside any request context).  Only an unambiguous
+        # single-request batch can be attributed; a coalesced batch
+        # fans many traces into one dispatch, so it stays parentless.
+        trace_ctx = batch[0].ctx if len(batch) == 1 else None
         try:
-            async for result in self.dispatcher.submit([p.spec for p in batch]):
-                pending = batch[delivered]
-                self.telemetry.computed += 1
-                if not result.ok:
-                    self.telemetry.failures += 1
-                # Write-through completes *before* the caller is
-                # resolved: a client that re-asks the question it just
-                # had answered must hit the store (read-your-writes).
-                # The cost is that one entry write sits on the latency
-                # path of this and later results in the batch.
-                await self._cache_put(pending.spec, result)
-                if not pending.future.done():
-                    pending.future.set_result(result)
-                # Count a request delivered only once its future is
-                # resolved, so an exception anywhere above still sweeps
-                # it into the structured-error path below — a request
-                # must never be left hanging.
-                delivered += 1
+            # The activate() spans the whole iteration: an async
+            # generator runs its body inside each __anext__, so the
+            # dispatcher's journal emits only see the adopted span
+            # while we are actively pulling from it.
+            with obs.activate(trace_ctx):
+                async for result in self.dispatcher.submit(
+                        [p.spec for p in batch]):
+                    pending = batch[delivered]
+                    self.telemetry.computed += 1
+                    if not result.ok:
+                        self.telemetry.failures += 1
+                    # Write-through completes *before* the caller is
+                    # resolved: a client that re-asks the question it
+                    # just had answered must hit the store
+                    # (read-your-writes).  The cost is that one entry
+                    # write sits on the latency path of this and later
+                    # results in the batch.
+                    await self._cache_put(pending.spec, result)
+                    if not pending.future.done():
+                        pending.future.set_result(result)
+                    # Count a request delivered only once its future is
+                    # resolved, so an exception anywhere above still
+                    # sweeps it into the structured-error path below —
+                    # a request must never be left hanging.
+                    delivered += 1
         except Exception as exc:  # plane-level crash, not a job failure
             plane = self.stats_backend_name()
             error = f"backend {plane} crashed: {exc!r}"
@@ -699,6 +722,33 @@ async def _answer_hello(server: AsyncServer, request: dict, send,
                 "dispatcher": server.dispatcher.name})
 
 
+async def _evaluate_health(server: AsyncServer) -> dict:
+    """The ``health`` op's document: per-SLO verdicts + one bit.
+
+    Evaluates the server's rules (or the defaults) against the
+    observability directory's journal and merged registry — both read
+    off the event loop.  Without an obs dir, only the in-process
+    registry is available; journal-backed rules then report no data,
+    which counts as healthy.
+    """
+    from . import slo as slo_mod
+    from pathlib import Path as _Path
+
+    rules = (server.slo_rules if server.slo_rules is not None
+             else slo_mod.default_rules())
+    target = obs.obs_dir()
+    events: list = []
+    registry = obs.get_registry()
+    if target is not None:
+        journal = _Path(target) / "journal.ndjson"
+        if journal.exists():
+            events = await asyncio.to_thread(obs.read_journal, journal)
+        registry = await asyncio.to_thread(obs.read_metrics, target)
+    statuses = slo_mod.evaluate_slos(rules, events=events, registry=registry)
+    return {"healthy": all(s.ok for s in statuses),
+            "slos": [s.to_doc() for s in statuses]}
+
+
 async def _answer_line(server: AsyncServer, line: bytes | str, send,
                        conn: _ConnState | None = None) -> None:
     """Answer one request line through ``send`` (an async callable).
@@ -735,9 +785,17 @@ async def _answer_line(server: AsyncServer, line: bytes | str, send,
                         "content_type": "text/plain; version=0.0.4",
                         "metrics": obs.get_registry().render_prometheus()})
             return
+        if op == "health":
+            # Per-SLO burn-rate verdicts for load-balancer checks: a
+            # fresh server with no traffic reports healthy (empty
+            # windows are skipped, not breached).
+            await send({"id": rid, "ok": True,
+                        "health": await _evaluate_health(server)})
+            return
         if op is not None:
             raise ValueError(
-                f"unknown op {op!r}; ops: hello, ping, stats, metrics")
+                f"unknown op {op!r}; ops: hello, ping, stats, metrics, "
+                "health")
         spec = request_to_spec(request)
     except (ValueError, RecursionError) as exc:
         await send(_error_response(rid, f"bad request: {exc}",

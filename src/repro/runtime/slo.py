@@ -1,0 +1,449 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An SLO rule names a telemetry source (a journal span/event name or a
+registry metric), an objective (a latency bound at a percentile, or an
+error-ratio ceiling) and a window.  This module evaluates rules against
+the observability stack's two read paths — the NDJSON journal and the
+merged metrics registry (:mod:`repro.runtime.obs`) — and answers one
+question per rule: *is the error budget burning too fast?*
+
+The burn-rate model (the multi-window alerting scheme from the SRE
+canon):
+
+* The **budget** is the allowed bad fraction — ``1 - percentile/100``
+  for latency rules (a p99 objective tolerates 1% slow requests) or
+  ``target`` itself for error-ratio rules.
+* The **burn rate** of a window is ``bad_fraction / budget``: 1.0 means
+  the budget is being consumed exactly as provisioned; 14 means it will
+  be gone in 1/14th of the window.
+* Journal rules evaluate a **long** window (``window_s``) and a
+  **short** one (``window_s / 12``); a rule breaches only when burn
+  exceeds ``burn_threshold`` in *every window that has data*, which
+  suppresses both stale incidents (short window recovered) and noise
+  blips (long window fine).  Windows without data are skipped, so a
+  fresh server passes its load-balancer health checks.
+* Registry rules (metric names starting ``repro_``) evaluate the
+  merged histogram's lifetime distribution — coarser, but available
+  even where the journal is not.
+
+Surfaced as ``repro slo check [--watch]``, the serve wire protocol's
+``health`` op, supervisor ``slo.breach`` journal events, and the alerts
+panel in ``repro top``.  Rules load from JSON always and TOML when the
+interpreter ships :mod:`tomllib` (3.11+); :func:`default_rules` covers
+the serve/cluster path out of the box.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import obs
+
+__all__ = [
+    "SLOError",
+    "SLORule",
+    "SLOStatus",
+    "SLOMonitor",
+    "SHORT_WINDOW_DIVISOR",
+    "load_rules",
+    "rule_from_doc",
+    "default_rules",
+    "evaluate_slos",
+    "render_slo_table",
+]
+
+#: The short burn window is the long one divided by this (the classic
+#: 1h/5m pairing rounds to 12).
+SHORT_WINDOW_DIVISOR = 12.0
+
+#: Registry-backed rules are recognized by this metric-name prefix;
+#: anything else names a journal span/event.
+_REGISTRY_PREFIX = "repro_"
+
+_KINDS = ("latency", "error_ratio")
+
+
+class SLOError(ValueError):
+    """An SLO rules file is unreadable or a rule is malformed.
+    Subclasses :class:`ValueError` so the CLI prints it as a one-line
+    error."""
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative service-level objective.
+
+    ``metric`` is a journal event name (``serve.request``,
+    ``chunk.complete``) or a registry metric (``repro_…``).  For
+    ``kind="latency"``, ``target`` is the latency bound in seconds and
+    ``percentile`` sets the budget; for ``kind="error_ratio"``,
+    ``target`` *is* the budget and ``bad_metric`` names the failure
+    event (defaults to status-based detection on ``metric`` itself).
+    """
+
+    name: str
+    metric: str
+    target: float
+    kind: str = "latency"
+    percentile: float = 99.0
+    window_s: float = 3600.0
+    burn_threshold: float = 1.0
+    bad_metric: str | None = None
+    description: str = ""
+
+    def __post_init__(self):
+        """Reject rules that could never evaluate meaningfully."""
+        if self.kind not in _KINDS:
+            raise SLOError(f"slo {self.name!r}: kind must be one of "
+                           f"{', '.join(_KINDS)}, got {self.kind!r}")
+        if self.kind == "latency" and not 0.0 < self.percentile < 100.0:
+            raise SLOError(f"slo {self.name!r}: percentile must be in "
+                           f"(0, 100), got {self.percentile}")
+        if self.kind == "error_ratio" and not 0.0 < self.target < 1.0:
+            raise SLOError(f"slo {self.name!r}: error-ratio target must "
+                           f"be in (0, 1), got {self.target}")
+        if self.kind == "latency" and self.target <= 0.0:
+            raise SLOError(f"slo {self.name!r}: latency target must be "
+                           f"> 0 seconds, got {self.target}")
+        if self.window_s <= 0.0:
+            raise SLOError(f"slo {self.name!r}: window_s must be > 0, "
+                           f"got {self.window_s}")
+        if self.burn_threshold <= 0.0:
+            raise SLOError(f"slo {self.name!r}: burn_threshold must be "
+                           f"> 0, got {self.burn_threshold}")
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad fraction (the denominator of burn rate)."""
+        if self.kind == "latency":
+            return max(1e-9, 1.0 - self.percentile / 100.0)
+        return self.target
+
+    def to_doc(self) -> dict:
+        """JSON-serializable form (rules files round-trip through it)."""
+        doc = {"name": self.name, "metric": self.metric,
+               "target": self.target, "kind": self.kind,
+               "percentile": self.percentile, "window_s": self.window_s,
+               "burn_threshold": self.burn_threshold}
+        if self.bad_metric:
+            doc["bad_metric"] = self.bad_metric
+        if self.description:
+            doc["description"] = self.description
+        return doc
+
+
+@dataclass
+class SLOStatus:
+    """One rule's verdict: burn rates per window and the breach bit.
+
+    ``burn_rates`` maps window label (``"long"``/``"short"`` for
+    journal rules, ``"lifetime"`` for registry ones) to burn rate;
+    windows without data are absent.  ``measured`` is the observed bad
+    fraction of the widest populated window (None with no data), and
+    ``exemplar_trace`` links the worst offending sample's trace for
+    ``repro trace show``.
+    """
+
+    rule: SLORule
+    ok: bool = True
+    burn_rates: dict = field(default_factory=dict)
+    total: int = 0
+    bad: int = 0
+    measured: float | None = None
+    source: str = "journal"
+    exemplar_trace: str | None = None
+
+    def to_doc(self) -> dict:
+        """Wire/JSON form (the serve ``health`` op returns a list of
+        these)."""
+        return {"name": self.rule.name, "metric": self.rule.metric,
+                "kind": self.rule.kind, "target": self.rule.target,
+                "ok": self.ok,
+                "burn_rates": {k: round(v, 4)
+                               for k, v in self.burn_rates.items()},
+                "total": self.total, "bad": self.bad,
+                "measured": self.measured, "source": self.source,
+                "exemplar_trace": self.exemplar_trace}
+
+
+def rule_from_doc(doc: dict) -> SLORule:
+    """Build an :class:`SLORule` from one rules-file entry.
+
+    Raises:
+        SLOError: required keys missing or values out of range.
+    """
+    if not isinstance(doc, dict):
+        raise SLOError(f"slo rule must be a table/object, got {type(doc).__name__}")
+    missing = [k for k in ("name", "metric", "target") if k not in doc]
+    if missing:
+        raise SLOError(f"slo rule {doc.get('name', '?')!r}: missing "
+                       f"required key(s) {', '.join(missing)}")
+    known = {"name", "metric", "target", "kind", "percentile", "window_s",
+             "burn_threshold", "bad_metric", "description"}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise SLOError(f"slo rule {doc['name']!r}: unknown key(s) "
+                       f"{', '.join(unknown)}")
+    try:
+        return SLORule(
+            name=str(doc["name"]), metric=str(doc["metric"]),
+            target=float(doc["target"]), kind=str(doc.get("kind", "latency")),
+            percentile=float(doc.get("percentile", 99.0)),
+            window_s=float(doc.get("window_s", 3600.0)),
+            burn_threshold=float(doc.get("burn_threshold", 1.0)),
+            bad_metric=doc.get("bad_metric"),
+            description=str(doc.get("description", "")))
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SLOError):
+            raise
+        raise SLOError(f"slo rule {doc['name']!r}: {exc}") from exc
+
+
+def load_rules(path: str | Path) -> list[SLORule]:
+    """Parse an SLO rules file (``.json`` always; ``.toml`` on 3.11+).
+
+    The document is either a bare list of rule tables or a mapping with
+    an ``slos`` list (the TOML layout: ``[[slos]]`` blocks).
+
+    Raises:
+        SLOError: the file is missing, unparsable, empty, or a rule is
+            malformed — always a one-line message, never a traceback.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SLOError(f"slo rules file not found: {path}")
+    text = path.read_text()
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:
+            raise SLOError(
+                f"cannot read {path}: this interpreter has no tomllib "
+                "(needs python >= 3.11) — use a .json rules file") from None
+        try:
+            doc = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SLOError(f"cannot parse {path}: {exc}") from exc
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SLOError(f"cannot parse {path}: {exc}") from exc
+    if isinstance(doc, dict):
+        doc = doc.get("slos", [])
+    if not isinstance(doc, list) or not doc:
+        raise SLOError(f"{path} defines no SLO rules (expected a list, "
+                       "or a mapping with an 'slos' list)")
+    rules = [rule_from_doc(d) for d in doc]
+    names = [r.name for r in rules]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise SLOError(f"{path}: duplicate rule name(s) {', '.join(dupes)}")
+    return rules
+
+
+def default_rules() -> list[SLORule]:
+    """The built-in rule set covering the serve/cluster path: serve
+    p99 latency, chunk error ratio, and registry-side job latency."""
+    return [
+        SLORule(name="serve-latency-p99", metric="serve.request",
+                target=0.5, kind="latency", percentile=99.0,
+                window_s=3600.0, burn_threshold=1.0,
+                description="99% of serve requests answer within 500ms"),
+        SLORule(name="chunk-error-ratio", metric="chunk.complete",
+                bad_metric="chunk.failed", target=0.05, kind="error_ratio",
+                window_s=3600.0, burn_threshold=1.0,
+                description="under 5% of cluster chunks fail terminally"),
+        SLORule(name="job-latency-p99", metric="repro_job_duration_seconds",
+                target=10.0, kind="latency", percentile=99.0,
+                window_s=3600.0, burn_threshold=1.0,
+                description="99% of jobs finish within 10s (registry)"),
+    ]
+
+
+def _is_bad_event(rule: SLORule, ev: dict) -> bool:
+    """Whether one journal event consumes the rule's error budget."""
+    if rule.kind == "latency":
+        return float(ev.get("duration_s", 0.0)) > rule.target
+    if rule.bad_metric:
+        return ev.get("event") == rule.bad_metric
+    return str(ev.get("status", "ok")) != "ok"
+
+
+def _eval_journal(rule: SLORule, events: list[dict],
+                  now: float) -> SLOStatus:
+    """Evaluate one journal-backed rule over long + short windows."""
+    if rule.kind == "latency":
+        relevant = [ev for ev in events
+                    if ev.get("event") == rule.metric and "duration_s" in ev]
+    else:
+        names = {rule.metric}
+        if rule.bad_metric:
+            names.add(rule.bad_metric)
+        relevant = [ev for ev in events if ev.get("event") in names]
+    status = SLOStatus(rule=rule, source="journal")
+    windows = {"long": rule.window_s,
+               "short": rule.window_s / SHORT_WINDOW_DIVISOR}
+    burning = []
+    worst: tuple[float, str] | None = None
+    for label, width in windows.items():
+        cutoff = now - width
+        total = bad = 0
+        for ev in relevant:
+            if float(ev.get("ts", 0.0)) < cutoff:
+                continue
+            total += 1
+            if _is_bad_event(rule, ev):
+                bad += 1
+                trace = ev.get("trace_id")
+                if trace and rule.kind == "latency":
+                    d = float(ev.get("duration_s", 0.0))
+                    if worst is None or d > worst[0]:
+                        worst = (d, trace)
+                elif trace and worst is None:
+                    worst = (0.0, trace)
+        if total == 0:
+            continue
+        burn = (bad / total) / rule.budget
+        status.burn_rates[label] = burn
+        burning.append(burn > rule.burn_threshold)
+        if label == "long":
+            status.total, status.bad = total, bad
+            status.measured = bad / total
+    if status.measured is None and "short" in status.burn_rates:
+        # only the short window has data (long == short coverage here)
+        status.measured = status.burn_rates["short"] * rule.budget
+    status.ok = not (burning and all(burning))
+    if worst is not None:
+        status.exemplar_trace = worst[1]
+    return status
+
+
+def _eval_registry(rule: SLORule, registry) -> SLOStatus:
+    """Evaluate one registry-backed rule over the merged histogram's
+    lifetime distribution (no windowing — snapshots are cumulative)."""
+    status = SLOStatus(rule=rule, source="registry")
+    metric = registry._metrics.get(rule.metric)
+    if metric is None or metric.kind != "histogram":
+        return status  # absent metric = no data = ok
+    total = bad = 0
+    best_ex: dict | None = None
+    for series in metric._snapshot_series():
+        counts, count = series["counts"], series["count"]
+        total += count
+        good = sum(c for bound, c in zip(metric.buckets, counts)
+                   if bound <= rule.target)
+        bad += count - good
+        for ex in (series.get("exemplars") or {}).values():
+            if float(ex.get("value", 0.0)) > rule.target and (
+                    best_ex is None
+                    or float(ex["value"]) > float(best_ex["value"])):
+                best_ex = ex
+    if total == 0:
+        return status
+    ratio = bad / total
+    burn = ratio / rule.budget
+    status.total, status.bad, status.measured = total, bad, ratio
+    status.burn_rates["lifetime"] = burn
+    status.ok = burn <= rule.burn_threshold
+    if best_ex is not None:
+        status.exemplar_trace = str(best_ex.get("trace_id"))
+    return status
+
+
+def evaluate_slos(rules: list[SLORule], events: list[dict] | None = None,
+                  registry=None, now: float | None = None) -> list[SLOStatus]:
+    """Evaluate every rule against the journal and/or registry.
+
+    Args:
+        rules: the rule set (``load_rules`` / ``default_rules``).
+        events: journal events for journal-backed rules (absent = those
+            rules report no data, hence ok).
+        registry: a merged :class:`~repro.runtime.obs.MetricsRegistry`
+            for ``repro_…`` rules.
+        now: evaluation clock (defaults to wall time; injectable for
+            tests and ``repro top``).
+
+    Returns:
+        One :class:`SLOStatus` per rule, in rule order.
+    """
+    now = time.time() if now is None else now
+    out = []
+    for rule in rules:
+        if rule.metric.startswith(_REGISTRY_PREFIX):
+            out.append(_eval_registry(rule, registry)
+                       if registry is not None else
+                       SLOStatus(rule=rule, source="registry"))
+        else:
+            out.append(_eval_journal(rule, events or [], now))
+    return out
+
+
+class SLOMonitor:
+    """Incremental SLO evaluation for long-lived loops.
+
+    Feed it journal events as a tailer yields them (bounded buffer —
+    old events age out of every window anyway) and call
+    :meth:`evaluate` each tick; :attr:`last_breaches` holds only the
+    rules that *newly* flipped to breaching on that evaluation, so the
+    supervisor emits one ``slo.breach`` event per incident, not per
+    tick.
+    """
+
+    def __init__(self, rules: list[SLORule] | None = None,
+                 clock=time.time, max_events: int = 50_000):
+        """``rules`` defaults to :func:`default_rules`; ``clock`` is
+        injectable for deterministic tests."""
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.clock = clock
+        self._events: deque = deque(maxlen=max_events)
+        self._breached: set[str] = set()
+        #: Statuses that flipped ok -> breach on the last evaluate().
+        self.last_breaches: list[SLOStatus] = []
+
+    def feed(self, events) -> int:
+        """Buffer tailer output; returns how many events were kept."""
+        n = 0
+        for ev in events:
+            self._events.append(ev)
+            n += 1
+        return n
+
+    def evaluate(self, registry=None,
+                 now: float | None = None) -> list[SLOStatus]:
+        """Evaluate all rules against the buffered events (and an
+        optional registry), updating :attr:`last_breaches`."""
+        now = self.clock() if now is None else now
+        statuses = evaluate_slos(self.rules, events=list(self._events),
+                                 registry=registry, now=now)
+        breached = {s.rule.name for s in statuses if not s.ok}
+        self.last_breaches = [s for s in statuses
+                              if not s.ok and s.rule.name not in self._breached]
+        self._breached = breached
+        return statuses
+
+
+def render_slo_table(statuses: list[SLOStatus]) -> str:
+    """The ``repro slo check`` table: one line per rule with burn
+    rates, counts and the breach verdict."""
+    if not statuses:
+        return "slo: no rules to evaluate"
+    lines = [f"{'slo':<20} {'verdict':<8} {'burn':<22} {'bad/total':>11} "
+             f"{'measured':>9} source"]
+    for s in statuses:
+        if s.burn_rates:
+            burn = " ".join(f"{k}={v:.2f}" for k, v in
+                            sorted(s.burn_rates.items()))
+        else:
+            burn = "no data"
+        measured = f"{s.measured:.4f}" if s.measured is not None else "-"
+        verdict = "ok" if s.ok else "BREACH"
+        lines.append(f"{s.rule.name:<20} {verdict:<8} {burn:<22} "
+                     f"{s.bad:>5}/{s.total:<5} {measured:>9} {s.source}"
+                     + (f" trace={s.exemplar_trace}" if s.exemplar_trace
+                        else ""))
+    return "\n".join(lines)

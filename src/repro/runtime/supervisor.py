@@ -25,7 +25,11 @@ Per tick the supervisor
   lease expired that long ago (or corrupt/torn claims that stale),
   chunk files no broker or worker has touched, and result files no
   broker ever consumed.  Live leases and fresh files are never
-  touched, so a supervisor can share a spool with active runs.
+  touched, so a supervisor can share a spool with active runs;
+* **checks SLOs** (observability configured): tails the journal into
+  an :class:`~repro.runtime.slo.SLOMonitor` and journals one
+  ``slo.breach`` event per rule that newly starts burning its error
+  budget — the fleet's alerting hook.
 
 Everything observable is exported as ``repro_supervisor_*`` metrics
 and ``supervisor.*`` journal events; :class:`SupervisorStats`
@@ -162,6 +166,7 @@ class Supervisor:
         worker_factory=None,
         telemetry: SupervisorTelemetry | None = None,
         clock=None,
+        slo_rules=None,
     ) -> None:
         """Args:
             spool_dir: the spool to watch and serve.
@@ -191,6 +196,11 @@ class Supervisor:
             telemetry: optional :class:`SupervisorTelemetry` sink.
             clock: wall-clock override for lease/GC/recovery timing
                 (tests; default ``time.time``).
+            slo_rules: :class:`~repro.runtime.slo.SLORule` list to
+                evaluate each tick against the journal (None = the
+                built-in defaults).  Needs observability configured;
+                a rule that newly starts burning journals one
+                ``slo.breach`` event and bumps the event counter.
         """
         if min_workers < 0:
             raise ValueError("min_workers must be >= 0")
@@ -240,10 +250,21 @@ class Supervisor:
         self._events = registry.counter(
             "repro_supervisor_events_total",
             "Supervisor control events by op (spawn, retire, respawn, "
-            "crash, scale_up, scale_down, gc_claim, gc_chunk, gc_result).")
+            "crash, scale_up, scale_down, gc_claim, gc_chunk, gc_result, "
+            "slo_breach).")
         self._recovery_hist = registry.histogram(
             "repro_supervisor_recovery_seconds",
             "Crash-to-fleet-restored latency per recovery episode.")
+        # SLO monitoring rides the journal: without an obs dir there is
+        # nothing to tail (or to alert into), so the monitor stays off.
+        self._slo_monitor = None
+        self._slo_tailer = None
+        target = obs.obs_dir()
+        if target is not None:
+            from .slo import SLOMonitor
+
+            self._slo_monitor = SLOMonitor(slo_rules, clock=self.clock)
+            self._slo_tailer = obs.JournalTailer(target / "journal.ndjson")
 
     # -- fleet plumbing ----------------------------------------------------
 
@@ -501,8 +522,26 @@ class Supervisor:
         self.stats.ticks += 1
         self._workers_gauge.set(self.fleet_size())
         self._backlog_gauge.set(snapshot.pending)
+        self._check_slos()
         self.telemetry.on_tick(snapshot)
         return snapshot
+
+    def _check_slos(self) -> None:
+        """Evaluate the SLO monitor (if observability is on) and journal
+        one ``slo.breach`` per rule that *newly* started burning."""
+        if self._slo_monitor is None:
+            return
+        self._slo_monitor.feed(self._slo_tailer.poll())
+        self._slo_monitor.evaluate(registry=obs.get_registry(),
+                                   now=self.clock())
+        for status in self._slo_monitor.last_breaches:
+            self._events.inc(op="slo_breach")
+            obs.emit("slo.breach", rule=status.rule.name,
+                     metric=status.rule.metric,
+                     burn_rates={k: round(v, 4)
+                                 for k, v in status.burn_rates.items()},
+                     measured=status.measured,
+                     exemplar_trace=status.exemplar_trace)
 
     def run(self, stop: threading.Event | None = None,
             max_ticks: int | None = None) -> SupervisorStats:

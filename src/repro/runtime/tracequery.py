@@ -1,0 +1,429 @@
+"""Trace analytics: per-trace span trees rebuilt from the event journal.
+
+The observability layer (:mod:`repro.runtime.obs`) *emits* telemetry —
+every span close, chunk lifecycle step and worker claim lands as one
+NDJSON line in ``<obs_dir>/journal.ndjson``, tagged with its
+``trace_id``/``span_id``/``parent_id``.  This module is the read side:
+it folds those flat events back into trees so an operator can ask
+"which request was slow, and where did the time go?" without grepping
+JSON by hand.
+
+The reconstruction rules:
+
+* Every event carrying a ``trace_id`` + ``span_id`` belongs to one
+  :class:`SpanNode`, keyed by span ID within its trace.  Span-close
+  events (the ones :func:`repro.runtime.obs.span` writes, with
+  ``duration_s`` and ``status``) fix the node's name, timing and
+  status; point events (``chunk.submit``, ``worker.claim``,
+  ``chunk.requeue``, …) fold into the same node and widen its
+  ``[start, end]`` envelope.
+* A **chunk span** is stitched from its whole lifecycle — submit,
+  every worker attempt, requeues, the terminal complete/failed — which
+  is exactly what makes requeue-after-SIGKILL legible: the broker
+  re-spools a chunk under its *original* span context, so all attempts
+  share one span and surface as an :attr:`SpanNode.attempts` list
+  (worker, claim time, outcome) under a single waterfall row.
+* Parent links come from ``parent_id``; spans whose parent never made
+  it into the journal (a crashed writer) surface as extra roots rather
+  than vanishing.
+
+Three products, surfaced by ``repro trace``:
+
+* :func:`render_trace_table` (``repro trace ls``) — slowest/failed
+  traces, filterable by kind and status;
+* :func:`render_waterfall` (``repro trace show``) — one trace as a
+  cross-process waterfall with per-stage self-time (a span's duration
+  minus its children's), deterministic for a given journal;
+* :func:`critical_path` (``repro trace critical-path``) — the
+  aggregate where-the-time-goes table across the N slowest traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .obs import read_journal
+
+__all__ = [
+    "TraceQueryError",
+    "SpanNode",
+    "Trace",
+    "load_events",
+    "build_traces",
+    "filter_traces",
+    "find_trace",
+    "critical_path",
+    "render_trace_table",
+    "render_waterfall",
+    "render_critical_path",
+]
+
+#: Event names that make up a chunk span's lifecycle (stitched into one
+#: node even across requeue-after-kill retries).
+_CHUNK_EVENTS = frozenset(
+    {"chunk.submit", "chunk.requeue", "chunk.complete", "chunk.failed"})
+
+#: Terminal chunk-lifecycle events, mapped to the span status they imply.
+_CHUNK_TERMINAL = {"chunk.complete": "ok", "chunk.failed": "failed"}
+
+
+class TraceQueryError(ValueError):
+    """A trace query cannot run (missing or empty journal).  Subclasses
+    :class:`ValueError` so the CLI's one-line error path handles it."""
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: an operation within a trace.
+
+    ``start``/``end`` are wall-clock bounds (a close event's ``ts`` is
+    its end; its start is ``ts - duration_s``; point events widen the
+    envelope).  ``attempts`` is non-empty only for chunk spans: one
+    entry per ``worker.claim``, so a requeued chunk shows every worker
+    that touched it.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    name: str = ""
+    start: float = 0.0
+    end: float = 0.0
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+    procs: list[str] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    attempts: list[dict] = field(default_factory=list)
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock envelope of this span (never negative)."""
+        return max(0.0, self.end - self.start)
+
+    @property
+    def self_time_s(self) -> float:
+        """This span's duration minus its children's — the time spent
+        *in this stage itself*, the waterfall's per-stage figure."""
+        return max(0.0, self.duration_s
+                   - sum(c.duration_s for c in self.children))
+
+    def walk(self):
+        """Yield this node then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class Trace:
+    """One reconstructed trace: every span sharing a ``trace_id``."""
+
+    trace_id: str
+    spans: dict[str, SpanNode]
+    roots: list[SpanNode]
+    start: float
+    end: float
+    status: str
+    kinds: list[str]
+    procs: list[str]
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock envelope across every span of the trace."""
+        return max(0.0, self.end - self.start)
+
+    def walk(self):
+        """Yield every span, depth-first across the root forest."""
+        for root in self.roots:
+            yield from root.walk()
+
+
+def load_events(obs_dir: str | Path) -> list[dict]:
+    """The journal's events under ``obs_dir``, or a clear error.
+
+    Args:
+        obs_dir: the observability directory (``--obs-dir`` /
+            ``$REPRO_OBS_DIR``).
+
+    Returns:
+        Every well-formed journal event, in file order.
+
+    Raises:
+        TraceQueryError: the journal file is missing or holds no
+            events — the one-line error ``repro trace`` / ``repro slo``
+            print instead of a traceback.
+    """
+    path = Path(obs_dir) / "journal.ndjson"
+    if not path.exists():
+        raise TraceQueryError(
+            f"no journal at {path} — run a command with --obs-dir "
+            f"{obs_dir} (or $REPRO_OBS_DIR) first")
+    events = read_journal(path)
+    if not events:
+        raise TraceQueryError(
+            f"journal {path} holds no events yet — run a command with "
+            "observability enabled first")
+    return events
+
+
+def _fold_event(node: SpanNode, ev: dict) -> None:
+    """Fold one journal event into its span node (timing, status,
+    attempts, attrs)."""
+    name = ev.get("event", "")
+    ts = float(ev.get("ts", 0.0))
+    node.events.append(ev)
+    proc = ev.get("proc")
+    if proc and proc not in node.procs:
+        node.procs.append(proc)
+    is_close = "duration_s" in ev and "status" in ev
+    if is_close:
+        duration = float(ev.get("duration_s", 0.0))
+        node.name = name
+        node.status = str(ev.get("status", "ok"))
+        node.start = ts - duration if node.start == 0.0 else min(
+            node.start, ts - duration)
+        node.end = max(node.end, ts)
+    else:
+        node.start = ts if node.start == 0.0 else min(node.start, ts)
+        node.end = max(node.end, ts)
+    if name == "worker.claim":
+        node.attempts.append({
+            "worker": str(ev.get("worker", "?")),
+            "ts": ts,
+            "jobs": int(ev.get("jobs", 0)),
+            "outcome": "running",
+        })
+    elif name == "chunk.requeue" and node.attempts:
+        for attempt in reversed(node.attempts):
+            if attempt["outcome"] == "running":
+                attempt["outcome"] = "requeued"
+                attempt["why"] = str(ev.get("why", ""))
+                break
+    elif name in _CHUNK_TERMINAL:
+        node.status = _CHUNK_TERMINAL[name]
+        if node.attempts and node.attempts[-1]["outcome"] == "running":
+            node.attempts[-1]["outcome"] = (
+                "complete" if name == "chunk.complete" else "failed")
+    # Name a node that has no close event after its lifecycle family.
+    if not node.name or (not is_close and not any(
+            "duration_s" in e for e in node.events)):
+        if name in _CHUNK_EVENTS or name == "worker.claim":
+            node.name = "chunk"
+        elif not node.name:
+            node.name = name
+    for key, value in ev.items():
+        if key in ("ts", "seq", "proc", "event", "trace_id", "span_id",
+                   "parent_id", "duration_s", "status"):
+            continue
+        node.attrs.setdefault(key, value)
+
+
+def _sort_key(ev: dict) -> tuple:
+    """Total order for journal events: wall clock, then the writer's
+    per-process sequence (stable for same-timestamp events)."""
+    return (float(ev.get("ts", 0.0)), str(ev.get("proc", "")),
+            int(ev.get("seq", 0)))
+
+
+def build_traces(events: list[dict]) -> list[Trace]:
+    """Fold flat journal events into :class:`Trace` trees.
+
+    Events without a ``trace_id``/``span_id`` (supervisor housekeeping,
+    untraced emits) are ignored.  Returns traces sorted slowest-first;
+    within a trace, children are sorted by start time, so the rendering
+    of a given journal is deterministic.
+    """
+    by_trace: dict[str, dict[str, SpanNode]] = {}
+    for ev in sorted(events, key=_sort_key):
+        trace_id = ev.get("trace_id")
+        span_id = ev.get("span_id")
+        if not trace_id or not span_id:
+            continue
+        spans = by_trace.setdefault(trace_id, {})
+        node = spans.get(span_id)
+        if node is None:
+            node = SpanNode(trace_id=trace_id, span_id=span_id,
+                            parent_id=ev.get("parent_id"))
+            spans[span_id] = node
+        elif node.parent_id is None and ev.get("parent_id"):
+            node.parent_id = ev["parent_id"]
+        _fold_event(node, ev)
+
+    traces = []
+    for trace_id, spans in by_trace.items():
+        roots: list[SpanNode] = []
+        for node in spans.values():
+            parent = spans.get(node.parent_id) if node.parent_id else None
+            if parent is not None and parent is not node:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        for node in spans.values():
+            node.children.sort(key=lambda n: (n.start, n.span_id))
+        roots.sort(key=lambda n: (n.start, n.span_id))
+        start = min(n.start for n in spans.values())
+        end = max(n.end for n in spans.values())
+        status = "ok"
+        if any(n.status not in ("ok", "open") for n in spans.values()):
+            status = "failed"
+        elif any(n.status == "open" for n in spans.values()):
+            status = "open"
+        kinds = sorted({str(n.attrs["kind"]) for n in spans.values()
+                        if "kind" in n.attrs})
+        procs = sorted({p for n in spans.values() for p in n.procs})
+        traces.append(Trace(trace_id=trace_id, spans=spans, roots=roots,
+                            start=start, end=end, status=status,
+                            kinds=kinds, procs=procs))
+    traces.sort(key=lambda t: (-t.duration_s, t.trace_id))
+    return traces
+
+
+def filter_traces(traces: list[Trace], kind: str | None = None,
+                  status: str | None = None,
+                  limit: int | None = None) -> list[Trace]:
+    """Slowest-first traces narrowed by job kind and/or status.
+
+    Args:
+        traces: :func:`build_traces` output (already slowest-first).
+        kind: keep traces touching this job kind (``dse_point``, …).
+        status: ``"ok"`` or ``"failed"``.
+        limit: keep at most this many.
+    """
+    out = traces
+    if kind is not None:
+        out = [t for t in out if kind in t.kinds]
+    if status is not None:
+        out = [t for t in out if t.status == status]
+    if limit is not None:
+        out = out[:limit]
+    return out
+
+
+def find_trace(traces: list[Trace], prefix: str) -> Trace:
+    """The unique trace whose ID starts with ``prefix``.
+
+    Raises:
+        TraceQueryError: no trace matches, or the prefix is ambiguous.
+    """
+    hits = [t for t in traces if t.trace_id.startswith(prefix)]
+    if not hits:
+        raise TraceQueryError(f"no trace matching {prefix!r} in the journal")
+    if len(hits) > 1:
+        ids = ", ".join(t.trace_id for t in hits[:4])
+        raise TraceQueryError(
+            f"trace prefix {prefix!r} is ambiguous ({len(hits)} matches: "
+            f"{ids}{', …' if len(hits) > 4 else ''})")
+    return hits[0]
+
+
+def critical_path(traces: list[Trace], limit: int | None = None) -> list[dict]:
+    """Aggregate where-the-time-goes rows across the slowest traces.
+
+    Sums each span name's total and self time over the ``limit``
+    slowest traces (all of them when ``limit`` is None); ``share`` is
+    the name's fraction of all self-time, which adds up to 1.0 — the
+    aggregate critical path of the workload.
+
+    Returns:
+        Rows ``{name, count, total_s, self_s, max_s, share}``, sorted
+        by ``self_s`` descending.
+    """
+    rows: dict[str, dict] = {}
+    for trace in traces[:limit] if limit is not None else traces:
+        for node in trace.walk():
+            row = rows.setdefault(node.name, {
+                "name": node.name, "count": 0, "total_s": 0.0,
+                "self_s": 0.0, "max_s": 0.0})
+            row["count"] += 1
+            row["total_s"] += node.duration_s
+            row["self_s"] += node.self_time_s
+            row["max_s"] = max(row["max_s"], node.duration_s)
+    grand_self = sum(r["self_s"] for r in rows.values())
+    out = sorted(rows.values(), key=lambda r: (-r["self_s"], r["name"]))
+    for row in out:
+        row["share"] = row["self_s"] / grand_self if grand_self else 0.0
+    return out
+
+
+def render_trace_table(traces: list[Trace]) -> str:
+    """The ``repro trace ls`` listing: one line per trace, slowest
+    first — ID, duration, span/process counts, status and kinds."""
+    if not traces:
+        return "trace ls: no traces in the journal"
+    lines = [f"{'trace':<18} {'duration':>10} {'spans':>5} {'procs':>5} "
+             f"{'status':<7} kinds"]
+    for t in traces:
+        lines.append(
+            f"{t.trace_id:<18} {t.duration_s * 1e3:>8.1f}ms "
+            f"{len(t.spans):>5} {len(t.procs):>5} {t.status:<7} "
+            f"{','.join(t.kinds) if t.kinds else '-'}")
+    return "\n".join(lines)
+
+
+def _bar(offset: float, width_s: float, total_s: float, columns: int) -> str:
+    """One waterfall bar: ``columns`` characters, the span's slice of
+    the trace filled with ``=`` (at least one character)."""
+    if total_s <= 0:
+        return "=" * columns
+    lead = int(round(offset / total_s * columns))
+    lead = min(lead, columns - 1)
+    span = int(round(width_s / total_s * columns))
+    span = max(1, min(span, columns - lead))
+    return "." * lead + "=" * span + "." * (columns - lead - span)
+
+
+def render_waterfall(trace: Trace, columns: int = 32) -> str:
+    """One trace as a cross-process waterfall (``repro trace show``).
+
+    Deterministic for a given journal: spans are rendered depth-first
+    in start order, each with its bar (position/width = its slice of
+    the trace), total and self time, status and owning process count.
+    Chunk spans list every worker attempt — a kill-requeued chunk shows
+    both the killed and the rescuing worker under one row.
+    """
+    total = trace.duration_s
+    lines = [
+        f"trace {trace.trace_id} — {total * 1e3:.1f}ms, "
+        f"{len(trace.spans)} span(s), {len(trace.procs)} process(es), "
+        f"status {trace.status}"
+        + (f", kinds {','.join(trace.kinds)}" if trace.kinds else "")
+    ]
+
+    def emit(node: SpanNode, depth: int) -> None:
+        bar = _bar(node.start - trace.start, node.duration_s, total, columns)
+        label = ("  " * depth + node.name)[:26]
+        lines.append(
+            f"  {label:<26} |{bar}| total {node.duration_s * 1e3:>8.1f}ms "
+            f"self {node.self_time_s * 1e3:>8.1f}ms  {node.status}")
+        for i, attempt in enumerate(node.attempts, 1):
+            why = f" ({attempt['why']})" if attempt.get("why") else ""
+            lines.append(
+                f"  {'  ' * (depth + 1)}attempt {i}: worker "
+                f"{attempt['worker']} +"
+                f"{max(0.0, attempt['ts'] - trace.start) * 1e3:.1f}ms "
+                f"-> {attempt['outcome']}{why}")
+        for child in node.children:
+            emit(child, depth + 1)
+
+    for root in trace.roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_critical_path(rows: list[dict], traces: int) -> str:
+    """The ``repro trace critical-path`` table from
+    :func:`critical_path` rows."""
+    if not rows:
+        return "critical-path: no spans in the selected traces"
+    lines = [f"critical path across {traces} trace(s) — self-time "
+             "aggregated by span",
+             f"{'span':<22} {'count':>5} {'total':>10} {'self':>10} "
+             f"{'max':>10} {'share':>6}"]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<22} {row['count']:>5} "
+            f"{row['total_s'] * 1e3:>8.1f}ms {row['self_s'] * 1e3:>8.1f}ms "
+            f"{row['max_s'] * 1e3:>8.1f}ms {row['share']:>6.1%}")
+    return "\n".join(lines)

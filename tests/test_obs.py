@@ -454,3 +454,157 @@ class TestConfiguration:
         assert all(e["workload"] == "fig5b" for e in events)
         obs.configure(False)
         assert obs.emit_profile(summary) == 0
+
+
+class TestQuantileHelper:
+    def test_shared_helper_matches_inline_rank_math(self):
+        buckets = (0.01, 0.1, 1.0)
+        counts = [1, 2, 1]
+        assert obs.quantile_from_counts(buckets, counts, 4, 0) == (0.01, False)
+        assert obs.quantile_from_counts(buckets, counts, 4, 50) == (0.1, False)
+        assert obs.quantile_from_counts(buckets, counts, 4, 100) == (1.0, False)
+
+    def test_overflow_rank_is_flagged_not_silently_capped(self):
+        # All mass past the last finite bound: the rank lands in +Inf.
+        bound, overflow = obs.quantile_from_counts((0.1, 1.0), [0, 0], 3, 99)
+        assert (bound, overflow) == (1.0, True)
+        # Mixed: p50 resolves finitely, p99 overflows.
+        assert obs.quantile_from_counts((0.1, 1.0), [2, 0], 3, 50) == (0.1, False)
+        assert obs.quantile_from_counts((0.1, 1.0), [2, 0], 3, 99) == (1.0, True)
+
+    def test_empty_and_invalid_inputs(self):
+        assert obs.quantile_from_counts((1.0,), [0], 0, 99) == (0.0, False)
+        with pytest.raises(ValueError):
+            obs.quantile_from_counts((1.0,), [1], 1, 101)
+
+    def test_histogram_percentile_reports_overflow(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        assert h.percentile(50) == (0.1, False)
+        h.observe(5.0)
+        h.observe(6.0)
+        assert h.percentile(99) == (1.0, True)
+        # quantile() keeps the old bound-only contract.
+        assert h.quantile(99) == 1.0
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+
+class TestExemplars:
+    def _ctx(self, trace="tr-1"):
+        return SpanContext(trace_id=trace, span_id="sp-1")
+
+    def test_captured_only_under_an_ambient_span(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)  # no span -> no exemplar
+        assert h.worst_exemplar() is None
+        with obs.activate(self._ctx()):
+            h.observe(0.05)
+        ex = h.worst_exemplar()
+        assert ex["trace_id"] == "tr-1" and ex["value"] == 0.05
+
+    def test_slowest_sample_wins_per_bucket(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        with obs.activate(self._ctx("tr-slow")):
+            h.observe(0.09)
+        with obs.activate(self._ctx("tr-fast")):
+            h.observe(0.01)  # same bucket, smaller -> kept out
+        assert h.exemplar(0)["trace_id"] == "tr-slow"
+
+    def test_worst_exemplar_prefers_highest_bucket(self):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        with obs.activate(self._ctx("tr-ok")):
+            h.observe(0.05)
+        with obs.activate(self._ctx("tr-overflow")):
+            h.observe(7.0)  # +Inf bucket
+        assert h.worst_exemplar()["trace_id"] == "tr-overflow"
+
+    def test_exemplars_survive_snapshot_merge_idempotently(self):
+        src = MetricsRegistry()
+        h = src.histogram("lat", buckets=(0.1, 1.0))
+        with obs.activate(self._ctx("tr-src")):
+            h.observe(0.5)
+        dst = MetricsRegistry()
+        snap = src.snapshot()
+        dst.merge(snap)
+        dst.merge(snap)  # the fleet reader merges the same file twice
+        merged = dst.histogram("lat", buckets=(0.1, 1.0))
+        assert merged.exemplar(1)["trace_id"] == "tr-src"
+        # The larger foreign sample replaces the local one on merge.
+        other = MetricsRegistry()
+        h2 = other.histogram("lat", buckets=(0.1, 1.0))
+        with obs.activate(self._ctx("tr-worse")):
+            h2.observe(0.9)
+        dst.merge(other.snapshot())
+        assert dst.histogram(
+            "lat", buckets=(0.1, 1.0)).exemplar(1)["trace_id"] == "tr-worse"
+
+    def test_malformed_foreign_exemplars_are_dropped_not_fatal(self):
+        src = MetricsRegistry()
+        src.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snap = src.snapshot()
+        snap["metrics"]["lat"]["series"][0]["exemplars"] = {
+            "not-an-int": {"trace_id": "x", "value": 1.0, "ts": 1.0},
+            "0": "not-a-dict",
+        }
+        dst = MetricsRegistry()
+        dst.merge(snap)  # must not raise
+        assert dst.histogram("lat", buckets=(0.1, 1.0)).count() == 1
+
+    def test_stale_exemplar_is_replaced_after_ttl(self, monkeypatch):
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        clock = {"now": 1000.0}
+        monkeypatch.setattr(obs.time, "time", lambda: clock["now"])
+        with obs.activate(self._ctx("tr-old")):
+            h.observe(0.09)
+        clock["now"] += obs.EXEMPLAR_TTL_S + 1
+        with obs.activate(self._ctx("tr-new")):
+            h.observe(0.01)  # smaller, but the old exemplar expired
+        assert h.exemplar(0)["trace_id"] == "tr-new"
+
+
+class TestOpenMetricsExemplarExposition:
+    #: ``<name>{labels} <int> # {trace_id="..."} <value> <ts>`` — the
+    #: OpenMetrics exemplar grammar the --prom surface must emit.
+    import re as _re
+    _BUCKET = _re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*_bucket\{[^}]*le="[^"]+"\} \d+'
+        r'( # \{trace_id="[^"]*"\} [0-9.eE+-]+ \d+\.\d{3})?$')
+    _OTHER = _re.compile(
+        r'^(# (HELP|TYPE) .*|[a-zA-Z_:][a-zA-Z0-9_:]*(_sum|_count)?'
+        r'(\{[^}]*\})? -?[0-9.eE+-]+)$')
+
+    def _lint(self, text):
+        for line in text.splitlines():
+            if "_bucket" in line:
+                assert self._BUCKET.match(line), f"bad bucket line: {line!r}"
+            else:
+                assert self._OTHER.match(line), f"bad line: {line!r}"
+
+    def test_exemplar_bearing_exposition_lints_clean(self):
+        r = MetricsRegistry()
+        h = r.histogram("repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        with obs.activate(SpanContext("tr-a", "sp")):
+            h.observe(0.05, worker="w1")
+            h.observe(9.0, worker="w1")  # overflow exemplar on +Inf
+        r.counter("repro_jobs_total", "Jobs.").inc(kind="eval")
+        r.gauge("repro_depth").set(3)
+        text = r.render_prometheus()
+        self._lint(text)
+        assert ' # {trace_id="tr-a"} 0.05 ' in text
+        inf_lines = [l for l in text.splitlines() if 'le="+Inf"' in l]
+        assert any('trace_id="tr-a"' in l for l in inf_lines)
+
+    def test_exposition_without_exemplars_is_unchanged(self):
+        r = MetricsRegistry()
+        r.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        text = r.render_prometheus()
+        self._lint(text)
+        assert "trace_id" not in text
+
+    def test_quoted_trace_ids_are_escaped_in_exemplars(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", buckets=(1.0,))
+        with obs.activate(SpanContext('tr"quote', "sp")):
+            h.observe(0.5)
+        assert 'trace_id="tr\\"quote"' in r.render_prometheus()

@@ -288,3 +288,32 @@ def test_sweep_then_metrics_and_top(tmp_path, capsys):
     finally:
         obs.configure(False)
         obs.set_registry(obs.MetricsRegistry())
+
+def test_metrics_p99_reports_overflow_direction(tmp_path, capsys):
+    """Fleet-wide p99 says ``p99 > bound`` when the rank lands in the
+    +Inf bucket instead of pretending the last finite bound is an upper
+    bound (it is a *lower* bound there)."""
+    from repro.runtime import obs
+
+    obs_dir = tmp_path / "obs"
+    obs.set_registry(obs.MetricsRegistry())
+    try:
+        hist = obs.get_registry().histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(50.0)  # +Inf bucket: p99 is beyond every bound
+        obs.flush_metrics(obs_dir)
+        assert main(["metrics", "--obs-dir", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "p99 > 1000.00 ms" in out
+
+        obs.set_registry(obs.MetricsRegistry())
+        hist = obs.get_registry().histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        obs.flush_metrics(obs_dir)
+        assert main(["metrics", "--obs-dir", str(obs_dir)]) == 0
+        assert "p99 <= 100.00 ms" in capsys.readouterr().out
+    finally:
+        obs.configure(False)
+        obs.set_registry(obs.MetricsRegistry())
